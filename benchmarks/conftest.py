@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+Each figure benchmark runs its experiment once (rounds=1) under
+pytest-benchmark — the interesting output is the paper-style report it
+prints, plus shape assertions that fail if the reproduction drifts.
+"""
+
+import sys
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a report so it survives pytest's capture (shown with -s
+    or in the captured-output section)."""
+
+    def emit(text: str) -> None:
+        with capsys.disabled():
+            sys.stdout.write("\n" + text + "\n")
+
+    return emit

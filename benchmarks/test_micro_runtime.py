@@ -1,0 +1,136 @@
+"""Microbenchmarks of the runtime's hot paths (proper pytest-benchmark
+timing loops, unlike the one-shot figure benchmarks).
+
+These quantify the costs DESIGN.md calls out: issue latency (the
+model's headline — no blocking), a full synchronization round,
+operation serialization, copy-on-write transactions, and the price of
+runtime contract checking.
+"""
+
+import random
+
+import pytest
+
+from repro.core.operations import AtomicOp, PrimitiveOp
+from repro.core.serialization import encode_op, roundtrip_op
+from repro.core.store import ObjectStore, TransactionView
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.system import DistributedSystem
+from repro.spec.contracts import set_checking
+from tests.helpers import Counter, Ledger
+
+
+@pytest.fixture
+def live_system():
+    system = DistributedSystem(
+        n_machines=4, seed=1, config=RuntimeConfig(sync_interval=0.5)
+    )
+    system.start(first_sync_delay=0.1)
+    counter = system.apis()[0].create_instance(Counter)
+    system.run_until_quiesced()
+    replicas = {
+        machine_id: system.api(machine_id).join_instance(counter.unique_id)
+        for machine_id in system.machine_ids()
+    }
+    return system, replicas
+
+
+def test_bench_issue_operation(benchmark, live_system):
+    """Wall-clock cost of one non-blocking issue (the model's pitch)."""
+    system, replicas = live_system
+    api = system.api("m01")
+    replica = replicas["m01"]
+
+    def issue():
+        op = api.create_operation(replica, "increment", 10_000_000)
+        api.issue_when_possible(op)
+
+    benchmark(issue)
+
+
+def test_bench_full_sync_round(benchmark):
+    """One complete synchronization round, 4 machines, a few ops."""
+
+    def round_trip():
+        system = DistributedSystem(
+            n_machines=4, seed=2, config=RuntimeConfig(sync_interval=0.2)
+        )
+        system.start(first_sync_delay=0.05)
+        counter = system.apis()[0].create_instance(Counter)
+        system.run_until_quiesced()
+        for api in system.apis():
+            replica = api.join_instance(counter.unique_id)
+            api.issue_when_possible(
+                api.create_operation(replica, "increment", 1000)
+            )
+        system.run_until_quiesced()
+        return len(system.metrics.sync_records)
+
+    rounds = benchmark(round_trip)
+    assert rounds >= 2
+
+
+def test_bench_op_serialization(benchmark):
+    """Encode+decode of a realistic hierarchical operation."""
+    op = AtomicOp(
+        [
+            PrimitiveOp("Ledger:a", "deposit", (10, "seed")),
+            PrimitiveOp("Ledger:a", "withdraw", (10, "move")),
+            PrimitiveOp("Ledger:b", "deposit", (10, "recv")),
+        ]
+    )
+    benchmark(lambda: roundtrip_op(op))
+
+
+def test_bench_encode_only(benchmark):
+    op = PrimitiveOp("Counter:x", "increment", (5,))
+    benchmark(lambda: encode_op(op))
+
+
+def test_bench_copy_on_write_transaction(benchmark):
+    """Snapshot + commit of a transaction touching two ledgers."""
+    store = ObjectStore()
+    rng = random.Random(0)
+    for index in range(2):
+        ledger = Ledger()
+        for _ in range(50):
+            ledger.deposit(rng.randint(1, 9), "seed")
+        store.adopt(f"l{index}", ledger)
+    op = AtomicOp(
+        [
+            PrimitiveOp("l0", "withdraw", (1, "x")),
+            PrimitiveOp("l1", "deposit", (1, "x")),
+        ]
+    )
+
+    benchmark(lambda: op.execute(store))
+
+
+def test_bench_guess_refresh(benchmark):
+    """The copy-committed-to-guess step with a realistic object count."""
+    committed, guess = ObjectStore(), ObjectStore()
+    for index in range(20):
+        committed.create(f"c{index}", Counter, {"value": index})
+    guess.refresh_from(committed)
+    benchmark(lambda: guess.refresh_from(committed))
+
+
+@pytest.mark.parametrize("checking", [False, True], ids=["unchecked", "checked"])
+def test_bench_contract_overhead(benchmark, checking):
+    """Price of Spec#-style runtime checks on a contracted hot path."""
+    from repro.apps.sudoku import SudokuBoard, generate_puzzle
+
+    puzzle, solution = generate_puzzle(random.Random(5), clues=40)
+    board = SudokuBoard()
+    board.load(puzzle)
+    target = board.empty_cells()[0]
+    value = solution[target[0] - 1][target[1] - 1]
+    previous = set_checking(checking)
+    try:
+        def fill_and_clear():
+            board.update(target[0], target[1], value)
+            board.clear(target[0], target[1])
+
+        benchmark(fill_and_clear)
+    finally:
+        set_checking(previous)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Auction house: optimistic bidding under commit-order arbitration.
+
+Three machines run an open-outcry auction.  Bids execute instantly on
+each bidder's guesstimated state — the UI shows "you are leading" with
+zero latency — and the global commit order arbitrates racing bids.
+Losers find out through their completion routines and bid again, which
+is precisely the paper's "ask the user to take remedial action"
+completion pattern.
+
+Run:  python examples/auction_demo.py
+"""
+
+from repro import DistributedSystem
+from repro.apps.auction import AuctionClient, AuctionHouse
+
+
+def main() -> None:
+    system = DistributedSystem(n_machines=3, seed=31)
+    system.start(first_sync_delay=0.4)
+    api_s, api_b, api_c = system.apis()
+
+    house_obj = api_s.create_instance(AuctionHouse)
+    system.run_until_quiesced()
+
+    seller = AuctionClient(api_s, api_s.join_instance(house_obj.unique_id), "sam")
+    bob = AuctionClient(api_b, api_b.join_instance(house_obj.unique_id), "bob")
+    carol = AuctionClient(api_c, api_c.join_instance(house_obj.unique_id), "carol")
+
+    seller.list_item("painting", reserve=100)
+    system.run_until_quiesced()
+    print("item listed: painting, reserve 100\n")
+
+    # Round 1: a clean bid.
+    bob.bid("painting", 120)
+    system.run_until_quiesced()
+    print(f"bob bids 120  -> leading={bob.leading}")
+
+    # Round 2: racing bids in the same synchronization round.  Both
+    # succeed locally (both think they lead); commit order decides.
+    print("\nbob and carol race with 150 within one round:")
+    bob.bid("painting", 150)
+    carol.bid("painting", 150)
+    print(f"  before commit: bob leads locally at "
+          f"{bob.current_price('painting')}, carol at "
+          f"{carol.current_price('painting')}")
+    system.run_until_quiesced()
+    winner = "bob" if "painting" in bob.leading else "carol"
+    loser = carol if winner == "bob" else bob
+    print(f"  after commit: {winner} leads; loser notified: "
+          f"{loser.outbid_notices}")
+
+    # The loser takes remedial action: bid higher.
+    loser.bid("painting", 180)
+    system.run_until_quiesced()
+    print(f"\nremedial bid of 180 -> price now "
+          f"{seller.current_price('painting')}")
+
+    # A late bid races the close.  Both succeed locally; the global
+    # order serializes them.
+    print("\ncarol bids 200 while sam closes the auction:")
+    ticket_bid = carol.bid("painting", 200)
+    ticket_close = seller.close("painting")
+    system.run_until_quiesced()
+    print(f"  bid committed:   {ticket_bid.commit_result}")
+    print(f"  close committed: {ticket_close.commit_result}")
+    with api_s.reading(seller.house) as house:
+        final = house.winning_bid("painting")
+        still_open = "painting" in house.open_items()
+    print(f"  final result: winner={final}, open={still_open}")
+
+    system.check_all_invariants()
+    print("\ninvariants OK — every machine agrees on the winner")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Event planner: hierarchical operations and the blocking pattern.
+
+Demonstrates every design pattern from paper section 5 on the event
+planning application:
+
+* **blocking sign-in** (Figure 4) — registration and sign-in wait for
+  commit before the user proceeds;
+* **OrElse** — join whichever of several parties has a vacancy;
+* **Atomic (all-or-nothing)** — sign up for the conference and its
+  workshop together or not at all;
+* **Atomic (value dependency)** — leave one event and join another,
+  keeping the old one unless the new one is certain;
+* a **cross-machine conflict** on the last seat of a popular event.
+
+Run:  python examples/event_planner_demo.py
+"""
+
+from repro import DistributedSystem
+from repro.apps.accounts import AccountClient, UserDirectory
+from repro.apps.event_planner import EventPlanner, PlannerClient
+
+
+def pump_until(system, ticket, label):
+    """Wait for a ticket's commit — the event-loop form of blocking.
+
+    On the real-time transport this would be ``ticket.wait()`` parking
+    the UI thread (exactly Figure 4's semaphore); on virtual time we
+    pump the simulation until the completion fires.
+    """
+    system.run_until_quiesced()
+    assert ticket.done, f"{label} never completed"
+    print(f"  {label}: {'ok' if ticket.commit_result else 'DENIED'}")
+    return ticket.commit_result
+
+
+def main() -> None:
+    system = DistributedSystem(n_machines=3, seed=99)
+    system.start(first_sync_delay=0.4)
+    api_a, api_b, api_c = system.apis()
+
+    # -- shared objects ------------------------------------------------------
+    directory = api_a.create_instance(UserDirectory)
+    planner_obj = api_a.create_instance(EventPlanner)
+    system.run_until_quiesced()
+
+    # -- blocking registration + sign-in (Figure 4) ---------------------------
+    print("registration and sign-in (blocking pattern):")
+    accounts = []
+    for api, name in [(api_a, "ada"), (api_b, "bert"), (api_c, "cleo")]:
+        account = AccountClient(api, api.join_instance(directory.unique_id))
+        pump_until(system, account.register(name, "pw"), f"register {name}")
+        pump_until(system, account.signin(name, "pw"), f"signin {name}")
+        accounts.append(account)
+
+    # Duplicate registration from another machine is refused at commit.
+    dup = accounts[1]
+    ticket = AccountClient(api_b, dup.directory).register("ada", "other")
+    pump_until(system, ticket, "register duplicate 'ada' (must be denied)")
+
+    # -- events ---------------------------------------------------------------
+    ada = PlannerClient(api_a, api_a.join_instance(planner_obj.unique_id), "ada")
+    bert = PlannerClient(api_b, api_b.join_instance(planner_obj.unique_id), "bert")
+    cleo = PlannerClient(api_c, api_c.join_instance(planner_obj.unique_id), "cleo")
+
+    print("\ncreating events:")
+    for name, capacity in [("party", 2), ("gig", 2), ("conf", 2), ("workshop", 2)]:
+        pump_until(system, ada.create_event(name, capacity), f"create {name}({capacity})")
+
+    # -- OrElse: join one of several parties ----------------------------------
+    print("\nOrElse — bert joins party OrElse gig (priority to party):")
+    pump_until(system, bert.join_one_of("party", "gig"), "bert joins one")
+    print(f"  bert's events: {sorted(bert.my_events)}")
+
+    # -- conflict on the last seat ---------------------------------------------
+    print("\nconflict — ada and cleo race for the party's last seat:")
+    ticket_a = ada.join("party")
+    ticket_c = cleo.join("party")
+    system.run_until_quiesced()
+    print(f"  ada:  {'got in' if ticket_a.commit_result else 'denied at commit'}")
+    print(f"  cleo: {'got in' if ticket_c.commit_result else 'denied at commit'}")
+    print(f"  notifications: {ada.notifications + cleo.notifications}")
+    loser = cleo if ticket_a.commit_result else ada
+
+    # -- Atomic all-or-nothing ---------------------------------------------------
+    print(f"\nAtomic — {loser.user} signs up for conf+workshop together:")
+    pump_until(system, loser.join_all("conf", "workshop"),
+               f"{loser.user} joins both")
+    print(f"  {loser.user}'s events: {sorted(loser.my_events)}")
+
+    # -- Atomic with value dependency (swap) ----------------------------------------
+    # The loser is now at quota (2).  They want the gig, but only if
+    # they can really get in; the workshop is given up only in that case.
+    print(f"\nAtomic swap — {loser.user} leaves workshop only for the gig:")
+    pump_until(system, loser.swap("workshop", "gig"), f"{loser.user} swap")
+    print(f"  {loser.user}'s events: {sorted(loser.my_events)}")
+
+    # A doomed swap: dana holds a gig seat and covets the (full) party;
+    # all-or-nothing means she keeps the gig when the join fails.
+    print("\nAtomic swap that must fail — dana swaps gig -> full party:")
+    dana = PlannerClient(api_c, cleo.planner, "dana")
+    pump_until(system, dana.join("gig"), "dana joins gig")
+    before = sorted(dana.my_events)
+    pump_until(system, dana.swap("gig", "party"), "dana swap")
+    print(f"  dana's events unchanged: {sorted(dana.my_events) == before}")
+
+    system.check_all_invariants()
+    print("\ninvariants OK — capacities and quotas hold on every machine")
+
+
+if __name__ == "__main__":
+    main()

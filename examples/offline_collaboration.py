@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Offline updates + master failover — the section-9 extensions, live.
+
+Scene: three coworkers share a message board.  Carol boards a flight
+(goes offline) and keeps drafting posts locally; meanwhile the others
+keep posting — and the machine hosting the master dies outright, so a
+surviving machine promotes itself (master failover) and synchronization
+continues.  When Carol lands and reconnects, her offline posts rebase
+onto the welcomed state and commit, and everyone converges.
+
+Run:  python examples/offline_collaboration.py
+"""
+
+from repro import RuntimeConfig
+from repro.apps.message_board import BoardClient, MessageBoard
+from repro.runtime.system import DistributedSystem
+
+
+def main() -> None:
+    config = RuntimeConfig(
+        sync_interval=0.5,
+        stall_timeout=2.0,
+        failover_timeout=4.0,  # extension: slaves can take over
+    )
+    system = DistributedSystem(n_machines=3, seed=12, config=config)
+    system.start(first_sync_delay=0.2)
+    api_a, api_b, api_c = system.apis()
+
+    board = api_a.create_instance(MessageBoard)
+    system.run_until_quiesced()
+    alice = BoardClient(api_a, api_a.join_instance(board.unique_id), "alice")
+    bob = BoardClient(api_b, api_b.join_instance(board.unique_id), "bob")
+    carol = BoardClient(api_c, api_c.join_instance(board.unique_id), "carol")
+
+    alice.create_topic("trip-notes")
+    system.run_until_quiesced()
+    alice.post("trip-notes", "itinerary uploaded")
+    bob.post("trip-notes", "booked the van")
+    system.run_until_quiesced()
+    print("before the flight:", [t for _a, t in carol.read_topic("trip-notes")])
+
+    # -- Carol goes offline and keeps working --------------------------------
+    carol_node = system.node("m03")
+    carol_node.go_offline()
+    print("\ncarol goes offline (plane mode); keeps drafting:")
+    carol.post("trip-notes", "draft: packing list v1")
+    carol.post("trip-notes", "draft: packing list v2")
+    print(f"  carol's local view has "
+          f"{len(carol.read_topic('trip-notes'))} posts "
+          "(two of them only on her machine)")
+
+    # -- meanwhile, the master machine dies ------------------------------------
+    system.run_for(2.0)
+    print("\nmaster machine m01 is killed mid-session…")
+    system.node("m01").halt()
+    system.run_for(8.0)  # bob's machine notices the silence and promotes
+    new_master = [n.machine_id for n in system.nodes.values() if n.is_master and n.state == "active"]
+    print(f"  failover complete: new master = {new_master[0]}")
+    bob.post("trip-notes", "posted under the new master")
+    system.run_for(3.0)
+
+    # -- Carol reconnects ----------------------------------------------------------
+    print("\ncarol lands and reconnects:")
+    carol_node.come_online()
+    system.run_until_quiesced()
+    final_bob = bob.read_topic("trip-notes")
+    final_carol = carol.read_topic("trip-notes")
+    print(f"  converged: {final_bob == final_carol}")
+    for author, text in final_carol:
+        print(f"    [{author}] {text}")
+
+    active = [n for n in system.nodes.values() if n.state == "active"]
+    reference = active[0].model.committed
+    assert all(n.model.committed.state_equal(reference) for n in active)
+    print("\nall surviving machines agree — offline posts and failover both "
+          "reconciled")
+
+
+if __name__ == "__main__":
+    main()

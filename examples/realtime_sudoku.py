@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Real-time transport demo: the same runtime on wall-clock threads.
+
+Everything else in this repo runs on the deterministic virtual-time
+loop; this demo swaps in the :class:`RealTimeScheduler` (timer threads,
+real latencies injected with ``threading``-safe scheduling) to show the
+synchronizer is genuinely transport-agnostic — the paper's claim that
+the model hides the communication substrate.
+
+Three "machines" in one process play Sudoku for a few wall-clock
+seconds.  The blocking pattern (Figure 4) is exercised for real here:
+``ticket.wait()`` parks the issuing thread until the completion
+routine releases it.
+
+Run:  python examples/realtime_sudoku.py     (takes ~8 wall seconds)
+"""
+
+import random
+import threading
+import time
+
+from repro.apps.sudoku import SudokuClient, generate_puzzle
+from repro.net.latency import LognormalLatency
+from repro.net.mesh import MeshPair
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.metrics import SystemMetrics
+from repro.runtime.node import GuesstimateNode
+from repro.runtime.tracing import Tracer
+from repro.sim.scheduler import RealTimeScheduler
+
+
+def main() -> None:
+    scheduler = RealTimeScheduler()
+    config = RuntimeConfig(sync_interval=0.4, stall_timeout=3.0)
+    metrics = SystemMetrics()
+    tracer = Tracer(enabled=False)
+    meshes = MeshPair(
+        scheduler,
+        latency=LognormalLatency(median=0.008, sigma=0.3),
+        rng=random.Random(1),
+    )
+
+    nodes = [
+        GuesstimateNode(
+            machine_id=f"rt{index + 1:02d}",
+            scheduler=scheduler,
+            meshes=meshes,
+            config=config,
+            metrics_system=metrics,
+            tracer=tracer,
+            is_master=(index == 0),
+        )
+        for index in range(3)
+    ]
+    for node in nodes:
+        node.start(founding=True)
+    master = nodes[0].master
+    master.participants = [node.machine_id for node in nodes]
+    master.start(0.2)
+
+    # Create the board on the master machine; wait (really wait — this
+    # thread blocks) until creation commits everywhere.
+    puzzle, solution = generate_puzzle(random.Random(3), clues=45)
+    creator = SudokuClient.create(nodes[0].api, puzzle)
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        if all(n.model.committed.has(creator.board.unique_id) for n in nodes):
+            break
+        time.sleep(0.05)
+    print(f"board {creator.board.unique_id!r} committed on all machines")
+
+    players = [creator] + [
+        SudokuClient.join(node.api, creator.board.unique_id) for node in nodes[1:]
+    ]
+
+    # Each player fills cells from its own thread for a few seconds.
+    stop = threading.Event()
+
+    def play(player: SudokuClient, seed: int) -> None:
+        rng = random.Random(seed)
+        while not stop.is_set():
+            empty = player.empty_cells()
+            if not empty:
+                return
+            row, col = rng.choice(empty)
+            value = solution[row - 1][col - 1]
+            record = player.fill(row, col, value)
+            record.ticket.wait(timeout=5.0)  # Figure 4's blocking wait
+            time.sleep(rng.uniform(0.05, 0.25))
+
+    threads = [
+        threading.Thread(target=play, args=(player, 100 + i), daemon=True)
+        for i, player in enumerate(players)
+    ]
+    start = time.monotonic()
+    for thread in threads:
+        thread.start()
+    time.sleep(6.0)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=2.0)
+
+    # Let in-flight work drain, then stop initiating rounds.
+    time.sleep(1.5)
+    master.stop()
+    scheduler.close()
+
+    elapsed = time.monotonic() - start
+    durations = metrics.sync_durations()
+    grids = [p.snapshot_grid() for p in players]
+    filled = sum(1 for row in grids[0] for v in row if v)
+    print(f"played {elapsed:.1f}s wall-clock, "
+          f"{len(durations)} synchronizations "
+          f"(mean {1000 * sum(durations) / max(1, len(durations)):.0f} ms)")
+    print(f"cells filled collaboratively: {filled - 45} (plus 45 givens)")
+    print(f"all machines agree: {grids[0] == grids[1] == grids[2]}")
+    print(f"conflicts: {metrics.node_metrics and sum(m.conflicts for m in metrics.node_metrics.values())}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Shim for legacy editable installs (offline environments).
+
+All real metadata lives in pyproject.toml; this file exists so
+``pip install -e .`` works without network access to build-isolation
+dependencies.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["guesstimate-bench = repro.cli:main"]},
+)

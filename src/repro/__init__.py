@@ -1,0 +1,48 @@
+"""GUESSTIMATE — a programming model for collaborative distributed systems.
+
+A complete Python reproduction of Rajan, Rajamani & Yaduvanshi,
+PLDI 2010.  See README.md for a tour and DESIGN.md for the system
+inventory.
+
+Quick taste::
+
+    from repro import DistributedSystem
+    from repro.apps.sudoku import SudokuBoard
+
+    system = DistributedSystem(n_machines=2, seed=7)
+    system.start(first_sync_delay=0.5)
+
+    alice, bob = system.apis()
+    board = alice.create_instance(SudokuBoard)
+    system.run_until_quiesced()
+
+    bob_board = bob.join_instance(board.unique_id)
+    op = bob.create_operation(bob_board, "update", 1, 1, 5)
+    bob.issue_operation(op, lambda ok: print("committed:", ok))
+    system.run_until_quiesced()
+"""
+
+from repro.core.guesstimate import Guesstimate, IssueTicket
+from repro.core.operations import AtomicOp, OrElseOp, PrimitiveOp, SharedOp
+from repro.core.serialization import shared_type
+from repro.core.shared_object import GSharedObject
+from repro.errors import GuesstimateError
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.system import DistributedSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtomicOp",
+    "DistributedSystem",
+    "GSharedObject",
+    "Guesstimate",
+    "GuesstimateError",
+    "IssueTicket",
+    "OrElseOp",
+    "PrimitiveOp",
+    "RuntimeConfig",
+    "SharedOp",
+    "__version__",
+    "shared_type",
+]

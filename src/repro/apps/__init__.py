@@ -1,0 +1,46 @@
+"""The paper's six collaborative applications (section 6).
+
+Each application encapsulates its shared state and shared operations in
+one or more :class:`~repro.core.shared_object.GSharedObject` classes
+(contracted with :mod:`repro.spec`), plus a small client class that
+plays the role of the paper's UI layer: it issues operations through a
+:class:`~repro.core.guesstimate.Guesstimate` facade and maintains the
+machine-local state (tentative markings, signed-in user, ...) via
+completion routines.
+
+* :mod:`repro.apps.sudoku` — multi-player Sudoku (the running example).
+* :mod:`repro.apps.event_planner` — event sign-up with capacity and
+  per-user quota; the heaviest user of Atomic and OrElse.
+* :mod:`repro.apps.message_board` — threaded message board.
+* :mod:`repro.apps.carpool` — car-pool ride matching (the φ_GetRide
+  specification example).
+* :mod:`repro.apps.auction` — open-outcry auction house.
+* :mod:`repro.apps.microblog` — a small twitter-like application.
+* :mod:`repro.apps.accounts` — shared registration/sign-in component
+  used by the five non-Sudoku applications (the blocking pattern).
+"""
+
+from repro.apps.accounts import AccountClient, UserDirectory
+from repro.apps.auction import AuctionClient, AuctionHouse
+from repro.apps.carpool import CarPool, CarPoolClient
+from repro.apps.event_planner import EventPlanner, PlannerClient
+from repro.apps.message_board import BoardClient, MessageBoard
+from repro.apps.microblog import MicroBlog, MicroBlogClient
+from repro.apps.sudoku import SudokuBoard, SudokuClient
+
+__all__ = [
+    "AccountClient",
+    "AuctionClient",
+    "AuctionHouse",
+    "BoardClient",
+    "CarPool",
+    "CarPoolClient",
+    "EventPlanner",
+    "MessageBoard",
+    "MicroBlog",
+    "MicroBlogClient",
+    "PlannerClient",
+    "SudokuBoard",
+    "SudokuClient",
+    "UserDirectory",
+]

@@ -1,0 +1,161 @@
+"""Shared registration / sign-in component (paper section 6).
+
+"In five of the applications (all but Sudoku) we needed to implement
+two functionalities, signin and new user registration, as blocking
+functions.  New user registration is made blocking to ensure that the
+same username is not simultaneously registered at two machines.  And we
+choose to make signin blocking to ensure that a user is signed in only
+on one machine at a time."
+
+:class:`UserDirectory` is the shared object; :class:`AccountClient`
+implements the blocking pattern of Figure 4 — issue the operation, then
+wait until the completion routine releases the caller.  On the
+deterministic event loop "waiting" means watching the returned ticket
+while the simulation pumps; on the real-time transport
+``ticket.wait()`` blocks the calling thread exactly like the paper's
+semaphore.
+"""
+
+from __future__ import annotations
+
+from repro.core.guesstimate import Guesstimate, IssueTicket
+from repro.core.serialization import shared_type
+from repro.core.shared_object import GSharedObject
+from repro.spec import ensures, invariant, modifies, requires
+
+
+@invariant(
+    lambda self: set(self.sessions) <= set(self.users),
+    "every signed-in user is registered",
+)
+@invariant(
+    lambda self: all(isinstance(name, str) and name for name in self.users),
+    "usernames are non-empty strings",
+)
+@shared_type
+class UserDirectory(GSharedObject):
+    """Registered users and their active sign-in sessions."""
+
+    def __init__(self):
+        #: username -> password (plain text; this is a 2010 paper demo)
+        self.users: dict[str, str] = {}
+        #: username -> machine id currently signed in
+        self.sessions: dict[str, str] = {}
+
+    def copy_from(self, src: "UserDirectory") -> None:
+        self.users = dict(src.users)
+        self.sessions = dict(src.sessions)
+
+    # -- shared operations ------------------------------------------------------
+
+    @requires(
+        lambda self, username, password: isinstance(username, str)
+        and isinstance(password, str),
+        "username and password are strings",
+    )
+    @ensures(
+        lambda old, self, result, username, password: (not result)
+        or (username in self.users and username not in old["users"]),
+        "on success the username is newly registered",
+    )
+    @modifies("users")
+    def register(self, username: str, password: str) -> bool:
+        """Register a new user; fails if the name is taken (or empty)."""
+        if not isinstance(username, str) or not isinstance(password, str):
+            return False
+        if not username or username in self.users:
+            return False
+        self.users[username] = password
+        return True
+
+    @ensures(
+        lambda old, self, result, username, password, machine_id: (not result)
+        or self.sessions.get(username) == machine_id,
+        "on success the user is signed in on exactly that machine",
+    )
+    @modifies("sessions")
+    def signin(self, username: str, password: str, machine_id: str) -> bool:
+        """Sign in; fails on bad credentials or an existing session."""
+        if self.users.get(username) != password:
+            return False
+        if username in self.sessions:
+            return False
+        self.sessions[username] = machine_id
+        return True
+
+    @ensures(
+        lambda old, self, result, username, machine_id: (not result)
+        or username not in self.sessions,
+        "on success the session is gone",
+    )
+    @modifies("sessions")
+    def signout(self, username: str, machine_id: str) -> bool:
+        """End the session; fails unless signed in on that machine."""
+        if self.sessions.get(username) != machine_id:
+            return False
+        del self.sessions[username]
+        return True
+
+    # -- queries (read through BeginRead/EndRead) -------------------------------------
+
+    def is_signed_in(self, username: str) -> bool:
+        return username in self.sessions
+
+    def user_count(self) -> int:
+        return len(self.users)
+
+
+class AccountClient:
+    """Machine-local account state; the blocking pattern of Figure 4."""
+
+    def __init__(self, api: Guesstimate, directory: UserDirectory):
+        self.api = api
+        self.directory = directory
+        self.my_name: str | None = None  # local state λ, set by completions
+
+    @property
+    def machine_id(self) -> str:
+        return self.api.model.machine_id
+
+    # -- blocking operations -------------------------------------------------------
+
+    def register(self, username: str, password: str) -> IssueTicket:
+        """Issue a blocking registration; watch/wait on the ticket."""
+        op = self.api.create_operation(self.directory, "register", username, password)
+        return self.api.issue_when_possible(op)
+
+    def signin(self, username: str, password: str) -> IssueTicket:
+        """Issue a blocking sign-in (Figure 4's button_signin_Click).
+
+        The completion routine sets ``my_name`` on success — the
+        "release the thread and allow access" arm — or leaves it unset
+        on failure — the "deny access" arm.
+        """
+        op = self.api.create_operation(
+            self.directory, "signin", username, password, self.machine_id
+        )
+
+        def completion(ok: bool) -> None:
+            if ok:
+                self.my_name = username
+
+        return self.api.issue_when_possible(op, completion)
+
+    def signout(self) -> IssueTicket | None:
+        if self.my_name is None:
+            return None
+        op = self.api.create_operation(
+            self.directory, "signout", self.my_name, self.machine_id
+        )
+
+        def completion(ok: bool) -> None:
+            if ok:
+                self.my_name = None
+
+        return self.api.issue_when_possible(op, completion)
+
+    # -- reads ------------------------------------------------------------------------
+
+    def signed_in_users(self) -> list[str]:
+        with self.api.reading(self.directory) as directory:
+            return sorted(directory.sessions)

@@ -1,0 +1,172 @@
+"""Auction application (paper section 6).
+
+An open-outcry auction house: items are listed with a reserve price,
+bids must strictly beat the current best, and the seller closes the
+auction.  Bidding is the interesting conflict case: two users can both
+outbid the same standing bid on their guesstimates, and commit order
+decides which of them actually leads — the loser's completion routine
+tells them to bid again.
+"""
+
+from __future__ import annotations
+
+from repro.core.guesstimate import Guesstimate, IssueTicket
+from repro.core.serialization import shared_type
+from repro.core.shared_object import GSharedObject
+from repro.spec import ensures, invariant, modifies, requires
+
+
+def _bids_above_reserve(self: "AuctionHouse") -> bool:
+    return all(
+        item["best_bid"] is None or item["best_bid"][1] >= item["reserve"]
+        for item in self.items.values()
+    )
+
+
+def _closed_items_frozen(self: "AuctionHouse") -> bool:
+    return all(
+        isinstance(item["open"], bool) for item in self.items.values()
+    )
+
+
+@invariant(_bids_above_reserve, "standing bids meet the reserve")
+@invariant(_closed_items_frozen, "open flag is boolean")
+@shared_type
+class AuctionHouse(GSharedObject):
+    """Shared state: item name -> listing with the standing best bid."""
+
+    def __init__(self):
+        #: name -> {"seller": str, "reserve": int, "open": bool,
+        #:          "best_bid": None | [bidder, amount]}
+        self.items: dict[str, dict] = {}
+
+    def copy_from(self, src: "AuctionHouse") -> None:
+        self.items = {
+            name: {
+                "seller": item["seller"],
+                "reserve": item["reserve"],
+                "open": item["open"],
+                "best_bid": list(item["best_bid"]) if item["best_bid"] else None,
+            }
+            for name, item in src.items.items()
+        }
+
+    # -- shared operations ------------------------------------------------------------
+
+    @requires(
+        lambda self, name, seller, reserve: isinstance(reserve, int),
+        "reserve is an integer",
+    )
+    @ensures(
+        lambda old, self, result, name, seller, reserve: (not result)
+        or (name in self.items and self.items[name]["open"]),
+        "on success the item is listed and open",
+    )
+    @modifies("items")
+    def list_item(self, name: str, seller: str, reserve: int) -> bool:
+        """List an item for auction; fails if the name is taken."""
+        if not (isinstance(name, str) and name and isinstance(seller, str)):
+            return False
+        if not isinstance(reserve, int) or reserve < 0:
+            return False
+        if name in self.items:
+            return False
+        self.items[name] = {
+            "seller": seller,
+            "reserve": reserve,
+            "open": True,
+            "best_bid": None,
+        }
+        return True
+
+    @ensures(
+        lambda old, self, result, name, bidder, amount: (not result)
+        or self.items[name]["best_bid"] == [bidder, amount],
+        "on success ours is the standing bid",
+    )
+    @modifies("items")
+    def place_bid(self, name: str, bidder: str, amount: int) -> bool:
+        """Bid; must be open, meet the reserve, and beat the best bid.
+
+        Sellers cannot bid on their own items.
+        """
+        item = self.items.get(name)
+        if item is None or not item["open"]:
+            return False
+        if not isinstance(amount, int) or amount < item["reserve"]:
+            return False
+        if not (isinstance(bidder, str) and bidder) or bidder == item["seller"]:
+            return False
+        best = item["best_bid"]
+        if best is not None and amount <= best[1]:
+            return False
+        item["best_bid"] = [bidder, amount]
+        return True
+
+    @ensures(
+        lambda old, self, result, name, seller: (not result)
+        or not self.items[name]["open"],
+        "on success the auction is closed",
+    )
+    @modifies("items")
+    def close_auction(self, name: str, seller: str) -> bool:
+        """Close; only the seller may, and only while open."""
+        item = self.items.get(name)
+        if item is None or not item["open"] or item["seller"] != seller:
+            return False
+        item["open"] = False
+        return True
+
+    # -- queries --------------------------------------------------------------------------
+
+    def winning_bid(self, name: str) -> tuple[str, int] | None:
+        item = self.items.get(name)
+        if item is None or item["best_bid"] is None:
+            return None
+        bidder, amount = item["best_bid"]
+        return bidder, amount
+
+    def open_items(self) -> list[str]:
+        return sorted(name for name, item in self.items.items() if item["open"])
+
+
+class AuctionClient:
+    """One user's machine-local view of the auction house."""
+
+    def __init__(self, api: Guesstimate, house: AuctionHouse, user: str):
+        self.api = api
+        self.house = house
+        self.user = user
+        #: item -> amount of our last confirmed leading bid (λ state).
+        self.leading: dict[str, int] = {}
+        self.outbid_notices: list[str] = []
+
+    def list_item(self, name: str, reserve: int) -> IssueTicket:
+        op = self.api.create_operation(
+            self.house, "list_item", name, self.user, reserve
+        )
+        return self.api.issue_when_possible(op)
+
+    def bid(self, name: str, amount: int) -> IssueTicket:
+        """Place a bid; the completion reports winning or being beaten."""
+        op = self.api.create_operation(self.house, "place_bid", name, self.user, amount)
+
+        def completion(ok: bool) -> None:
+            if ok:
+                self.leading[name] = amount
+            else:
+                self.leading.pop(name, None)
+                self.outbid_notices.append(
+                    f"bid of {amount} on {name} lost at commit; bid again"
+                )
+
+        return self.api.issue_when_possible(op, completion)
+
+    def close(self, name: str) -> IssueTicket:
+        op = self.api.create_operation(self.house, "close_auction", name, self.user)
+        return self.api.issue_when_possible(op)
+
+    def current_price(self, name: str) -> int | None:
+        with self.api.reading(self.house) as house:
+            winning = house.winning_bid(name)
+        return winning[1] if winning else None

@@ -1,0 +1,206 @@
+"""Car-pool application (paper sections 5 and 6).
+
+The paper's specification example: "a method GetRide(Event e) searches
+through various ride sharing options to get a ride for the user ...
+during the execution of the method on the guesstimated state the user
+gets a ride on vehicle v3 and by the time the operation is committed,
+vehicle v3 is full.  We have written a predicate φ_GetRide which is
+satisfied if the user gets a ride on *some* vehicle" — so the commit
+may seat the user in a different car than the guesstimate did, and the
+specification still holds.
+
+:meth:`CarPool.get_ride` implements exactly that search, and
+``tests/apps/test_carpool.py`` checks φ_GetRide with the conformance
+checker.
+"""
+
+from __future__ import annotations
+
+from repro.core.guesstimate import Guesstimate, IssueTicket
+from repro.core.serialization import shared_type
+from repro.core.shared_object import GSharedObject
+from repro.spec import ensures, invariant, modifies, requires
+
+
+def _seats_respected(self: "CarPool") -> bool:
+    return all(
+        len(vehicle["riders"]) <= vehicle["seats"]
+        for vehicle in self.vehicles.values()
+    )
+
+
+def _one_ride_per_event(self: "CarPool") -> bool:
+    seen: set[tuple[str, str]] = set()
+    for vehicle in self.vehicles.values():
+        for rider in vehicle["riders"]:
+            key = (vehicle["event"], rider)
+            if key in seen:
+                return False
+            seen.add(key)
+    return True
+
+
+@invariant(_seats_respected, "no vehicle is overfull")
+@invariant(_one_ride_per_event, "one ride per user per event")
+@shared_type
+class CarPool(GSharedObject):
+    """Shared state: vehicles offering rides to events."""
+
+    def __init__(self):
+        #: vehicle id -> {"event": str, "driver": str, "seats": int,
+        #:                "riders": [user, ...]}
+        self.vehicles: dict[str, dict] = {}
+
+    def copy_from(self, src: "CarPool") -> None:
+        self.vehicles = {
+            vid: {
+                "event": vehicle["event"],
+                "driver": vehicle["driver"],
+                "seats": vehicle["seats"],
+                "riders": list(vehicle["riders"]),
+            }
+            for vid, vehicle in src.vehicles.items()
+        }
+
+    # -- shared operations ----------------------------------------------------------
+
+    @requires(
+        lambda self, vid, event, driver, seats: isinstance(seats, int),
+        "seat count is an integer",
+    )
+    @ensures(
+        lambda old, self, result, vid, event, driver, seats: (not result)
+        or vid in self.vehicles,
+        "on success the vehicle is offered",
+    )
+    @modifies("vehicles")
+    def offer_vehicle(self, vid: str, event: str, driver: str, seats: int) -> bool:
+        """Offer a vehicle with ``seats`` passenger seats for an event."""
+        if not (isinstance(vid, str) and vid and isinstance(event, str) and event):
+            return False
+        if not isinstance(seats, int) or seats < 1:
+            return False
+        if vid in self.vehicles:
+            return False
+        self.vehicles[vid] = {
+            "event": event,
+            "driver": driver,
+            "seats": seats,
+            "riders": [],
+        }
+        return True
+
+    @ensures(
+        lambda old, self, result, user, event, preferred=None: (not result)
+        or any(
+            user in vehicle["riders"]
+            for vehicle in self.vehicles.values()
+            if vehicle["event"] == event
+        ),
+        "phi_GetRide: on success the user has a ride on SOME vehicle",
+    )
+    @modifies("vehicles")
+    def get_ride(self, user: str, event: str, preferred: str | None = None) -> bool:
+        """Find a seat to ``event``; ``preferred`` vehicle is tried first.
+
+        Fails if the user already has a ride to the event or every
+        vehicle is full — in which case nothing changes.
+        """
+        if not (isinstance(user, str) and user):
+            return False
+        candidates = [
+            (vid, vehicle)
+            for vid, vehicle in sorted(self.vehicles.items())
+            if vehicle["event"] == event
+        ]
+        if any(user in vehicle["riders"] for _vid, vehicle in candidates):
+            return False
+        if preferred is not None:
+            candidates.sort(key=lambda pair: pair[0] != preferred)
+        for _vid, vehicle in candidates:
+            if len(vehicle["riders"]) < vehicle["seats"]:
+                vehicle["riders"].append(user)
+                return True
+        return False
+
+    @ensures(
+        lambda old, self, result, user, event: (not result)
+        or all(
+            user not in vehicle["riders"]
+            for vehicle in self.vehicles.values()
+            if vehicle["event"] == event
+        ),
+        "on success the user no longer rides to the event",
+    )
+    @modifies("vehicles")
+    def cancel_ride(self, user: str, event: str) -> bool:
+        """Give up a ride; fails if the user has none for the event."""
+        for vehicle in self.vehicles.values():
+            if vehicle["event"] == event and user in vehicle["riders"]:
+                vehicle["riders"].remove(user)
+                return True
+        return False
+
+    # -- queries --------------------------------------------------------------------------
+
+    def ride_of(self, user: str, event: str) -> str | None:
+        """Vehicle id carrying the user to the event, if any."""
+        for vid, vehicle in self.vehicles.items():
+            if vehicle["event"] == event and user in vehicle["riders"]:
+                return vid
+        return None
+
+    def free_seats(self, event: str) -> int:
+        return sum(
+            vehicle["seats"] - len(vehicle["riders"])
+            for vehicle in self.vehicles.values()
+            if vehicle["event"] == event
+        )
+
+
+class CarPoolClient:
+    """One user's machine-local view of the car pool."""
+
+    def __init__(self, api: Guesstimate, pool: CarPool, user: str):
+        self.api = api
+        self.pool = pool
+        self.user = user
+        #: event -> vehicle id we believe carries us (λ state).
+        self.my_rides: dict[str, str] = {}
+        self.notifications: list[str] = []
+
+    def offer_vehicle(self, vid: str, event: str, seats: int) -> IssueTicket:
+        op = self.api.create_operation(
+            self.pool, "offer_vehicle", vid, event, self.user, seats
+        )
+        return self.api.issue_when_possible(op)
+
+    def get_ride(self, event: str, preferred: str | None = None) -> IssueTicket:
+        """The GetRide flow with its completion (section 5 pattern)."""
+        op = self.api.create_operation(
+            self.pool, "get_ride", self.user, event, preferred
+        )
+
+        def completion(ok: bool) -> None:
+            if ok:
+                with self.api.reading(self.pool) as pool:
+                    vid = pool.ride_of(self.user, event)
+                if vid is not None:
+                    self.my_rides[event] = vid
+            else:
+                self.notifications.append(f"no ride available to {event}")
+
+        return self.api.issue_when_possible(op, completion)
+
+    def cancel_ride(self, event: str) -> IssueTicket:
+        op = self.api.create_operation(self.pool, "cancel_ride", self.user, event)
+
+        def completion(ok: bool) -> None:
+            if ok:
+                self.my_rides.pop(event, None)
+
+        return self.api.issue_when_possible(op, completion)
+
+    def free_seats(self, event: str) -> int:
+        with self.api.reading(self.pool) as pool:
+            return pool.free_seats(event)

@@ -1,0 +1,406 @@
+"""Event planning application (paper section 6).
+
+Users sign up for events; every event has a vacancy limit and every
+user has a quota of concurrent events.  This is the paper's heaviest
+user of hierarchical operations:
+
+* "Users can choose to join one among many events and we implemented
+  this using an OrElse operation" — :meth:`PlannerClient.join_one_of`.
+* "Atomic operations are used when a user wants to perform multiple
+  operations with all-or-nothing semantics, for example a user chooses
+  to go to a party only if she also gets a ride" — see
+  :meth:`PlannerClient.join_all`, and the cross-application example in
+  ``examples/event_planner_demo.py``.
+* "In case a user wants to join an important event (event_a), but
+  cannot because she has already used her quota, she might want to
+  leave some other event (event_b) and join event_a.  However, she
+  wants to retain event_b unless she can join event_a for sure" —
+  :meth:`PlannerClient.swap`, an Atomic{leave; join}.
+"""
+
+from __future__ import annotations
+
+from repro.core.guesstimate import Guesstimate, IssueTicket
+from repro.core.serialization import shared_type
+from repro.core.shared_object import GSharedObject
+from repro.spec import ensures, invariant, modifies, requires
+
+
+def _attendance_consistent(self: "EventPlanner") -> bool:
+    for name, event in self.events.items():
+        if len(event["attendees"]) > event["capacity"]:
+            return False
+    return True
+
+
+def _waitlists_consistent(self: "EventPlanner") -> bool:
+    for event in self.events.values():
+        waitlist = event.get("waitlist", [])
+        if set(waitlist) & set(event["attendees"]):
+            return False  # nobody both attends and waits
+        if len(set(waitlist)) != len(waitlist):
+            return False
+        # Vacancies coexist with waiters only when every waiter is
+        # quota-blocked (promotion skips them but keeps their place).
+        if waitlist and len(event["attendees"]) < event["capacity"]:
+            if any(
+                self.joined_count(waiting) < self.quota for waiting in waitlist
+            ):
+                return False
+    return True
+
+
+def _quota_respected(self: "EventPlanner") -> bool:
+    counts: dict[str, int] = {}
+    for event in self.events.values():
+        for user in event["attendees"]:
+            counts[user] = counts.get(user, 0) + 1
+    return all(count <= self.quota for count in counts.values())
+
+
+@invariant(_attendance_consistent, "no event exceeds its capacity")
+@invariant(_quota_respected, "no user exceeds the event quota")
+@invariant(_waitlists_consistent, "waitlists hold only non-attendees of full events")
+@shared_type
+class EventPlanner(GSharedObject):
+    """Shared state: events, capacities, attendee lists, user quota."""
+
+    def __init__(self):
+        #: event name -> {"capacity": int, "attendees": [user, ...]}
+        self.events: dict[str, dict] = {}
+        #: maximum number of events any user may attend concurrently
+        self.quota: int = 2
+
+    def copy_from(self, src: "EventPlanner") -> None:
+        self.events = {
+            name: {
+                "capacity": event["capacity"],
+                "attendees": list(event["attendees"]),
+                "waitlist": list(event.get("waitlist", [])),
+            }
+            for name, event in src.events.items()
+        }
+        self.quota = src.quota
+
+    # -- shared operations ----------------------------------------------------------
+
+    @requires(
+        lambda self, name, capacity: isinstance(name, str)
+        and isinstance(capacity, int),
+        "name is a string, capacity an int",
+    )
+    @ensures(
+        lambda old, self, result, name, capacity: (not result)
+        or (name in self.events and name not in old["events"]),
+        "on success the event is newly created",
+    )
+    @modifies("events")
+    def create_event(self, name: str, capacity: int) -> bool:
+        """Create an event; fails if it exists or capacity < 1."""
+        if not isinstance(name, str) or not name:
+            return False
+        if not isinstance(capacity, int) or capacity < 1:
+            return False
+        if name in self.events:
+            return False
+        self.events[name] = {"capacity": capacity, "attendees": [], "waitlist": []}
+        return True
+
+    @ensures(
+        lambda old, self, result, user, name: (not result)
+        or user in self.events[name]["attendees"],
+        "on success the user attends the event",
+    )
+    @modifies("events")
+    def join(self, user: str, name: str) -> bool:
+        """Join an event; fails on vacancy, quota, or double-join."""
+        event = self.events.get(name)
+        if event is None or not isinstance(user, str) or not user:
+            return False
+        if user in event["attendees"] or user in event.get("waitlist", []):
+            return False  # waiters must cancel_wait before a plain join
+        if len(event["attendees"]) >= event["capacity"]:
+            return False
+        if self.joined_count(user) >= self.quota:
+            return False
+        event["attendees"].append(user)
+        return True
+
+    @ensures(
+        lambda old, self, result, user, name: (not result)
+        or user not in self.events[name]["attendees"],
+        "on success the user no longer attends",
+    )
+    @modifies("events")
+    def leave(self, user: str, name: str) -> bool:
+        """Leave an event; fails unless currently attending.
+
+        The freed seat goes to the waitlist: the earliest-waiting user
+        whose quota allows it is promoted to attendee.  Because this
+        happens inside the shared operation, promotion is decided by
+        the global commit order — every machine promotes the same
+        person.
+        """
+        event = self.events.get(name)
+        if event is None or user not in event["attendees"]:
+            return False
+        event["attendees"].remove(user)
+        self._promote_from_waitlist(event)
+        return True
+
+    @ensures(
+        lambda old, self, result, user, name: (not result)
+        or user in self.events[name]["attendees"]
+        or user in self.events[name]["waitlist"],
+        "on success the user attends or waits",
+    )
+    @modifies("events")
+    def join_or_wait(self, user: str, name: str) -> bool:
+        """Join the event, or queue on its waitlist when it is full.
+
+        Fails only when the user already attends/waits, is out of
+        quota, or the event does not exist.
+        """
+        event = self.events.get(name)
+        if event is None or not isinstance(user, str) or not user:
+            return False
+        if user in event["attendees"] or user in event.get("waitlist", []):
+            return False
+        if self.joined_count(user) >= self.quota:
+            return False
+        if len(event["attendees"]) < event["capacity"]:
+            event["attendees"].append(user)
+        else:
+            event.setdefault("waitlist", []).append(user)
+        return True
+
+    @ensures(
+        lambda old, self, result, user, name: (not result)
+        or user not in self.events[name]["waitlist"],
+        "on success the user no longer waits",
+    )
+    @modifies("events")
+    def cancel_wait(self, user: str, name: str) -> bool:
+        """Give up a waitlist spot."""
+        event = self.events.get(name)
+        if event is None or user not in event.get("waitlist", []):
+            return False
+        event["waitlist"].remove(user)
+        return True
+
+    def _promote_from_waitlist(self, event: dict) -> None:
+        """Fill vacancies from the waitlist, in order, respecting quota."""
+        waitlist = event.get("waitlist", [])
+        index = 0
+        while len(event["attendees"]) < event["capacity"] and index < len(waitlist):
+            candidate = waitlist[index]
+            if self.joined_count(candidate) < self.quota:
+                waitlist.pop(index)
+                event["attendees"].append(candidate)
+            else:
+                index += 1  # over quota; keep their place for later
+
+    # -- queries -----------------------------------------------------------------------
+
+    def joined_count(self, user: str) -> int:
+        return sum(
+            1 for event in self.events.values() if user in event["attendees"]
+        )
+
+    def vacancies(self, name: str) -> int:
+        event = self.events.get(name)
+        if event is None:
+            return 0
+        return event["capacity"] - len(event["attendees"])
+
+    def attendees(self, name: str) -> list[str]:
+        event = self.events.get(name)
+        return list(event["attendees"]) if event else []
+
+    def waitlist_of(self, name: str) -> list[str]:
+        event = self.events.get(name)
+        return list(event.get("waitlist", [])) if event else []
+
+
+class PlannerClient:
+    """One user's machine-local view of the planner."""
+
+    def __init__(self, api: Guesstimate, planner: EventPlanner, user: str):
+        self.api = api
+        self.planner = planner
+        self.user = user
+        #: events this user believes they attend (λ state, maintained
+        #: by completions — "the list of activities joined by the user
+        #: is always on display and kept up-to-date via completion
+        #: operations").
+        self.my_events: set[str] = set()
+        self.my_waits: set[str] = set()
+        self.notifications: list[str] = []
+
+    # -- simple operations --------------------------------------------------------------
+
+    def create_event(self, name: str, capacity: int) -> IssueTicket:
+        op = self.api.create_operation(self.planner, "create_event", name, capacity)
+        return self.api.issue_when_possible(op)
+
+    def join(self, name: str) -> IssueTicket:
+        op = self.api.create_operation(self.planner, "join", self.user, name)
+        return self.api.issue_when_possible(op, self._joined(name))
+
+    def leave(self, name: str) -> IssueTicket:
+        op = self.api.create_operation(self.planner, "leave", self.user, name)
+
+        def completion(ok: bool) -> None:
+            if ok:
+                self.my_events.discard(name)
+            else:
+                self.notifications.append(f"could not leave {name}")
+
+        return self.api.issue_when_possible(op, completion)
+
+    def join_or_wait(self, name: str) -> IssueTicket:
+        """Join, or take a waitlist spot when full (completion sorts
+        out which of the two actually happened at commit time)."""
+        op = self.api.create_operation(self.planner, "join_or_wait", self.user, name)
+
+        def completion(ok: bool) -> None:
+            if not ok:
+                self.notifications.append(f"could not join or wait for {name}")
+                return
+            with self.api.reading(self.planner) as planner:
+                attending = self.user in planner.attendees(name)
+            if attending:
+                self.my_events.add(name)
+                self.my_waits.discard(name)
+            else:
+                self.my_waits.add(name)
+
+        return self.api.issue_when_possible(op, completion)
+
+    def cancel_wait(self, name: str) -> IssueTicket:
+        op = self.api.create_operation(self.planner, "cancel_wait", self.user, name)
+
+        def completion(ok: bool) -> None:
+            if ok:
+                self.my_waits.discard(name)
+
+        return self.api.issue_when_possible(op, completion)
+
+    def refresh_membership(self) -> None:
+        """Reconcile λ with the shared state (e.g. after a promotion
+        performed by someone else's leave committed remotely).  Wire
+        it to ``api.on_remote_update(planner, ...)`` for live updates.
+        """
+        with self.api.reading(self.planner) as planner:
+            for name in list(self.my_waits):
+                if self.user in planner.attendees(name):
+                    self.my_waits.discard(name)
+                    self.my_events.add(name)
+                    self.notifications.append(f"promoted into {name}")
+
+    # -- hierarchical operations ----------------------------------------------------------
+
+    def join_one_of(self, *names: str) -> IssueTicket:
+        """Join the first event in preference order that admits us.
+
+        Built as nested OrElse: join(a) OrElse (join(b) OrElse ...).
+        All alternatives conform to φ = "the user attends one of the
+        named events", so the design pattern of section 5 applies: the
+        alternative that succeeds at commit may differ from the one
+        that succeeded on the guesstimate.
+        """
+        if not names:
+            raise ValueError("need at least one event")
+        ops = [
+            self.api.create_operation(self.planner, "join", self.user, name)
+            for name in names
+        ]
+        combined = ops[-1]
+        for op in reversed(ops[:-1]):
+            combined = self.api.create_or_else(op, combined)
+
+        def completion(ok: bool) -> None:
+            if ok:
+                # Which event actually admitted us is read back from the
+                # (now refreshed) guesstimated state.
+                with self.api.reading(self.planner) as planner:
+                    for name in names:
+                        if self.user in planner.attendees(name):
+                            self.my_events.add(name)
+                            break
+            else:
+                self.notifications.append(f"no vacancy in any of {names}")
+
+        return self.api.issue_when_possible(combined, completion)
+
+    def join_all(self, *names: str) -> IssueTicket:
+        """Join all the named events or none (the sign-up-for-two case)."""
+        if not names:
+            raise ValueError("need at least one event")
+        atomic = self.api.create_atomic(
+            [
+                self.api.create_operation(self.planner, "join", self.user, name)
+                for name in names
+            ]
+        )
+
+        def completion(ok: bool) -> None:
+            if ok:
+                self.my_events.update(names)
+            else:
+                self.notifications.append(f"could not join all of {names}")
+
+        return self.api.issue_when_possible(atomic, completion)
+
+    def swap(self, leave_name: str, join_name: str) -> IssueTicket:
+        """Atomically leave one event and join another.
+
+        The value dependency (quota freed by the leave is consumed by
+        the join) is exactly the second atomic-operation scenario of
+        section 5 — if the join fails at commit, the leave must not
+        happen either.
+        """
+        atomic = self.api.create_atomic(
+            [
+                self.api.create_operation(
+                    self.planner, "leave", self.user, leave_name
+                ),
+                self.api.create_operation(
+                    self.planner, "join", self.user, join_name
+                ),
+            ]
+        )
+
+        def completion(ok: bool) -> None:
+            if ok:
+                self.my_events.discard(leave_name)
+                self.my_events.add(join_name)
+            else:
+                self.notifications.append(
+                    f"kept {leave_name}; could not swap into {join_name}"
+                )
+
+        return self.api.issue_when_possible(atomic, completion)
+
+    # -- reads ---------------------------------------------------------------------------
+
+    def vacancies(self, name: str) -> int:
+        """On-demand read — 'information regarding vacancy status of
+        events is not displayed unless asked for'."""
+        with self.api.reading(self.planner) as planner:
+            return planner.vacancies(name)
+
+    def event_names(self) -> list[str]:
+        with self.api.reading(self.planner) as planner:
+            return sorted(planner.events)
+
+    # -- internal ------------------------------------------------------------------------
+
+    def _joined(self, name: str):
+        def completion(ok: bool) -> None:
+            if ok:
+                self.my_events.add(name)
+            else:
+                self.notifications.append(f"could not join {name}")
+
+        return completion

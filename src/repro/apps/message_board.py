@@ -1,0 +1,148 @@
+"""Message board application (paper section 6).
+
+A threaded board: users create topics and append posts.  Appends are
+naturally conflict-free (two posts to the same topic both succeed and
+get interleaved by the global commit order), which makes this the
+lowest-conflict application of the six — a useful contrast to Sudoku
+in the Figure 7 reproduction.
+"""
+
+from __future__ import annotations
+
+from repro.core.guesstimate import Guesstimate, IssueTicket
+from repro.core.serialization import shared_type
+from repro.core.shared_object import GSharedObject
+from repro.spec import ensures, invariant, modifies, requires
+
+
+@invariant(
+    lambda self: all(
+        isinstance(post, list) and len(post) == 2
+        for posts in self.topics.values()
+        for post in posts
+    ),
+    "every post is an [author, text] pair",
+)
+@shared_type
+class MessageBoard(GSharedObject):
+    """Shared state: topic name -> ordered list of [author, text]."""
+
+    def __init__(self):
+        self.topics: dict[str, list[list[str]]] = {}
+        self.post_limit: int = 1000  # per topic; keeps state bounded
+
+    def copy_from(self, src: "MessageBoard") -> None:
+        self.topics = {
+            name: [post[:] for post in posts]
+            for name, posts in src.topics.items()
+        }
+        self.post_limit = src.post_limit
+
+    # -- shared operations ------------------------------------------------------------
+
+    @requires(
+        lambda self, name: isinstance(name, str), "topic name is a string"
+    )
+    @ensures(
+        lambda old, self, result, name: (not result)
+        or (name in self.topics and name not in old["topics"]),
+        "on success the topic is newly created",
+    )
+    @modifies("topics")
+    def create_topic(self, name: str) -> bool:
+        """Create an empty topic; fails if it already exists."""
+        if not isinstance(name, str) or not name:
+            return False
+        if name in self.topics:
+            return False
+        self.topics[name] = []
+        return True
+
+    @ensures(
+        lambda old, self, result, topic, author, text: (not result)
+        or len(self.topics[topic]) == len(old["topics"][topic]) + 1,
+        "on success exactly one post was appended",
+    )
+    @ensures(
+        lambda old, self, result, topic, author, text: (not result)
+        or self.topics[topic][-1] == [author, text],
+        "on success the last post is ours",
+    )
+    @modifies("topics")
+    def post(self, topic: str, author: str, text: str) -> bool:
+        """Append a post; fails on unknown topic or full topic."""
+        if topic not in self.topics:
+            return False
+        if not (isinstance(author, str) and author and isinstance(text, str)):
+            return False
+        posts = self.topics[topic]
+        if len(posts) >= self.post_limit:
+            return False
+        posts.append([author, text])
+        return True
+
+    @ensures(
+        lambda old, self, result, topic, index, author: (not result)
+        or len(self.topics[topic]) == len(old["topics"][topic]) - 1,
+        "on success exactly one post was removed",
+    )
+    @modifies("topics")
+    def delete_post(self, topic: str, index: int, author: str) -> bool:
+        """Delete own post by index; fails if not the author."""
+        posts = self.topics.get(topic)
+        if posts is None or not isinstance(index, int):
+            return False
+        if not 0 <= index < len(posts):
+            return False
+        if posts[index][0] != author:
+            return False
+        del posts[index]
+        return True
+
+    # -- queries --------------------------------------------------------------------------
+
+    def topic_names(self) -> list[str]:
+        return sorted(self.topics)
+
+    def post_count(self, topic: str) -> int:
+        return len(self.topics.get(topic, []))
+
+
+class BoardClient:
+    """One user's machine-local view of the board."""
+
+    def __init__(self, api: Guesstimate, board: MessageBoard, user: str):
+        self.api = api
+        self.board = board
+        self.user = user
+        self.sent: int = 0
+        self.failed: int = 0
+
+    def create_topic(self, name: str) -> IssueTicket:
+        op = self.api.create_operation(self.board, "create_topic", name)
+        return self.api.issue_when_possible(op)
+
+    def post(self, topic: str, text: str) -> IssueTicket:
+        op = self.api.create_operation(self.board, "post", topic, self.user, text)
+
+        def completion(ok: bool) -> None:
+            if ok:
+                self.sent += 1
+            else:
+                self.failed += 1
+
+        return self.api.issue_when_possible(op, completion)
+
+    def delete_my_post(self, topic: str, index: int) -> IssueTicket:
+        op = self.api.create_operation(
+            self.board, "delete_post", topic, index, self.user
+        )
+        return self.api.issue_when_possible(op)
+
+    def read_topic(self, topic: str) -> list[tuple[str, str]]:
+        with self.api.reading(self.board) as board:
+            return [tuple(post) for post in board.topics.get(topic, [])]
+
+    def topics(self) -> list[str]:
+        with self.api.reading(self.board) as board:
+            return board.topic_names()

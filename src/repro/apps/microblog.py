@@ -1,0 +1,172 @@
+"""A small twitter-like application (paper section 6).
+
+Users follow each other and post short messages; a timeline query
+merges the posts of everyone a user follows.  Posts are append-only and
+conflict-free; follows can conflict with account removal, giving the
+app one rare-conflict operation pair for the evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.core.guesstimate import Guesstimate, IssueTicket
+from repro.core.serialization import shared_type
+from repro.core.shared_object import GSharedObject
+from repro.spec import ensures, invariant, modifies, requires
+
+#: Hard cap on message length, tweet-style.
+MESSAGE_LIMIT = 140
+
+
+def _follows_are_handles(self: "MicroBlog") -> bool:
+    return all(
+        follower in self.handles and followee in self.handles
+        for follower, followees in self.follows.items()
+        for followee in followees
+    )
+
+
+def _posts_by_registered(self: "MicroBlog") -> bool:
+    return all(post[0] in self.handles for post in self.posts)
+
+
+@invariant(_follows_are_handles, "follow edges connect registered handles")
+@invariant(_posts_by_registered, "every post has a registered author")
+@shared_type
+class MicroBlog(GSharedObject):
+    """Shared state: handles, follow edges, global post log."""
+
+    def __init__(self):
+        self.handles: list[str] = []
+        #: follower -> list of followees
+        self.follows: dict[str, list[str]] = {}
+        #: ordered [author, text] pairs; commit order is the timeline order
+        self.posts: list[list[str]] = []
+
+    def copy_from(self, src: "MicroBlog") -> None:
+        self.handles = list(src.handles)
+        self.follows = {
+            follower: list(followees)
+            for follower, followees in src.follows.items()
+        }
+        self.posts = [post[:] for post in src.posts]
+
+    # -- shared operations ------------------------------------------------------------
+
+    @ensures(
+        lambda old, self, result, handle: (not result)
+        or (handle in self.handles and handle not in old["handles"]),
+        "on success the handle is newly registered",
+    )
+    @modifies("handles", "follows")
+    def register(self, handle: str) -> bool:
+        """Claim a handle; fails if taken."""
+        if not (isinstance(handle, str) and handle):
+            return False
+        if handle in self.handles:
+            return False
+        self.handles.append(handle)
+        self.follows[handle] = []
+        return True
+
+    @ensures(
+        lambda old, self, result, follower, followee: (not result)
+        or followee in self.follows[follower],
+        "on success the edge exists",
+    )
+    @modifies("follows")
+    def follow(self, follower: str, followee: str) -> bool:
+        """Follow someone; both handles must exist, no self/dup follows."""
+        if follower not in self.handles or followee not in self.handles:
+            return False
+        if follower == followee:
+            return False
+        if followee in self.follows[follower]:
+            return False
+        self.follows[follower].append(followee)
+        return True
+
+    @ensures(
+        lambda old, self, result, follower, followee: (not result)
+        or followee not in self.follows[follower],
+        "on success the edge is gone",
+    )
+    @modifies("follows")
+    def unfollow(self, follower: str, followee: str) -> bool:
+        if follower not in self.follows:
+            return False
+        if followee not in self.follows[follower]:
+            return False
+        self.follows[follower].remove(followee)
+        return True
+
+    @requires(
+        lambda self, author, text: isinstance(text, str),
+        "message text is a string",
+    )
+    @ensures(
+        lambda old, self, result, author, text: (not result)
+        or self.posts[-1] == [author, text],
+        "on success the last post is ours",
+    )
+    @modifies("posts")
+    def post(self, author: str, text: str) -> bool:
+        """Post a message; author must be registered, text <= 140 chars."""
+        if author not in self.handles:
+            return False
+        if not isinstance(text, str) or not text or len(text) > MESSAGE_LIMIT:
+            return False
+        self.posts.append([author, text])
+        return True
+
+    # -- queries --------------------------------------------------------------------------
+
+    def timeline(self, handle: str, limit: int = 20) -> list[tuple[str, str]]:
+        """Latest posts by the handle and everyone it follows."""
+        visible = {handle, *self.follows.get(handle, [])}
+        selected = [
+            (author, text) for author, text in self.posts if author in visible
+        ]
+        return selected[-limit:]
+
+    def follower_count(self, handle: str) -> int:
+        return sum(
+            1 for followees in self.follows.values() if handle in followees
+        )
+
+
+class MicroBlogClient:
+    """One user's machine-local view of the blog."""
+
+    def __init__(self, api: Guesstimate, blog: MicroBlog, handle: str):
+        self.api = api
+        self.blog = blog
+        self.handle = handle
+        self.posted = 0
+        self.rejected = 0
+
+    def register(self) -> IssueTicket:
+        op = self.api.create_operation(self.blog, "register", self.handle)
+        return self.api.issue_when_possible(op)
+
+    def post(self, text: str) -> IssueTicket:
+        op = self.api.create_operation(self.blog, "post", self.handle, text)
+
+        def completion(ok: bool) -> None:
+            if ok:
+                self.posted += 1
+            else:
+                self.rejected += 1
+
+        return self.api.issue_when_possible(op, completion)
+
+    def follow(self, other: str) -> IssueTicket:
+        op = self.api.create_operation(self.blog, "follow", self.handle, other)
+        return self.api.issue_when_possible(op)
+
+    def unfollow(self, other: str) -> IssueTicket:
+        op = self.api.create_operation(self.blog, "unfollow", self.handle, other)
+        return self.api.issue_when_possible(op)
+
+    def my_timeline(self, limit: int = 20) -> list[tuple[str, str]]:
+        with self.api.reading(self.blog) as blog:
+            return blog.timeline(self.handle, limit)

@@ -1,0 +1,31 @@
+"""Multi-player collaborative Sudoku — the paper's running example.
+
+* :class:`~repro.apps.sudoku.board.SudokuBoard` — the shared object of
+  Figure 1 (9x9 grid, ``check``/``update``, ``copy_from``), contracted
+  with the specifications of section 6.
+* :mod:`~repro.apps.sudoku.generator` — puzzle generator and
+  backtracking solver (the evaluation ran "8 users solving 2 Sudoku
+  grids", so we need real solvable instances).
+* :class:`~repro.apps.sudoku.client.SudokuClient` — the UI layer of
+  Figure 2, headless: tentative (yellow) markings at issue time,
+  cleared or flagged red by the completion routine at commit time.
+"""
+
+from repro.apps.sudoku.board import SudokuBoard
+from repro.apps.sudoku.client import CellMark, SudokuClient
+from repro.apps.sudoku.generator import (
+    generate_puzzle,
+    is_complete,
+    is_valid_grid,
+    solve,
+)
+
+__all__ = [
+    "CellMark",
+    "SudokuBoard",
+    "SudokuClient",
+    "generate_puzzle",
+    "is_complete",
+    "is_valid_grid",
+    "solve",
+]

@@ -1,0 +1,187 @@
+"""The Sudoku shared object (Figure 1 of the paper).
+
+The grid is 9x9; 0 means empty.  ``update(r, c, v)`` uses 1-based
+coordinates exactly like the paper's code (``r > 9 || r <= 0`` checks),
+validates the three Sudoku constraints through ``check``, writes the
+cell and returns True — or returns False leaving the grid untouched.
+
+Contracts mirror section 6: "Method contracts were used to specify that
+when a shared operation returns false no updates are made to the shared
+state and when it returns true changes are made only to the relevant
+parts.  Object invariants were used to express that both the state
+before and after a method satisfy the object invariant."  (The paper's
+anecdote about an off-by-one in the row check caught by Spec# is
+covered by a regression test.)
+"""
+
+from __future__ import annotations
+
+from repro.core.serialization import shared_type
+from repro.core.shared_object import GSharedObject
+from repro.spec import ensures, invariant, modifies, requires
+
+Grid = list[list[int]]
+
+
+def _cells_in_range(board: "SudokuBoard") -> bool:
+    return all(0 <= value <= 9 for row in board.puzzle for value in row)
+
+
+def _no_duplicates(values: list[int]) -> bool:
+    filled = [value for value in values if value != 0]
+    return len(filled) == len(set(filled))
+
+
+def _constraints_hold(board: "SudokuBoard") -> bool:
+    grid = board.puzzle
+    for index in range(9):
+        if not _no_duplicates(grid[index]):
+            return False
+        if not _no_duplicates([grid[r][index] for r in range(9)]):
+            return False
+    for box_row in range(3):
+        for box_col in range(3):
+            box = [
+                grid[box_row * 3 + dr][box_col * 3 + dc]
+                for dr in range(3)
+                for dc in range(3)
+            ]
+            if not _no_duplicates(box):
+                return False
+    return True
+
+
+@invariant(_cells_in_range, "every cell holds 0..9")
+@invariant(_constraints_hold, "no duplicate in any row, column or 3x3 box")
+@shared_type
+class SudokuBoard(GSharedObject):
+    """Shared state of the collaborative Sudoku puzzle."""
+
+    def __init__(self):
+        self.puzzle: Grid = [[0] * 9 for _ in range(9)]
+        #: cells fixed by the instance (the pre-populated givens);
+        #: stored as a parallel boolean grid so it ships with state.
+        self.given: list[list[bool]] = [[False] * 9 for _ in range(9)]
+
+    def copy_from(self, src: "SudokuBoard") -> None:
+        self.puzzle = [row[:] for row in src.puzzle]
+        self.given = [row[:] for row in src.given]
+
+    # -- setup -------------------------------------------------------------------
+
+    def load(self, grid: Grid) -> None:
+        """Install a puzzle instance; non-zero cells become givens.
+
+        Setup-time helper (not a shared operation): call before the
+        object starts being shared, exactly like constructing the
+        puzzle in Figure 2's OnCreate.
+        """
+        self.puzzle = [row[:] for row in grid]
+        self.given = [[value != 0 for value in row] for row in grid]
+
+    # -- the check method (lines 4-10 of Figure 1) ----------------------------------
+
+    def check(self, row: int, col: int, val: int) -> bool:
+        """True if writing ``val`` at (row, col) keeps the constraints.
+
+        1-based coordinates; assumes bounds were validated by the
+        caller (``update`` does), like the private ``Check`` in the
+        paper.
+        """
+        r, c = row - 1, col - 1
+        grid = self.puzzle
+        for index in range(9):
+            if index != c and grid[r][index] == val:
+                return False
+            if index != r and grid[index][c] == val:
+                return False
+        box_r, box_c = 3 * (r // 3), 3 * (c // 3)
+        for dr in range(3):
+            for dc in range(3):
+                rr, cc = box_r + dr, box_c + dc
+                if (rr, cc) != (r, c) and grid[rr][cc] == val:
+                    return False
+        return True
+
+    # -- shared operations (lines 12-23 of Figure 1) ----------------------------------
+
+    @ensures(
+        lambda old, self, result, r, c, v: (not result)
+        or self.puzzle[r - 1][c - 1] == v,
+        "on success the cell holds v",
+    )
+    @ensures(
+        lambda old, self, result, r, c, v: (not result)
+        or all(
+            self.puzzle[i][j] == old["puzzle"][i][j]
+            for i in range(9)
+            for j in range(9)
+            if (i, j) != (r - 1, c - 1)
+        ),
+        "on success only the target cell changed",
+    )
+    @modifies("puzzle")
+    def update(self, r: int, c: int, v: int) -> bool:
+        """Write ``v`` at 1-based (r, c) if legal; never clobbers givens."""
+        if not (isinstance(r, int) and isinstance(c, int) and isinstance(v, int)):
+            return False
+        if r > 9 or r <= 0:
+            return False
+        if c > 9 or c <= 0:
+            return False
+        if v > 9 or v <= 0:
+            return False
+        if self.given[r - 1][c - 1]:
+            return False
+        if self.puzzle[r - 1][c - 1] == v:
+            return False  # no-op writes are rejected, not re-reported
+        if self.puzzle[r - 1][c - 1] != 0:
+            return False  # another player already filled this cell
+        if not self.check(r, c, v):
+            return False
+        self.puzzle[r - 1][c - 1] = v
+        return True
+
+    @ensures(
+        lambda old, self, result, r, c: (not result)
+        or self.puzzle[r - 1][c - 1] == 0,
+        "on success the cell is empty",
+    )
+    @modifies("puzzle")
+    def clear(self, r: int, c: int) -> bool:
+        """Erase a (non-given) cell — players undoing their own guesses."""
+        if not (isinstance(r, int) and isinstance(c, int)):
+            return False
+        if not (1 <= r <= 9 and 1 <= c <= 9):
+            return False
+        if self.given[r - 1][c - 1]:
+            return False
+        if self.puzzle[r - 1][c - 1] == 0:
+            return False
+        self.puzzle[r - 1][c - 1] = 0
+        return True
+
+    # -- queries ------------------------------------------------------------------------
+
+    @requires(
+        lambda self, r, c: 1 <= r <= 9 and 1 <= c <= 9, "coordinates in range"
+    )
+    def value_at(self, r: int, c: int) -> int:  # pragma: no cover - trivial
+        return self.puzzle[r - 1][c - 1]
+
+    def empty_cells(self) -> list[tuple[int, int]]:
+        """1-based coordinates of all empty cells."""
+        return [
+            (r + 1, c + 1)
+            for r in range(9)
+            for c in range(9)
+            if self.puzzle[r][c] == 0
+        ]
+
+    def filled_count(self) -> int:
+        return sum(1 for row in self.puzzle for value in row if value != 0)
+
+    def solved(self) -> bool:
+        """True when every cell is filled (the invariant guarantees
+        correctness, so full means solved)."""
+        return self.filled_count() == 81

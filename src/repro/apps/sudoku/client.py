@@ -1,0 +1,210 @@
+"""The Sudoku UI layer (Figure 2 of the paper), headless.
+
+The paper's UI colors a square YELLOW when an update succeeds on the
+guesstimated state, then the completion routine recolors it GREEN (or,
+in the final design, simply clears the tentative marking) on commit
+success and RED on commit failure.  :class:`SudokuClient` reproduces
+that logic over machine-local state instead of WinForms, which is
+exactly what the section-6 discussion calls "updating local state ...
+via completion operations".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.guesstimate import Guesstimate, IssueTicket
+from repro.apps.sudoku.board import SudokuBoard
+
+
+class CellMark(Enum):
+    """Machine-local marking of a cell (the square colors)."""
+
+    TENTATIVE = "tentative"  # yellow: succeeded on the guesstimate
+    CONFIRMED = "confirmed"  # committed successfully
+    FAILED = "failed"  # red: failed at commit (conflict)
+
+
+@dataclass
+class FillRecord:
+    """One attempted fill, tracked from issue to commit."""
+
+    row: int
+    col: int
+    value: int
+    ticket: IssueTicket
+    mark: CellMark | None = None
+
+
+class SudokuClient:
+    """One player's view of a shared Sudoku board."""
+
+    def __init__(self, api: Guesstimate, board: SudokuBoard):
+        self.api = api
+        self.board = board
+        #: (row, col) -> CellMark, the machine-local λ state.
+        self.marks: dict[tuple[int, int], CellMark] = {}
+        self.history: list[FillRecord] = []
+        self.conflicts_seen = 0
+        self.remote_updates_seen = 0
+        self._unsubscribe = None
+        #: (row, col) -> candidate values — pure machine-local λ state,
+        #: maintained by local operations (rule R1): pencil marks never
+        #: touch the shared grid and never cross the network.
+        self.pencil_marks: dict[tuple[int, int], set[int]] = {}
+
+    @classmethod
+    def create(cls, api: Guesstimate, grid: list[list[int]]) -> "SudokuClient":
+        """Create a new shared board pre-populated with ``grid``.
+
+        The initial state must ride the creation operation itself
+        (mutating the replica after ``create_instance`` would only
+        change the local guesstimate), so the grid is loaded into a
+        template object whose state seeds the instance.
+        """
+        template = SudokuBoard()
+        template.load(grid)
+        board = api.create_instance(SudokuBoard, init_state=template.get_state())
+        return cls(api, board)
+
+    @classmethod
+    def join(cls, api: Guesstimate, board_id: str) -> "SudokuClient":
+        """Join an existing shared board by unique id."""
+        board = api.join_instance(board_id)
+        if not isinstance(board, SudokuBoard):
+            raise TypeError(f"{board_id!r} is not a SudokuBoard")
+        return cls(api, board)
+
+    # -- the OnUpdate handler (Figure 2, lines 15-24) ------------------------------
+
+    def fill(self, row: int, col: int, value: int) -> FillRecord:
+        """Attempt to fill a cell; marks it tentative until commit.
+
+        Mirrors the paper's handler: create the operation, issue it
+        with a completion that recolors the square, and mark YELLOW
+        right away if the issue succeeded.
+        """
+        op = self.api.create_operation(self.board, "update", row, col, value)
+        record = FillRecord(row, col, value, ticket=None)  # type: ignore[arg-type]
+
+        def completion(ok: bool) -> None:
+            if ok:
+                record.mark = CellMark.CONFIRMED
+                self.marks.pop((row, col), None)  # final design: clear marking
+            else:
+                record.mark = CellMark.FAILED
+                self.marks[(row, col)] = CellMark.FAILED
+                self.conflicts_seen += 1
+
+        record.ticket = self.api.issue_when_possible(op, completion)
+        if record.ticket.status != IssueTicket.REJECTED:
+            self.marks[(row, col)] = CellMark.TENTATIVE
+            record.mark = CellMark.TENTATIVE
+        self.history.append(record)
+        return record
+
+    def erase(self, row: int, col: int) -> IssueTicket:
+        """Issue a clear of one of this player's guesses."""
+        op = self.api.create_operation(self.board, "clear", row, col)
+        return self.api.issue_when_possible(op)
+
+    # -- live refresh (the paper's wished-for callback API) ----------------------------
+
+    def enable_live_refresh(self) -> None:
+        """Refresh the display whenever *other* players change the grid.
+
+        The paper's final Sudoku design refreshed on mouse movement
+        because no remote-update callback existed ("Additional API
+        support, that provides a call back for changes to a shared
+        object via remote operations, could provide an alternate
+        solution").  With the extension implemented, the client
+        subscribes directly.
+        """
+        if self._unsubscribe is not None:
+            return
+
+        def refresh(_unique_id: str) -> None:
+            self.remote_updates_seen += 1
+            # A real UI would redraw here; reads are safe (the guess
+            # was just refreshed), issues must go via
+            # issue_when_possible because the update window is open.
+            self.prune_pencil_marks()
+
+        self._unsubscribe = self.api.on_remote_update(self.board, refresh)
+
+    def disable_live_refresh(self) -> None:
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    # -- pencil marks: local operations, rule R1 ----------------------------------
+
+    def pencil(self, row: int, col: int, *values: int) -> None:
+        """Note candidate values for a cell — a *local* operation.
+
+        Local operations (paper rule R1) read the guesstimated state
+        and update only λ; nothing is queued and nothing reaches other
+        machines.  Penciling a filled cell is a no-op.
+        """
+        if self.value_at(row, col) != 0:
+            return
+        marks = self.pencil_marks.setdefault((row, col), set())
+        marks.update(v for v in values if 1 <= v <= 9)
+
+    def erase_pencil(self, row: int, col: int) -> None:
+        self.pencil_marks.pop((row, col), None)
+
+    def prune_pencil_marks(self) -> None:
+        """Drop pencil marks invalidated by the (refreshed) shared grid.
+
+        A mark dies when its cell got filled or its value became
+        illegal for the cell.  Wired into the live-refresh callback so
+        remote players' moves prune this player's private notes — the
+        local-state-maintenance burden the paper assigns to the
+        programmer, discharged in one place.
+        """
+        grid = self.snapshot_grid()
+        from repro.apps.sudoku.generator import candidates
+
+        for (row, col), marks in list(self.pencil_marks.items()):
+            if grid[row - 1][col - 1] != 0:
+                del self.pencil_marks[(row, col)]
+                continue
+            legal = set(candidates(grid, row - 1, col - 1))
+            marks &= legal
+            if not marks:
+                del self.pencil_marks[(row, col)]
+
+    # -- reads (the ReDraw path: BeginRead / EndRead) ----------------------------------
+
+    def value_at(self, row: int, col: int) -> int:
+        with self.api.reading(self.board) as board:
+            return board.puzzle[row - 1][col - 1]
+
+    def snapshot_grid(self) -> list[list[int]]:
+        """An isolated copy of the whole guesstimated grid (refresh)."""
+        with self.api.reading(self.board) as board:
+            return [line[:] for line in board.puzzle]
+
+    def empty_cells(self) -> list[tuple[int, int]]:
+        with self.api.reading(self.board) as board:
+            return board.empty_cells()
+
+    def solved(self) -> bool:
+        with self.api.reading(self.board) as board:
+            return board.solved()
+
+    # -- bookkeeping ---------------------------------------------------------------------
+
+    def tentative_cells(self) -> list[tuple[int, int]]:
+        return sorted(
+            cell
+            for cell, mark in self.marks.items()
+            if mark is CellMark.TENTATIVE
+        )
+
+    def failed_cells(self) -> list[tuple[int, int]]:
+        return sorted(
+            cell for cell, mark in self.marks.items() if mark is CellMark.FAILED
+        )

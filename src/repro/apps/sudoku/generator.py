@@ -1,0 +1,166 @@
+"""Sudoku puzzle generation and solving.
+
+The evaluation needs real puzzle instances (the paper's hour-long run
+had "8 users solving 2 Sudoku grids"), so this module provides a
+randomized backtracking solver, a full-solution generator, and a
+puzzle generator that digs holes while (optionally) preserving solution
+uniqueness.  Everything is deterministic given the caller's RNG.
+"""
+
+from __future__ import annotations
+
+import random
+
+Grid = list[list[int]]
+
+
+def empty_grid() -> Grid:
+    return [[0] * 9 for _ in range(9)]
+
+
+def is_valid_grid(grid: Grid) -> bool:
+    """Structural + constraint validity of a (possibly partial) grid."""
+    if len(grid) != 9 or any(len(row) != 9 for row in grid):
+        return False
+    if any(not 0 <= value <= 9 for row in grid for value in row):
+        return False
+
+    def no_duplicates(values: list[int]) -> bool:
+        filled = [value for value in values if value]
+        return len(filled) == len(set(filled))
+
+    for index in range(9):
+        if not no_duplicates(grid[index]):
+            return False
+        if not no_duplicates([grid[r][index] for r in range(9)]):
+            return False
+    for box_r in range(0, 9, 3):
+        for box_c in range(0, 9, 3):
+            box = [
+                grid[box_r + dr][box_c + dc] for dr in range(3) for dc in range(3)
+            ]
+            if not no_duplicates(box):
+                return False
+    return True
+
+
+def is_complete(grid: Grid) -> bool:
+    """Full and valid."""
+    return is_valid_grid(grid) and all(
+        value != 0 for row in grid for value in row
+    )
+
+
+def candidates(grid: Grid, r: int, c: int) -> list[int]:
+    """Legal values for 0-based cell (r, c)."""
+    used = set(grid[r]) | {grid[i][c] for i in range(9)}
+    box_r, box_c = 3 * (r // 3), 3 * (c // 3)
+    used |= {
+        grid[box_r + dr][box_c + dc] for dr in range(3) for dc in range(3)
+    }
+    return [value for value in range(1, 10) if value not in used]
+
+
+def _find_most_constrained(grid: Grid) -> tuple[int, int, list[int]] | None:
+    """The empty cell with the fewest candidates (MRV heuristic)."""
+    best: tuple[int, int, list[int]] | None = None
+    for r in range(9):
+        for c in range(9):
+            if grid[r][c] != 0:
+                continue
+            options = candidates(grid, r, c)
+            if best is None or len(options) < len(best[2]):
+                best = (r, c, options)
+                if len(options) <= 1:
+                    return best
+    return best
+
+
+def solve(grid: Grid, rng: random.Random | None = None) -> Grid | None:
+    """Return a solved copy of ``grid``, or None if unsatisfiable.
+
+    A randomized backtracking solver with the most-constrained-cell
+    heuristic; passing an RNG randomizes value order, which is how
+    :func:`generate_solution` produces varied full grids.
+    """
+    work = [row[:] for row in grid]
+    if not is_valid_grid(work):
+        return None
+
+    def backtrack() -> bool:
+        spot = _find_most_constrained(work)
+        if spot is None:
+            return True
+        r, c, options = spot
+        if rng is not None:
+            rng.shuffle(options)
+        for value in options:
+            work[r][c] = value
+            if backtrack():
+                return True
+        work[r][c] = 0
+        return False
+
+    return work if backtrack() else None
+
+
+def count_solutions(grid: Grid, limit: int = 2) -> int:
+    """Count solutions up to ``limit`` (2 suffices for uniqueness tests)."""
+    work = [row[:] for row in grid]
+    if not is_valid_grid(work):
+        return 0
+    found = 0
+
+    def backtrack() -> bool:
+        nonlocal found
+        spot = _find_most_constrained(work)
+        if spot is None:
+            found += 1
+            return found >= limit
+        r, c, options = spot
+        for value in options:
+            work[r][c] = value
+            if backtrack():
+                work[r][c] = 0
+                return True
+        work[r][c] = 0
+        return False
+
+    backtrack()
+    return found
+
+
+def generate_solution(rng: random.Random) -> Grid:
+    """A uniformly-ish random complete Sudoku grid."""
+    solution = solve(empty_grid(), rng)
+    assert solution is not None  # an empty grid is always satisfiable
+    return solution
+
+
+def generate_puzzle(
+    rng: random.Random, clues: int = 32, unique: bool = True
+) -> tuple[Grid, Grid]:
+    """Generate a puzzle with ~``clues`` givens; returns (puzzle, solution).
+
+    Digs holes from a random full grid in random order, refusing any
+    removal that makes the puzzle ambiguous when ``unique`` is set.
+    ``clues`` is a floor: digging stops when it is reached or no more
+    cells can be removed safely.
+    """
+    if not 17 <= clues <= 81:
+        raise ValueError("clues must be in [17, 81]")
+    solution = generate_solution(rng)
+    puzzle = [row[:] for row in solution]
+    cells = [(r, c) for r in range(9) for c in range(9)]
+    rng.shuffle(cells)
+    remaining = 81
+    for r, c in cells:
+        if remaining <= clues:
+            break
+        saved = puzzle[r][c]
+        puzzle[r][c] = 0
+        if unique and count_solutions(puzzle, limit=2) != 1:
+            puzzle[r][c] = saved
+            continue
+        remaining -= 1
+    return puzzle, solution

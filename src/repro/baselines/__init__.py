@@ -1,0 +1,33 @@
+"""Baseline consistency models for the responsiveness ablation.
+
+The paper positions GUESSTIMATE between two extremes (section 1):
+"On the one extreme, we have one copy serializability ... inherently
+slow.  The other extreme is replicated execution, where each machine
+has its own local copy ... very high performance, but there is no
+consistency between the states of the various machines."  Eventual
+consistency (Bayou-style, last-writer-wins) sits nearby in the related
+work.
+
+Each baseline runs the same :class:`~repro.core.operations.SharedOp`
+values over the same simulated mesh as the GUESSTIMATE runtime, so the
+ablation in ``benchmarks/test_responsiveness_ablation.py`` compares
+programming models, not transport stacks:
+
+* :class:`~repro.baselines.serializable.OneCopySerializable` — every
+  issue blocks for a coordinator round trip; writes are globally
+  ordered; issue latency pays the network.
+* :class:`~repro.baselines.replicated.UnsynchronizedReplicas` — issues
+  apply locally and broadcast; no ordering, replicas diverge.
+* :class:`~repro.baselines.eventual.LastWriterWins` — per-object
+  timestamped full-state gossip; converges but loses updates.
+"""
+
+from repro.baselines.eventual import LastWriterWins
+from repro.baselines.replicated import UnsynchronizedReplicas
+from repro.baselines.serializable import OneCopySerializable
+
+__all__ = [
+    "LastWriterWins",
+    "OneCopySerializable",
+    "UnsynchronizedReplicas",
+]

@@ -1,0 +1,140 @@
+"""Command-line entry point: regenerate any paper figure from a shell.
+
+Installed as ``guesstimate-bench``::
+
+    guesstimate-bench fig5            # Figure 5, full hour
+    guesstimate-bench fig6 --quick    # Figure 6, shortened run
+    guesstimate-bench all --quick     # everything, shortened
+
+``--quick`` trims durations so the full suite finishes in well under a
+minute; the full runs match the paper's hour-long session.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.evalkit.experiments import (
+    appsizes,
+    fig5,
+    fig6,
+    fig7,
+    recovery,
+    reexec,
+    responsiveness,
+    scaling,
+    specreport,
+)
+
+#: name -> (runner taking quick: bool, description)
+EXPERIMENTS = {
+    "fig5": (
+        lambda quick: fig5.format_report(
+            fig5.run(duration=600.0 if quick else 3600.0)
+        ),
+        "Figure 5: distribution of synchronization times (8 users, 1 h)",
+    ),
+    "fig6": (
+        lambda quick: fig6.format_report(
+            fig6.run(duration=120.0 if quick else 300.0)
+        ),
+        "Figure 6: average sync time vs number of users",
+    ),
+    "fig7": (
+        lambda quick: fig7.format_report(
+            fig7.run(rounds_per_window=50 if quick else 100)
+        ),
+        "Figure 7: conflicts vs number of users",
+    ),
+    "recovery": (
+        lambda quick: recovery.format_report(
+            recovery.run(duration=900.0 if quick else 3600.0)
+        ),
+        "Section 7: failure and automatic recovery",
+    ),
+    "reexec": (
+        lambda quick: reexec.format_report(
+            reexec.run(duration=300.0 if quick else 900.0)
+        ),
+        "Section 4: operations execute at most three times",
+    ),
+    "responsiveness": (
+        lambda quick: responsiveness.format_report(
+            responsiveness.run(n_ops=150 if quick else 300)
+        ),
+        "Sections 1/8: ablation vs one-copy serializability and replicas",
+    ),
+    "specreport": (
+        lambda quick: specreport.format_report(
+            specreport.run(budget=200 if quick else 600)
+        ),
+        "Section 6: Spec#-style assertion classification",
+    ),
+    "appsizes": (
+        lambda quick: appsizes.format_report(appsizes.run()),
+        "Section 6: application lines of code",
+    ),
+    "scaling": (
+        lambda quick: scaling.format_report(
+            scaling.run(
+                user_counts=[2, 4, 8] if quick else [2, 4, 8, 16, 32],
+                duration=30.0 if quick else 60.0,
+            )
+        ),
+        "Sections 7/9: serial scaling wall vs the parallel-flush extension",
+    ),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="guesstimate-bench",
+        description="Regenerate the GUESSTIMATE paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all", "report"],
+        help="which experiment to run ('all' runs every one; 'report' "
+        "writes a Markdown bundle plus CSV series)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shortened durations (seconds instead of a simulated hour)",
+    )
+    parser.add_argument(
+        "--output",
+        default="RESULTS.md",
+        help="output path for the 'report' command (default RESULTS.md)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "report":
+        from pathlib import Path
+
+        from repro.evalkit.reporting import generate_report
+
+        bundle = generate_report(quick=args.quick)
+        output = Path(args.output)
+        output.write_text(bundle.to_markdown())
+        print(f"wrote {output}")
+        for name, csv_text in bundle.csv_series.items():
+            csv_path = output.with_name(f"{name}.csv")
+            csv_path.write_text(csv_text)
+            print(f"wrote {csv_path}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        runner, description = EXPERIMENTS[name]
+        print(f"== {name}: {description}")
+        started = time.time()
+        print(runner(args.quick))
+        print(f"   [{time.time() - started:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

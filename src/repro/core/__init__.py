@@ -1,0 +1,46 @@
+"""The GUESSTIMATE programming model (paper sections 2 and 3).
+
+The package exposes the programmer-facing surface:
+
+* :class:`~repro.core.shared_object.GSharedObject` — base class for
+  shared state (programmers implement ``copy_from``).
+* The operation algebra — :class:`~repro.core.operations.PrimitiveOp`,
+  :class:`~repro.core.operations.AtomicOp`,
+  :class:`~repro.core.operations.OrElseOp` — executed against
+  :class:`~repro.core.store.ObjectStore` replicas with copy-on-write
+  transactions.
+* :class:`~repro.core.machine.MachineModel` — one machine's
+  (λ, C, sc, P, sg) tuple from the formal model.
+* :class:`~repro.core.guesstimate.Guesstimate` — the per-machine API
+  facade (CreateInstance, JoinInstance, CreateOperation,
+  IssueOperation, BeginRead/EndRead, CreateAtomic, CreateOrElse).
+"""
+
+from repro.core.guesstimate import Guesstimate, IssueTicket
+from repro.core.machine import MachineModel, PendingEntry
+from repro.core.operations import (
+    AtomicOp,
+    CreateObjectOp,
+    OpKey,
+    OrElseOp,
+    PrimitiveOp,
+    SharedOp,
+)
+from repro.core.shared_object import GSharedObject
+from repro.core.store import ObjectStore, TransactionView
+
+__all__ = [
+    "AtomicOp",
+    "CreateObjectOp",
+    "GSharedObject",
+    "Guesstimate",
+    "IssueTicket",
+    "MachineModel",
+    "ObjectStore",
+    "OpKey",
+    "OrElseOp",
+    "PendingEntry",
+    "PrimitiveOp",
+    "SharedOp",
+    "TransactionView",
+]

@@ -1,0 +1,188 @@
+"""Replica stores and copy-on-write transaction views.
+
+Each machine keeps two :class:`ObjectStore` replicas per the paper: one
+for the committed state ``sc`` and one for the guesstimated state
+``sg``.  Hierarchical (Atomic / OrElse) operations execute inside a
+:class:`TransactionView`, which implements the paper's concurrency
+control: "the first time an object is updated within an atomic
+operation a temporary copy of its state is made and from then on all
+updates within the atomic operation are made to this copy; if the
+atomic operation succeeds, the temporary state is copied back to the
+shared state."
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import DuplicateObjectError, UnknownObjectError
+from repro.core.shared_object import GSharedObject
+
+
+class StateView:
+    """Anything an operation can execute against: resolves ids to objects."""
+
+    def get(self, unique_id: str) -> GSharedObject:
+        raise NotImplementedError
+
+    def has(self, unique_id: str) -> bool:
+        raise NotImplementedError
+
+    def create(self, unique_id: str, cls: type, state: dict | None) -> GSharedObject:
+        raise NotImplementedError
+
+
+class ObjectStore(StateView):
+    """A flat map of unique id -> shared object replica."""
+
+    def __init__(self, label: str = "store"):
+        self.label = label
+        self._objects: dict[str, GSharedObject] = {}
+
+    # -- StateView -----------------------------------------------------------
+
+    def get(self, unique_id: str) -> GSharedObject:
+        try:
+            return self._objects[unique_id]
+        except KeyError:
+            raise UnknownObjectError(unique_id) from None
+
+    def has(self, unique_id: str) -> bool:
+        return unique_id in self._objects
+
+    def create(self, unique_id: str, cls: type, state: dict | None) -> GSharedObject:
+        """Instantiate ``cls`` under ``unique_id``, optionally seeding state."""
+        if unique_id in self._objects:
+            raise DuplicateObjectError(unique_id)
+        obj = cls()
+        if state is not None:
+            obj.set_state(state)
+        obj._bind_id(unique_id)
+        self._objects[unique_id] = obj
+        return obj
+
+    # -- store management ----------------------------------------------------
+
+    def adopt(self, unique_id: str, obj: GSharedObject) -> None:
+        """Register an already-built object under ``unique_id``."""
+        if unique_id in self._objects:
+            raise DuplicateObjectError(unique_id)
+        obj._bind_id(unique_id)
+        self._objects[unique_id] = obj
+
+    def remove(self, unique_id: str) -> None:
+        self._objects.pop(unique_id, None)
+
+    def ids(self) -> list[str]:
+        return list(self._objects)
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[tuple[str, GSharedObject]]:
+        return iter(self._objects.items())
+
+    def refresh_from(self, source: "ObjectStore") -> int:
+        """Make this store's state identical to ``source``.
+
+        Objects present in ``source`` but absent here are created;
+        present objects are overwritten via the programmer's
+        ``copy_from``.  Returns the number of objects refreshed.  This
+        is the "copy the committed state onto the guesstimated state"
+        step of ApplyUpdatesFromMesh.
+        """
+        refreshed = 0
+        for unique_id, src in source:
+            if unique_id in self._objects:
+                self._objects[unique_id].copy_from(src)
+            else:
+                replica = src.clone()
+                replica._bind_id(unique_id)
+                self._objects[unique_id] = replica
+            refreshed += 1
+        return refreshed
+
+    def snapshot_states(self) -> dict[str, tuple[str, dict]]:
+        """Serializable snapshot {id: (type name, state dict)}.
+
+        Used by the master to welcome late joiners.  Type names are
+        resolved back to classes by the type registry in
+        :mod:`repro.core.serialization`.
+        """
+        return {
+            unique_id: (type(obj).__name__, obj.get_state())
+            for unique_id, obj in self._objects.items()
+        }
+
+    def state_equal(self, other: "ObjectStore") -> bool:
+        """True if both stores hold the same objects with equal state."""
+        if set(self._objects) != set(other._objects):
+            return False
+        return all(
+            obj.state_equal(other._objects[unique_id])
+            for unique_id, obj in self._objects.items()
+        )
+
+
+class TransactionView(StateView):
+    """Copy-on-write view over a base view (object granularity).
+
+    Objects are shadow-copied on first access; all reads and writes
+    inside the transaction hit the shadow.  :meth:`commit` copies the
+    shadows back to the base; :meth:`abort` simply discards them.
+    Transactions nest (OrElse inside Atomic): a nested view shadows the
+    outer view's shadows.
+    """
+
+    def __init__(self, base: StateView):
+        self.base = base
+        self._shadows: dict[str, GSharedObject] = {}
+        self._created: list[tuple[str, type]] = []
+        self._closed = False
+
+    # -- StateView -----------------------------------------------------------
+
+    def get(self, unique_id: str) -> GSharedObject:
+        if unique_id not in self._shadows:
+            self._shadows[unique_id] = self.base.get(unique_id).clone()
+        return self._shadows[unique_id]
+
+    def has(self, unique_id: str) -> bool:
+        return unique_id in self._shadows or self.base.has(unique_id)
+
+    def create(self, unique_id: str, cls: type, state: dict | None) -> GSharedObject:
+        if self.has(unique_id):
+            raise DuplicateObjectError(unique_id)
+        obj = cls()
+        if state is not None:
+            obj.set_state(state)
+        obj._bind_id(unique_id)
+        self._shadows[unique_id] = obj
+        self._created.append((unique_id, cls))
+        return obj
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def touched(self) -> list[str]:
+        """Ids shadow-copied so far (ordered by first touch)."""
+        return list(self._shadows)
+
+    def commit(self) -> None:
+        """Copy every shadow back into the base view."""
+        assert not self._closed, "transaction already closed"
+        created_ids = {unique_id for unique_id, _cls in self._created}
+        for unique_id, cls in self._created:
+            shadow = self._shadows[unique_id]
+            self.base.create(unique_id, cls, shadow.get_state())
+        for unique_id, shadow in self._shadows.items():
+            if unique_id not in created_ids:
+                self.base.get(unique_id).copy_from(shadow)
+        self._closed = True
+
+    def abort(self) -> None:
+        """Discard all shadows; the base view is untouched."""
+        assert not self._closed, "transaction already closed"
+        self._shadows.clear()
+        self._created.clear()
+        self._closed = True

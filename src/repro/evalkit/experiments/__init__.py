@@ -1,0 +1,2 @@
+"""Experiment modules, one per figure / in-text claim.  See
+:mod:`repro.evalkit` for the index."""

@@ -1,0 +1,87 @@
+"""Figure 6: average time to synchronize vs. number of users.
+
+Paper observations: (1) "presence or absence of user activity does not
+affect the synchronization time by much.  This indicates that the
+dominant component of the time for synchronization is network delay."
+(2) "the time for synchronization increases linearly with number of
+users ... even assuming a linear increase guesstimate should easily
+scale to a 100 users as even with 100 users the average time to
+synchronize would be within 3 seconds."
+
+Reproduction: sweep users 2..8 in both activity modes, average sync
+times with the paper's outlier rule (ignore > 12 s), fit a line, and
+extrapolate to 100 users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.evalkit.experiments.fig5 import OUTLIER_THRESHOLD
+from repro.evalkit.harness import SessionConfig, run_sudoku_session
+from repro.evalkit.stats import linear_fit, mean_excluding
+from repro.workloads.activity import ActivityModel
+
+
+@dataclass
+class Fig6Result:
+    user_counts: list[int]
+    active_means: list[float] = field(default_factory=list)
+    idle_means: list[float] = field(default_factory=list)
+    slope: float = 0.0  # seconds per additional user (active series)
+    intercept: float = 0.0
+    extrapolated_100_users: float = 0.0
+    max_activity_gap: float = 0.0  # biggest |active - idle| across counts
+
+
+def run(
+    user_counts: list[int] | None = None,
+    duration: float = 300.0,
+    seed: int = 7,
+) -> Fig6Result:
+    """Run both series and fit the scaling line."""
+    counts = user_counts if user_counts is not None else list(range(2, 9))
+    result = Fig6Result(user_counts=counts)
+    for users in counts:
+        for active in (True, False):
+            activity = ActivityModel() if active else ActivityModel.idle()
+            outcome = run_sudoku_session(
+                SessionConfig(
+                    users=users,
+                    duration=duration,
+                    seed=seed + users,
+                    activity=activity,
+                )
+            )
+            mean = mean_excluding(outcome.sync_durations, OUTLIER_THRESHOLD)
+            (result.active_means if active else result.idle_means).append(mean)
+    result.slope, result.intercept = linear_fit(
+        [float(c) for c in counts], result.active_means
+    )
+    result.extrapolated_100_users = result.slope * 100 + result.intercept
+    result.max_activity_gap = max(
+        abs(a - i) for a, i in zip(result.active_means, result.idle_means)
+    )
+    return result
+
+
+def format_report(result: Fig6Result) -> str:
+    lines = [
+        "Figure 6 — average time to synchronize vs. number of users",
+        f"  {'users':>5} | {'active (ms)':>12} | {'idle (ms)':>10}",
+        "  " + "-" * 34,
+    ]
+    for users, active, idle in zip(
+        result.user_counts, result.active_means, result.idle_means
+    ):
+        lines.append(f"  {users:>5} | {active * 1000:>12.1f} | {idle * 1000:>10.1f}")
+    lines += [
+        "",
+        f"  linear fit (active): {result.slope * 1000:.1f} ms/user + "
+        f"{result.intercept * 1000:.1f} ms",
+        f"  extrapolated 100 users: {result.extrapolated_100_users:.2f} s"
+        "   (paper: 'within 3 seconds')",
+        f"  max activity-vs-idle gap: {result.max_activity_gap * 1000:.1f} ms"
+        "   (paper: activity 'does not affect ... by much')",
+    ]
+    return "\n".join(lines)

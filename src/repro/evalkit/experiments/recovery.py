@@ -1,0 +1,102 @@
+"""Failure and recovery (paper section 7, "Failure and recovery").
+
+"During the one hour period for which we gathered statistics,
+GUESSTIMATE encountered three failures, once when one of the machines
+was restarted while the application was running, and twice when the
+synchronization was stalled possibly because a message was lost in
+transmission.  GUESSTIMATE recovered in all three cases automatically,
+once by resending the lost message and twice by removing the machine
+from the stalled synchronization loop and sending a restart message,
+and none of the other users were even aware of the failure."
+
+Reproduction: one hour, three injected faults — one transient signal
+loss (healed by a resend) and two machine stalls (healed by removal +
+restart).  "None of the other users were aware" is checked concretely:
+every surviving machine keeps issuing and committing operations
+throughout, and the system converges with all invariants intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evalkit.harness import SessionConfig, SessionOutcome, run_sudoku_session
+from repro.net.faults import CrashPlan, DropPlan, ScheduledFaults
+
+
+@dataclass
+class RecoveryResult:
+    failures_injected: int
+    resend_recoveries: int
+    removal_recoveries: int
+    restarts: int
+    machines_active_at_end: int
+    users_unaware: bool  # every non-faulted machine kept committing
+    converged: bool
+    outcome: SessionOutcome
+
+
+def run(duration: float = 3600.0, users: int = 8, seed: int = 13) -> RecoveryResult:
+    faults = ScheduledFaults(
+        drops=[
+            DropPlan(
+                start=duration * 0.2,
+                end=duration * 0.2 + 30.0,
+                channel="signals",
+                payload_type="YourTurn",
+                max_drops=1,
+            ),
+        ],
+        crashes=[
+            CrashPlan("m04", start=duration * 0.5, end=duration * 0.5 + 20.0),
+            CrashPlan("m07", start=duration * 0.8, end=duration * 0.8 + 20.0),
+        ],
+    )
+    config = SessionConfig(users=users, duration=duration, seed=seed, faults=faults)
+    outcome = run_sudoku_session(config)
+    system = outcome.system
+
+    records = system.metrics.sync_records
+    resends = sum(1 for record in records if record.resends and not record.removals)
+    removals = sum(1 for record in records if record.removals)
+    restarts = sum(
+        metrics.restarts for metrics in system.metrics.node_metrics.values()
+    )
+    faulted = {"m04", "m07"}
+    unaware = all(
+        metrics.ops_committed_ok + metrics.ops_committed_failed > 0
+        for machine_id, metrics in system.metrics.node_metrics.items()
+        if machine_id not in faulted
+    )
+    converged = (
+        system.committed_states_equal()
+        and system.convergence_invariant_holds()
+        and all(node.state == "active" for node in system.nodes.values())
+    )
+    return RecoveryResult(
+        failures_injected=3,
+        resend_recoveries=resends,
+        removal_recoveries=removals,
+        restarts=restarts,
+        machines_active_at_end=len(system.active_nodes()),
+        users_unaware=unaware,
+        converged=converged,
+        outcome=outcome,
+    )
+
+
+def format_report(result: RecoveryResult) -> str:
+    return "\n".join(
+        [
+            "Failure & recovery (paper section 7)",
+            f"  failures injected          : {result.failures_injected}"
+            "   (paper: 3 — one restart, two stalls)",
+            f"  recovered by resend alone  : {result.resend_recoveries}",
+            f"  recovered by remove+restart: {result.removal_recoveries}",
+            f"  machine restarts           : {result.restarts}",
+            f"  machines active at end     : {result.machines_active_at_end}",
+            f"  other users unaware        : {result.users_unaware}"
+            "   (kept committing throughout)",
+            f"  converged with invariants  : {result.converged}",
+        ]
+    )

@@ -1,0 +1,117 @@
+"""Small statistics toolbox for the experiments.
+
+Deliberately dependency-light (plain Python, no numpy) so the exact
+arithmetic feeding the reported numbers is visible in one screen of
+code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The q-th percentile (0..100), linear interpolation."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def mean_excluding(values: list[float], threshold: float) -> float:
+    """Mean of values <= threshold.
+
+    This is the paper's Figure 6 averaging rule: "the average
+    synchronization time is measured by ignoring the outliers
+    (time > 12 seconds), as including them would skew the average away
+    from the median."
+    """
+    kept = [value for value in values if value <= threshold]
+    if not kept:
+        raise ValueError("all values excluded")
+    return sum(kept) / len(kept)
+
+
+def linear_fit(xs: list[float], ys: list[float]) -> tuple[float, float]:
+    """Least-squares fit y = slope * x + intercept."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need two equal-length series of length >= 2")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    covariance = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    variance = sum((x - mean_x) ** 2 for x in xs)
+    if variance == 0:
+        raise ValueError("x values are constant")
+    slope = covariance / variance
+    return slope, mean_y - slope * mean_x
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with an overflow bucket.
+
+    ``edges`` are the right edges of the buckets; values greater than
+    the last edge fall into the overflow bucket.  Exactly what Figure 5
+    plots: a distribution of sync times with a ">12 s" tail.
+    """
+
+    edges: list[float]
+    counts: list[int] = field(default_factory=list)
+    overflow: int = 0
+    total: int = 0
+
+    def __post_init__(self):
+        if sorted(self.edges) != self.edges or not self.edges:
+            raise ValueError("edges must be non-empty and ascending")
+        if not self.counts:
+            self.counts = [0] * len(self.edges)
+
+    def add(self, value: float) -> None:
+        self.total += 1
+        for index, edge in enumerate(self.edges):
+            if value <= edge:
+                self.counts[index] += 1
+                return
+        self.overflow += 1
+
+    def add_all(self, values: list[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def fraction_below(self, edge: float) -> float:
+        """Fraction of samples at or below ``edge`` (must be an edge)."""
+        if self.total == 0:
+            return 0.0
+        covered = 0
+        for index, e in enumerate(self.edges):
+            if e <= edge + 1e-12:
+                covered += self.counts[index]
+        return covered / self.total
+
+    def rows(self) -> list[tuple[str, int]]:
+        """(label, count) rows including the overflow bucket."""
+        rows: list[tuple[str, int]] = []
+        previous = 0.0
+        for edge, count in zip(self.edges, self.counts):
+            rows.append((f"({previous:g}, {edge:g}]", count))
+            previous = edge
+        rows.append((f"> {self.edges[-1]:g}", self.overflow))
+        return rows
+
+    def format(self, width: int = 50) -> str:
+        """ASCII bar rendering (the Figure 5 stand-in)."""
+        peak = max(max(self.counts, default=1), self.overflow, 1)
+        lines = []
+        for label, count in self.rows():
+            bar = "#" * max(0, round(width * count / peak))
+            lines.append(f"  {label:>14} | {count:6d} {bar}")
+        return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Model checking over the operational semantics.
+
+Two tools:
+
+* :class:`~repro.model.checker.ModelChecker` — bounded exhaustive
+  exploration of every interleaving of R2 (issues, in per-machine
+  program order) and R3 (commits), verifying the paper's invariants on
+  every reachable state and agreement + convergence on every terminal
+  state.  This is the mechanized version of the paper's "these
+  invariants can be proved by induction over the transition rules".
+* :func:`~repro.model.simulation_relation.replay_check` — validates the
+  *runtime* against the semantics: the committed sequence recorded by
+  the runtime, replayed through the reference interpreter, must
+  reproduce the runtime's committed stores and per-operation results
+  (the simulation-relation argument of paper section 4).
+"""
+
+from repro.model.checker import CheckResult, ModelChecker
+from repro.model.simulation_relation import replay_check
+
+__all__ = ["CheckResult", "ModelChecker", "replay_check"]

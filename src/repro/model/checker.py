@@ -1,0 +1,155 @@
+"""Bounded exhaustive exploration of the operational semantics.
+
+The nondeterminism in GUESSTIMATE is (a) how machine issue streams
+interleave and (b) when pending operations commit relative to
+everything else.  Given per-machine scripts of composite operations,
+:class:`ModelChecker` explores *every* interleaving of rule
+applications, deduplicating states, and checks:
+
+* the paper's invariants on every reachable state
+  (``[P](sc) = sg``, identical ``C``/``sc`` everywhere);
+* on terminal states (all scripts exhausted, all queues empty):
+  quiescent convergence ``sg = sc`` on every machine.
+
+State spaces are exponential in script length, so keep scripts short
+(2-3 machines x 2-3 ops explores tens of thousands of states in well
+under a second).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.semantics.invariants import check_all
+from repro.semantics.rules import commit_step, enabled_commits, issue_composite
+from repro.semantics.state import CompositeOp, SharedValue, SystemState, make_system
+
+#: A node in the exploration graph: the semantics state plus each
+#: machine's position in its script.
+ExplorationNode = tuple[SystemState, tuple[int, ...]]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of an exhaustive exploration."""
+
+    states_explored: int
+    terminal_states: int
+    max_frontier: int
+    violations: list[str] = field(default_factory=list)
+    #: Distinct final shared values across all interleavings (commit
+    #: order is nondeterministic, so there can legitimately be several;
+    #: what must *never* vary is agreement within one terminal state).
+    final_shared_values: set[SharedValue] = field(default_factory=set)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class ModelChecker:
+    """Exhaustive interleaving exploration with invariant checking."""
+
+    def __init__(self, max_states: int = 2_000_000):
+        self.max_states = max_states
+
+    def explore(
+        self,
+        n_machines: int,
+        initial_shared: SharedValue,
+        scripts: dict[int, list[CompositeOp]],
+        fail_fast: bool = True,
+    ) -> CheckResult:
+        """Explore every interleaving of the given scripts.
+
+        ``scripts`` maps machine index to its (ordered) list of
+        composite operations; machines without a script issue nothing.
+        """
+        for machine in scripts:
+            if not 0 <= machine < n_machines:
+                raise SimulationError(f"script for unknown machine {machine}")
+        script_tuple = tuple(
+            tuple(scripts.get(machine, ())) for machine in range(n_machines)
+        )
+
+        initial: ExplorationNode = (
+            make_system(n_machines, initial_shared),
+            tuple(0 for _ in range(n_machines)),
+        )
+        seen: set[ExplorationNode] = {initial}
+        frontier: list[ExplorationNode] = [initial]
+        result = CheckResult(states_explored=0, terminal_states=0, max_frontier=1)
+
+        while frontier:
+            result.max_frontier = max(result.max_frontier, len(frontier))
+            state, cursors = frontier.pop()
+            result.states_explored += 1
+            if result.states_explored > self.max_states:
+                raise SimulationError(
+                    f"state space exceeds max_states={self.max_states}"
+                )
+
+            violated = check_all(state)
+            if violated:
+                result.violations.append(
+                    f"at cursors {cursors}: {violated}"
+                )
+                if fail_fast:
+                    return result
+
+            successors = self._successors(state, cursors, script_tuple)
+            if not successors:
+                result.terminal_states += 1
+                self._check_terminal(state, cursors, result)
+                continue
+            for node in successors:
+                if node not in seen:
+                    seen.add(node)
+                    frontier.append(node)
+        return result
+
+    # -- internal ---------------------------------------------------------------
+
+    def _successors(
+        self,
+        state: SystemState,
+        cursors: tuple[int, ...],
+        scripts: tuple[tuple[CompositeOp, ...], ...],
+    ) -> list[ExplorationNode]:
+        successors: list[ExplorationNode] = []
+        # R2: each machine may issue its next scripted operation.
+        for machine, script in enumerate(scripts):
+            position = cursors[machine]
+            if position >= len(script):
+                continue
+            new_state, _issued = issue_composite(state, machine, script[position])
+            # Whether issued or dropped, program order advances.
+            new_cursors = (
+                cursors[:machine] + (position + 1,) + cursors[machine + 1 :]
+            )
+            successors.append((new_state, new_cursors))
+        # R3: any machine with a pending operation may commit its head.
+        for machine in enabled_commits(state):
+            next_state = commit_step(state, machine)
+            assert next_state is not None
+            successors.append((next_state, cursors))
+        return successors
+
+    def _check_terminal(
+        self, state: SystemState, cursors: tuple[int, ...], result: CheckResult
+    ) -> None:
+        if any(machine.pending for machine in state):  # pragma: no cover
+            result.violations.append(
+                f"terminal state at {cursors} still has pending operations"
+            )
+            return
+        shared_values = {machine.sc for machine in state}
+        guess_values = {machine.sg for machine in state}
+        if len(shared_values) != 1 or guess_values != shared_values:
+            result.violations.append(
+                f"terminal state at {cursors} did not converge: "
+                f"sc={shared_values} sg={guess_values}"
+            )
+            return
+        result.final_shared_values.add(next(iter(shared_values)))

@@ -1,0 +1,105 @@
+"""Runtime-vs-semantics validation (paper section 4, "Conformance to
+the operational semantics").
+
+The paper argues a simulation relation between the runtime's
+transitions and rules R1-R3.  We mechanize the checkable core of that
+argument against a finished :class:`~repro.runtime.system.DistributedSystem`:
+
+1. **R3 faithfulness** — every machine recorded the same committed
+   sequence (same keys, same order, same boolean results); replaying
+   that sequence from the initial state through the *reference*
+   executor reproduces each machine's committed store exactly.
+2. **R2 faithfulness** — every committed operation that was issued
+   locally passed its guard at issue time (ops that fail at issue are
+   dropped and must never reach C).
+3. **Quiescent convergence** — each guesstimated store equals the
+   committed store once pending queues are empty.
+
+Any discrepancy raises :class:`SimulationError` with a description.
+"""
+
+from __future__ import annotations
+
+from repro.core.store import ObjectStore
+from repro.errors import SimulationError
+from repro.runtime.system import DistributedSystem
+
+
+def replay_check(system: DistributedSystem) -> int:
+    """Validate a quiesced system against the semantics; returns |C|.
+
+    Call only at a quiescent point (e.g. after
+    ``system.run_until_quiesced()``); mid-round states legitimately
+    violate the checks.
+    """
+    if not system.quiesced():
+        raise SimulationError("replay_check requires a quiesced system")
+
+    nodes = [node for node in system.active_nodes() if node.completed_offset == 0]
+    if not nodes:
+        raise SimulationError("no machine observed the full committed sequence")
+
+    # 1a. Same committed sequence everywhere (keys, order, results).
+    reference = [
+        (entry.key, entry.result) for entry in nodes[0].model.completed
+    ]
+    for node in nodes[1:]:
+        observed = [(entry.key, entry.result) for entry in node.model.completed]
+        if observed != reference:
+            raise SimulationError(
+                f"committed sequences differ: {nodes[0].machine_id} vs "
+                f"{node.machine_id}"
+            )
+
+    # 1b. Operation keys are globally unique (a machine must never
+    #     reuse a number, even across restarts — a real bug this check
+    #     caught during development).
+    keys = [key for key, _result in reference]
+    if len(keys) != len(set(keys)):
+        raise SimulationError("committed sequence contains duplicate op keys")
+
+    # 1c. Replay the sequence through the reference executor.
+    oracle = ObjectStore("oracle")
+    for index, entry in enumerate(nodes[0].model.completed):
+        result = entry.op.execute(oracle)
+        if result != entry.result:
+            raise SimulationError(
+                f"replay diverged at position {index} ({entry.key}): "
+                f"runtime recorded {entry.result}, oracle got {result}"
+            )
+    for node in nodes:
+        if not oracle.state_equal(node.model.committed):
+            raise SimulationError(
+                f"committed store of {node.machine_id} differs from the "
+                "oracle replay"
+            )
+
+    # 2. Every locally-issued committed op passed its issue guard
+    #    (the runtime drops guard failures before they reach P).
+    for node in system.active_nodes():
+        issued_keys = {
+            key
+            for key, count in node.metrics.executions.items()
+            if key.machine_id == node.machine_id
+        }
+        committed_local = {
+            entry.key
+            for entry in node.model.completed
+            if entry.key.machine_id == node.machine_id
+        }
+        unknown = committed_local - issued_keys
+        # Keys issued before a restart are legitimately forgotten.
+        if unknown and node.metrics.restarts == 0:
+            raise SimulationError(
+                f"{node.machine_id} committed operations it never issued: "
+                f"{sorted(map(str, unknown))[:5]}"
+            )
+
+    # 3. Quiescent convergence: sg = sc on every machine.
+    for node in system.active_nodes():
+        if not node.model.guess.state_equal(node.model.committed):
+            raise SimulationError(
+                f"guesstimated state of {node.machine_id} did not converge"
+            )
+
+    return len(reference)

@@ -1,0 +1,44 @@
+"""Simulated peer-to-peer network substrate.
+
+The paper's runtime communicates over two .NET PeerChannel broadcast
+meshes (Signals and Operations).  This package reproduces that substrate
+locally: a :class:`~repro.net.mesh.Mesh` is a broadcast channel whose
+deliveries are scheduled on a :class:`~repro.sim.Scheduler` with a
+configurable :class:`~repro.net.latency.LatencyModel` and an optional
+:class:`~repro.net.faults.FaultInjector` that can drop messages or crash
+machines — the ingredients behind Figure 5's recovery outliers.
+"""
+
+from repro.net.faults import (
+    CrashPlan,
+    DropPlan,
+    FaultInjector,
+    NoFaults,
+    PartitionPlan,
+    ProbabilisticDrops,
+    ScheduledFaults,
+)
+from repro.net.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LognormalLatency,
+    UniformLatency,
+)
+from repro.net.mesh import Envelope, Mesh, MeshPair
+
+__all__ = [
+    "ConstantLatency",
+    "CrashPlan",
+    "DropPlan",
+    "Envelope",
+    "FaultInjector",
+    "LatencyModel",
+    "LognormalLatency",
+    "Mesh",
+    "MeshPair",
+    "NoFaults",
+    "PartitionPlan",
+    "ProbabilisticDrops",
+    "ScheduledFaults",
+    "UniformLatency",
+]

@@ -1,0 +1,185 @@
+"""Fault injection for the simulated mesh.
+
+Three fault classes drive the paper's recovery machinery:
+
+* **Message drops** — a broadcast delivery to one recipient silently
+  disappears ("possibly because a message was lost in transmission",
+  section 7).  The master detects the stalled synchronization and
+  resends the signal.
+* **Machine crashes** — a machine stops responding; the master removes
+  it from the current synchronization and tells it to restart
+  ("once when one of the machines was restarted while the application
+  was running").
+* **Probabilistic drops** — background loss for stress tests.
+
+Fault plans are deterministic given the experiment seed.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DropPlan:
+    """Drop every delivery in [start, end) matching the filters.
+
+    ``sender``/``recipient``/``channel`` of ``None`` match anything.
+    ``max_drops`` bounds how many deliveries are eaten (so a single
+    "lost message" fault eats exactly one signal, as in the paper).
+    """
+
+    start: float
+    end: float
+    sender: str | None = None
+    recipient: str | None = None
+    channel: str | None = None
+    payload_type: str | None = None  # message class name, e.g. "YourTurn"
+    max_drops: int = 1
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """The network splits into isolated groups during [start, end).
+
+    Messages crossing a group boundary are dropped; traffic within a
+    group flows normally.  Machines not listed in any group form an
+    implicit extra group together.  When the partition heals, minority
+    members that the master removed re-enter through the ordinary
+    Restart/Hello path.
+    """
+
+    groups: tuple[tuple[str, ...], ...]
+    start: float
+    end: float
+
+    def group_of(self, machine_id: str) -> int:
+        for index, group in enumerate(self.groups):
+            if machine_id in group:
+                return index
+        return len(self.groups)  # the implicit leftover group
+
+    def severs(self, now: float, sender: str, recipient: str) -> bool:
+        if not self.start <= now < self.end:
+            return False
+        return self.group_of(sender) != self.group_of(recipient)
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Machine ``machine_id`` is unresponsive during [start, end).
+
+    While crashed the machine neither receives nor sends.  If
+    ``recovers`` is True the machine becomes reachable again at ``end``
+    (it still must rejoin via the restart protocol).
+    """
+
+    machine_id: str
+    start: float
+    end: float
+    recovers: bool = True
+
+
+class FaultInjector(ABC):
+    """Decides, per delivery, whether the network eats the message."""
+
+    @abstractmethod
+    def should_drop(
+        self,
+        now: float,
+        channel: str,
+        sender: str,
+        recipient: str,
+        rng: random.Random,
+        payload: object = None,
+    ) -> bool:
+        """True if this delivery must be silently dropped."""
+
+    def is_crashed(self, now: float, machine_id: str) -> bool:
+        """True if ``machine_id`` is unresponsive at ``now``."""
+        return False
+
+
+class NoFaults(FaultInjector):
+    """The happy-path injector: nothing is ever dropped."""
+
+    def should_drop(self, now, channel, sender, recipient, rng, payload=None) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NoFaults()"
+
+
+class ProbabilisticDrops(FaultInjector):
+    """Drop each delivery independently with probability ``p``."""
+
+    def __init__(self, p: float):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.p = p
+        self.dropped = 0
+
+    def should_drop(self, now, channel, sender, recipient, rng, payload=None) -> bool:
+        if rng.random() < self.p:
+            self.dropped += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"ProbabilisticDrops(p={self.p})"
+
+
+@dataclass
+class ScheduledFaults(FaultInjector):
+    """Deterministic fault schedule built from plans.
+
+    This is what the Figure 5 experiment uses: two DropPlans produce the
+    two stalled synchronizations whose recoveries appear as the >12 s
+    outliers, and one CrashPlan reproduces the mid-run machine restart.
+    """
+
+    drops: list[DropPlan] = field(default_factory=list)
+    crashes: list[CrashPlan] = field(default_factory=list)
+    partitions: list[PartitionPlan] = field(default_factory=list)
+    _drop_counts: dict[int, int] = field(default_factory=dict, repr=False)
+
+    def should_drop(self, now, channel, sender, recipient, rng, payload=None) -> bool:
+        for partition in self.partitions:
+            if partition.severs(now, sender, recipient):
+                return True
+        for index, plan in enumerate(self.drops):
+            if not plan.start <= now < plan.end:
+                continue
+            if plan.sender is not None and plan.sender != sender:
+                continue
+            if plan.recipient is not None and plan.recipient != recipient:
+                continue
+            if plan.channel is not None and plan.channel != channel:
+                continue
+            if (
+                plan.payload_type is not None
+                and type(payload).__name__ != plan.payload_type
+            ):
+                continue
+            used = self._drop_counts.get(index, 0)
+            if used >= plan.max_drops:
+                continue
+            self._drop_counts[index] = used + 1
+            return True
+        return False
+
+    def is_crashed(self, now: float, machine_id: str) -> bool:
+        for plan in self.crashes:
+            if plan.machine_id != machine_id:
+                continue
+            if plan.start <= now < plan.end:
+                return True
+            if now >= plan.end and not plan.recovers:
+                return True
+        return False
+
+    def drops_used(self) -> int:
+        """Total deliveries eaten so far (for experiment assertions)."""
+        return sum(self._drop_counts.values())

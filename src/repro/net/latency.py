@@ -1,0 +1,104 @@
+"""Per-message latency models for the simulated mesh.
+
+The paper runs on a LAN where "the dominant component of the time for
+synchronization is network delay" (section 7).  The models here let the
+benchmarks dial in a realistic LAN profile: a lognormal body with a
+small minimum — the classic shape of measured LAN round-trips.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+
+
+class LatencyModel(ABC):
+    """Draws a one-way delivery delay (seconds) per message."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Return the delay for one delivery."""
+
+    def mean(self) -> float:
+        """Analytic mean delay, used by scaling extrapolations."""
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Every delivery takes exactly ``delay`` seconds."""
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise ValueError("latency must be >= 0")
+        self.delay = float(delay)
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+    def mean(self) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency({self.delay})"
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from [low, high]."""
+
+    def __init__(self, low: float, high: float):
+        if not 0 <= low <= high:
+            raise ValueError("need 0 <= low <= high")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"
+
+
+class LognormalLatency(LatencyModel):
+    """Lognormal delay with a hard floor — a realistic LAN profile.
+
+    Parameterized by the desired ``median`` and multiplicative spread
+    ``sigma`` (sigma of the underlying normal).  A ``floor`` models the
+    minimum wire/stack time.
+    """
+
+    def __init__(self, median: float, sigma: float = 0.35, floor: float = 0.0005):
+        if median <= 0:
+            raise ValueError("median must be > 0")
+        if sigma < 0:
+            raise ValueError("sigma must be >= 0")
+        self.median = float(median)
+        self.sigma = float(sigma)
+        self.floor = float(floor)
+        self._mu = math.log(median)
+
+    def sample(self, rng: random.Random) -> float:
+        value = rng.lognormvariate(self._mu, self.sigma)
+        return max(self.floor, value)
+
+    def mean(self) -> float:
+        return math.exp(self._mu + self.sigma**2 / 2.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"LognormalLatency(median={self.median}, sigma={self.sigma}, "
+            f"floor={self.floor})"
+        )
+
+
+def lan_profile(scale: float = 1.0) -> LatencyModel:
+    """The default LAN latency used throughout the evaluation.
+
+    ``scale=1.0`` yields a ~12 ms median one-way delay, which makes an
+    8-user synchronization land in the paper's "within 0.5 seconds"
+    band (see EXPERIMENTS.md).
+    """
+    return LognormalLatency(median=0.012 * scale, sigma=0.4, floor=0.001 * scale)

@@ -1,0 +1,34 @@
+"""The GUESSTIMATE runtime: synchronizer, membership, fault recovery.
+
+The runtime reproduces section 4 of the paper:
+
+* Synchronization runs in master/slave mode over two broadcast meshes
+  (Signals and Operations) in three stages — **AddUpdatesToMesh**
+  (serial, turn-based flush of every machine's pending operations),
+  **ApplyUpdatesFromMesh** (apply the consolidated list in lexicographic
+  (machineID, operation number) order, acknowledge, then refresh the
+  guesstimated state and run completion routines), and
+  **FlagCompletion**.
+* No operations may be issued inside the flush window or the update
+  window, which bounds the number of times any operation executes to
+  **at most three** (issue, at most one re-execution while converging,
+  commit).
+* Machines **enter and leave dynamically** (Hello/Welcome snapshot
+  transfer), and the master **recovers from stalls** by resending the
+  lost signal and, failing that, removing the machine from the current
+  synchronization and telling it to restart.
+"""
+
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.metrics import NodeMetrics, SyncRecord, SystemMetrics
+from repro.runtime.node import GuesstimateNode
+from repro.runtime.system import DistributedSystem
+
+__all__ = [
+    "DistributedSystem",
+    "GuesstimateNode",
+    "NodeMetrics",
+    "RuntimeConfig",
+    "SyncRecord",
+    "SystemMetrics",
+]

@@ -1,0 +1,82 @@
+"""Runtime tuning knobs.
+
+Defaults are calibrated so that the simulated system lands in the
+paper's measured bands on the default LAN latency profile: an 8-user
+synchronization completes "within 0.5 seconds most of the time"
+(Figure 5), sync time grows roughly linearly with users at a slope that
+keeps 100 users under ~3 seconds (Figure 6), and a full fault recovery
+(two stall timeouts) costs more than 12 seconds (Figure 5's outliers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """All timing parameters of the runtime, in seconds."""
+
+    #: Idle gap between the end of one synchronization and the start of
+    #: the next (the master "periodically initiating" syncs).
+    sync_interval: float = 1.0
+
+    #: How long the master waits for an expected signal (FlushDone or
+    #: ApplyAck) before resending it.  Two consecutive timeouts trigger
+    #: removal + restart, so a full recovery costs a bit over
+    #: ``2 * stall_timeout`` — which must exceed the paper's 12 s
+    #: outlier threshold.
+    stall_timeout: float = 6.5
+
+    #: How long a machine waits for missing operations after BeginApply
+    #: before broadcasting a resend request.
+    missing_ops_timeout: float = 1.0
+
+    #: CPU cost model (virtual seconds).  These give the flush/update
+    #: windows real width on the event loop so the "no issuing inside a
+    #: window" rule is actually exercised.
+    flush_cpu_base: float = 0.0005
+    flush_cpu_per_op: float = 0.0002
+    apply_cpu_base: float = 0.0005
+    apply_cpu_per_op: float = 0.0002
+    update_cpu_base: float = 0.001
+    update_cpu_per_op: float = 0.0002
+
+    #: Upper bound on operations per flush (backpressure guard; the
+    #: paper's applications never get near this).
+    max_ops_per_flush: int = 10_000
+
+    #: Enable the structured trace log (tests use it; benchmarks turn
+    #: it off for speed).
+    tracing: bool = False
+
+    # -- future-work extensions (paper section 9) ------------------------
+
+    #: Parallelize AddUpdatesToMesh: all machines flush on StartSync
+    #: instead of taking serial turns.  The paper proposes exactly this
+    #: to scale past ~1000 users ("parallelize the first stage of the
+    #: synchronization protocol so that the time taken depends only on
+    #: the number of operations and the network delay but not on the
+    #: number of users").  Off by default: the paper kept stage 1
+    #: serial "purely for ease of monitoring and debugging".
+    parallel_flush: bool = False
+
+    #: Master failover: if no master signal arrives for this long, the
+    #: lexicographically-smallest surviving slave promotes itself (the
+    #: paper's proposed fix for the single point of failure).  None
+    #: disables failover (the paper's actual implementation).
+    failover_timeout: float | None = None
+
+    def flush_cpu(self, n_ops: int) -> float:
+        return self.flush_cpu_base + self.flush_cpu_per_op * n_ops
+
+    def apply_cpu(self, n_ops: int) -> float:
+        return self.apply_cpu_base + self.apply_cpu_per_op * n_ops
+
+    def update_cpu(self, n_pending: int) -> float:
+        return self.update_cpu_base + self.update_cpu_per_op * n_pending
+
+    @property
+    def removal_threshold(self) -> float:
+        """Time after which a stalled machine gets removed (2 timeouts)."""
+        return 2 * self.stall_timeout

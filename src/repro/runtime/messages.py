@@ -1,0 +1,198 @@
+"""Protocol messages exchanged on the Signals and Operations meshes.
+
+All messages are frozen dataclasses of plain values (op payloads are the
+encoded wire format from :mod:`repro.core.serialization`), so they are
+safe to share across simulated machines and trivially portable to a
+real transport.
+
+Signals channel (control plane):
+
+* :class:`StartSync` / :class:`YourTurn` / :class:`FlushDone` — stage 1,
+  AddUpdatesToMesh (serial, master-granted turns).
+* :class:`BeginApply` / :class:`ApplyAck` / :class:`ResendOpsRequest` —
+  stage 2, ApplyUpdatesFromMesh.
+* :class:`SyncComplete` — stage 3, FlagCompletion.
+* :class:`Hello` / :class:`Welcome` / :class:`WelcomeAck` /
+  :class:`Goodbye` — membership.
+* :class:`ParticipantRemoved` / :class:`Restart` — fault recovery.
+
+Operations channel (data plane):
+
+* :class:`OpMessage` — one flushed operation, the paper's
+  "(machineID, operation number, operation)" triple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ---------------------------------------------------------------------------
+# Stage 1: AddUpdatesToMesh
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StartSync:
+    """Master → all: a synchronization round begins; ``order`` is the
+    turn order (master first).  With ``parallel`` set (the section-9
+    extension) every machine flushes immediately instead of waiting for
+    its turn."""
+
+    round_id: int
+    order: tuple[str, ...]
+    parallel: bool = False
+
+
+@dataclass(frozen=True)
+class YourTurn:
+    """Master → one machine: flush your pending operations now.
+
+    Carries the order so a machine that missed StartSync can still
+    bootstrap its round state (this *is* the "resent signal" of the
+    paper's recovery story).
+    """
+
+    round_id: int
+    machine_id: str
+    order: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class FlushDone:
+    """One machine → all: my flush finished; I sent ``count`` operations."""
+
+    round_id: int
+    machine_id: str
+    count: int
+
+
+# ---------------------------------------------------------------------------
+# Stage 2: ApplyUpdatesFromMesh
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BeginApply:
+    """Master → all: stage 1 done; apply.  ``counts`` maps every
+    participating machine to the number of operations it flushed, which
+    tells receivers exactly what to wait for."""
+
+    round_id: int
+    order: tuple[str, ...]
+    counts: tuple[tuple[str, int], ...]  # sorted (machine_id, count) pairs
+
+
+@dataclass(frozen=True)
+class ApplyAck:
+    """One machine → all (master consumes): I applied every operation."""
+
+    round_id: int
+    machine_id: str
+
+
+@dataclass(frozen=True)
+class ResendOpsRequest:
+    """A machine missing operations asks their origins to resend.
+
+    ``have`` lists the (machine_id, op_number) keys already received so
+    each origin can resend exactly the complement of its flush.
+    """
+
+    round_id: int
+    machine_id: str
+    have: tuple[tuple[str, int], ...]
+
+
+# ---------------------------------------------------------------------------
+# Stage 3: FlagCompletion
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SyncComplete:
+    """Master → all: the round is over."""
+
+    round_id: int
+
+
+# ---------------------------------------------------------------------------
+# Membership
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Hello:
+    """A machine entering the system announces itself."""
+
+    machine_id: str
+
+
+@dataclass(frozen=True)
+class Welcome:
+    """Master → new machine: the snapshot needed to initialize.
+
+    ``snapshot`` maps unique object id → encoded state (type name +
+    state dict); ``completed_count`` is |C| at the snapshot point, used
+    to align committed-sequence comparisons.
+    """
+
+    machine_id: str
+    master_id: str
+    snapshot: dict = field(hash=False)
+    completed_count: int = 0
+
+
+@dataclass(frozen=True)
+class WelcomeAck:
+    """New machine → master: initialized; include me from the next round."""
+
+    machine_id: str
+
+
+@dataclass(frozen=True)
+class Goodbye:
+    """A machine leaving the system (graceful)."""
+
+    machine_id: str
+
+
+# ---------------------------------------------------------------------------
+# Fault recovery
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParticipantRemoved:
+    """Master → all: ``machine_id`` is out of round ``round_id``.
+
+    ``drop_ops`` tells receivers to discard any operations already
+    received from that machine this round (true only for stage-1
+    removals, where the machine never confirmed its flush).
+    """
+
+    round_id: int
+    machine_id: str
+    drop_ops: bool
+
+
+@dataclass(frozen=True)
+class Restart:
+    """Master → one machine: shut down and re-enter the system."""
+
+    machine_id: str
+
+
+# ---------------------------------------------------------------------------
+# Operations channel
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OpMessage:
+    """One operation in flight: the paper's (machineID, opnumber, op) triple."""
+
+    round_id: int
+    machine_id: str
+    op_number: int
+    payload: dict = field(hash=False)

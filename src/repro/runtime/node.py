@@ -1,0 +1,407 @@
+"""One machine of the distributed system.
+
+A :class:`GuesstimateNode` glues everything together for a single
+machine: the model state (λ, C, sc, P, sg), the API facade handed to
+application code, the synchronizer, the issue windows, membership, and
+metrics.  It implements the facade's :class:`~repro.core.guesstimate.Host`
+protocol (time, windows, deferral).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.guesstimate import Guesstimate, Host
+from repro.core.machine import MachineModel, PendingEntry
+from repro.core.readlock import ReadLockTable
+from repro.core.serialization import decode_state
+from repro.errors import NodeCrashedError
+from repro.net.mesh import Envelope, Mesh, MeshPair
+from repro.runtime import messages as msg
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.metrics import NodeMetrics, SystemMetrics
+from repro.runtime.synchronizer import MasterControl, Synchronizer
+from repro.runtime.tracing import Tracer
+from repro.sim.scheduler import Scheduler
+
+
+class GuesstimateNode(Host):
+    """A machine: model + facade + synchronizer (+ master role)."""
+
+    STATE_ACTIVE = "active"
+    STATE_JOINING = "joining"
+    STATE_OFFLINE = "offline"
+    STATE_STOPPED = "stopped"
+
+    def __init__(
+        self,
+        machine_id: str,
+        scheduler: Scheduler,
+        meshes: MeshPair,
+        config: RuntimeConfig,
+        metrics_system: SystemMetrics,
+        tracer: Tracer | None = None,
+        is_master: bool = False,
+    ):
+        self.machine_id = machine_id
+        self.scheduler = scheduler
+        self.meshes = meshes
+        self.config = config
+        self.metrics_system = metrics_system
+        self.tracer = tracer if tracer is not None else Tracer(enabled=config.tracing)
+
+        self.model = MachineModel(machine_id)
+        self.read_locks = ReadLockTable()
+        self.api = Guesstimate(self.model, host=self)
+        self.api.read_locks = self.read_locks
+        self.synchronizer = Synchronizer(self)
+        self.master: MasterControl | None = MasterControl(self) if is_master else None
+
+        self.state = GuesstimateNode.STATE_STOPPED
+        self.completed_offset = 0  # |C| at our last (re)join; aligns comparisons
+        self._window: str | None = None
+        self._window_depth = 0
+        self._deferred: list[tuple[float, Callable[[], None]]] = []
+        self.on_welcome: Callable[[], None] | None = None
+        #: unique id -> callbacks fired after remote ops change it
+        self._remote_callbacks: dict[str, list[Callable[[str], None]]] = {}
+
+    # -- convenience accessors --------------------------------------------------
+
+    @property
+    def signals_mesh(self) -> Mesh:
+        return self.meshes.signals
+
+    @property
+    def ops_mesh(self) -> Mesh:
+        return self.meshes.operations
+
+    @property
+    def is_master(self) -> bool:
+        return self.master is not None
+
+    @property
+    def metrics(self) -> NodeMetrics:
+        return self.metrics_system.node(self.machine_id)
+
+    def trace(self, kind: str, **detail) -> None:
+        self.tracer.emit(self.scheduler.now(), self.machine_id, kind, **detail)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self, founding: bool = True) -> None:
+        """Join the meshes and enter the system.
+
+        Founding members start active immediately (they all begin from
+        the same empty state); later arrivals start in the joining
+        state and announce themselves with Hello, exactly as in the
+        paper's "entering and leaving" protocol.
+        """
+        self.meshes.join(self.machine_id, self._on_signal, self._on_op)
+        if founding:
+            self.state = GuesstimateNode.STATE_ACTIVE
+        else:
+            self.state = GuesstimateNode.STATE_JOINING
+            self._announce()
+        self.trace(Tracer.MEMBERSHIP, state=self.state)
+        if self.config.failover_timeout is not None and not self.is_master:
+            self._arm_failover_check()
+
+    def _announce(self) -> None:
+        """Broadcast Hello, retrying until welcomed (Hello can be lost)."""
+        if self.state != GuesstimateNode.STATE_JOINING:
+            return
+        self.signals_mesh.broadcast(self.machine_id, msg.Hello(self.machine_id))
+        self.scheduler.call_later(self.config.stall_timeout, self._announce)
+
+    def leave(self) -> None:
+        """Gracefully exit the system."""
+        self.signals_mesh.broadcast(self.machine_id, msg.Goodbye(self.machine_id))
+        self.meshes.leave(self.machine_id)
+        self.state = GuesstimateNode.STATE_STOPPED
+
+    def halt(self) -> None:
+        """Simulate a hard process kill: no Goodbye, no cleanup.
+
+        Unlike a network crash (fault injector), a halted node stops
+        doing local work too — the scenario the master-failover
+        extension exists for.
+        """
+        if self.meshes.signals.is_member(self.machine_id):
+            self.meshes.leave(self.machine_id)
+        if self.master is not None:
+            self.master.stop()
+        self.state = GuesstimateNode.STATE_STOPPED
+        self.trace(Tracer.MEMBERSHIP, state="halted")
+
+    def go_offline(self) -> None:
+        """Disconnect while continuing to work locally (section 9).
+
+        The paper lists off-line updates as future work; this extension
+        implements the natural semantics: the machine leaves the meshes
+        (the master drops it from synchronizations), but the user keeps
+        issuing operations against the guesstimated state.  They queue
+        in P and commit after :meth:`come_online` — with, as the paper
+        warns, a larger window for discrepancies and conflicts.
+        """
+        if self.state != GuesstimateNode.STATE_ACTIVE:
+            raise NodeCrashedError(self.machine_id)
+        if (
+            self.synchronizer.in_flight
+            or self.synchronizer.pending_completions
+            or self._window is not None
+        ):
+            from repro.errors import RuntimeFailure
+
+            raise RuntimeFailure(
+                "cannot go offline mid-synchronization (operations are in "
+                "flight); retry after the round completes"
+            )
+        self.signals_mesh.broadcast(self.machine_id, msg.Goodbye(self.machine_id))
+        self.meshes.leave(self.machine_id)
+        self.state = GuesstimateNode.STATE_OFFLINE
+        self.trace(Tracer.MEMBERSHIP, state="offline", pending=len(self.model.pending))
+
+    def come_online(self) -> None:
+        """Re-enter the system, keeping operations issued while offline.
+
+        The node rejoins through the ordinary Hello/Welcome path; the
+        welcome snapshot replaces the committed state, after which the
+        still-pending offline operations are re-applied to restore the
+        ``[P](sc) = sg`` invariant and flushed in the next round.
+        """
+        if self.state != GuesstimateNode.STATE_OFFLINE:
+            raise NodeCrashedError(self.machine_id)
+        # Stale round bookkeeping from before the disconnect is useless
+        # (those rounds completed without us); the pending list survives.
+        self.synchronizer.rounds.clear()
+        self.synchronizer.op_buffer.clear()
+        self.synchronizer.last_flush.clear()
+        self.meshes.join(self.machine_id, self._on_signal, self._on_op)
+        self.state = GuesstimateNode.STATE_JOINING
+        self.synchronizer.last_master_signal = self.scheduler.now()
+        self._announce()
+
+    def restart(self) -> None:
+        """Shut down the application instance and re-enter the system.
+
+        Triggered by the master's Restart signal after a failed
+        recovery.  All local state is discarded; the machine re-enters
+        through the Hello/Welcome snapshot path and resumes in a
+        consistent state.
+        """
+        self.metrics.restarts += 1
+        self.trace(Tracer.RECOVERY, action="restart")
+        self.synchronizer.reset()
+        # Operation numbering must survive the restart: reusing keys
+        # would collide with this machine's already-committed history.
+        op_counter = self.model._op_counter
+        self.model = MachineModel(self.machine_id)
+        self.model._op_counter = op_counter
+        self.api = Guesstimate(self.model, host=self)
+        self.api.read_locks = self.read_locks
+        self._window = None
+        self._window_depth = 0
+        self._deferred.clear()
+        self._remote_callbacks.clear()  # subscriptions died with the app
+        self.state = GuesstimateNode.STATE_JOINING
+        self._announce()
+
+    def load_welcome(self, welcome: msg.Welcome) -> None:
+        """Initialize state from the master's snapshot and go active."""
+        if self.state != GuesstimateNode.STATE_JOINING:
+            if self.state == GuesstimateNode.STATE_ACTIVE:
+                # Duplicate Welcome: our earlier ack was lost; re-ack so
+                # the master stops re-welcoming us.
+                self.signals_mesh.send(
+                    self.machine_id,
+                    welcome.master_id,
+                    msg.WelcomeAck(self.machine_id),
+                )
+            return
+        for unique_id, (type_name, state) in welcome.snapshot.items():
+            obj = decode_state({"type": type_name, "state": state})
+            if self.model.committed.has(unique_id):
+                self.model.committed.get(unique_id).copy_from(obj)
+            else:
+                self.model.committed.adopt(unique_id, obj)
+        # Any locally-held history predates the snapshot; from here on
+        # this machine holds the global suffix starting at the offset.
+        self.model.completed.clear()
+        self.model.guess.refresh_from(self.model.committed)
+        # Operations issued while offline are still pending: re-apply
+        # them to the refreshed guesstimate ([P](sc) = sg) so they can
+        # flush in the next round.
+        for entry in self.model.pending:
+            entry.op.execute(self.model.guess)
+            entry.executions += 1
+            self.metrics.record_execution(entry.key)
+        self.completed_offset = welcome.completed_count
+        self.state = GuesstimateNode.STATE_ACTIVE
+        self.signals_mesh.send(
+            self.machine_id, welcome.master_id, msg.WelcomeAck(self.machine_id)
+        )
+        self.trace(Tracer.MEMBERSHIP, state="active", snapshot=len(welcome.snapshot))
+        self._drain_deferred()
+        if self.on_welcome is not None:
+            self.on_welcome()
+
+    # -- Host protocol (what the facade needs) ---------------------------------------
+
+    def now(self) -> float:
+        return self.scheduler.now()
+
+    def active_window(self) -> str | None:
+        if self.state == GuesstimateNode.STATE_JOINING:
+            return "joining"
+        if self.state == GuesstimateNode.STATE_STOPPED:
+            raise NodeCrashedError(self.machine_id)
+        # Offline nodes may issue freely — that is the whole point of
+        # the off-line updates extension.
+        return self._window
+
+    def notify_issued(self, entry: PendingEntry) -> None:
+        self.metrics.ops_issued += 1
+        self.metrics.record_execution(entry.key)
+        self.trace(Tracer.ISSUE, key=str(entry.key), op=entry.op.describe())
+
+    def notify_rejected(self, op) -> None:
+        self.metrics.ops_rejected_at_issue += 1
+        self.trace(Tracer.ISSUE_REJECTED, op=op.describe())
+
+    def defer(self, fn: Callable[[], None]) -> None:
+        self.metrics.deferred_issues += 1
+        self._deferred.append((self.scheduler.now(), fn))
+
+    def register_remote_callback(
+        self, unique_id: str, callback: Callable[[str], None]
+    ) -> Callable[[], None]:
+        callbacks = self._remote_callbacks.setdefault(unique_id, [])
+        callbacks.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                callbacks.remove(callback)
+            except ValueError:  # pragma: no cover - double unsubscribe
+                pass
+
+        return unsubscribe
+
+    def fire_remote_updates(self, touched: set[str]) -> None:
+        """Run remote-update callbacks after a guess refresh."""
+        for unique_id in sorted(touched):
+            for callback in list(self._remote_callbacks.get(unique_id, ())):
+                callback(unique_id)
+
+    # -- windows -----------------------------------------------------------------------
+
+    def enter_window(self, name: str) -> None:
+        self._window = name
+        self._window_depth += 1
+
+    def exit_window(self, name: str) -> None:
+        self._window_depth = max(0, self._window_depth - 1)
+        if self._window_depth == 0:
+            self._window = None
+            self._drain_deferred()
+
+    def _drain_deferred(self) -> None:
+        if self.active_window() is not None:
+            return
+        pending = self._deferred
+        self._deferred = []
+        now = self.scheduler.now()
+        for deferred_at, fn in pending:
+            self.metrics.deferral_delay_total += now - deferred_at
+            fn()
+            if self.active_window() is not None:  # pragma: no cover - defensive
+                break
+
+    # -- mesh handlers -------------------------------------------------------------------
+
+    def broadcast_signal(self, payload: object) -> None:
+        """Broadcast on the signals mesh and dispatch to ourselves.
+
+        The mesh delivers only to *other* members; protocol logic wants
+        uniform handling, so we self-dispatch synchronously (zero
+        latency to self).
+        """
+        self.signals_mesh.broadcast(self.machine_id, payload)
+        self._dispatch_signal(payload)
+
+    def _on_signal(self, envelope: Envelope) -> None:
+        self._dispatch_signal(envelope.payload)
+
+    def _dispatch_signal(self, payload: object) -> None:
+        if self.state == GuesstimateNode.STATE_STOPPED:
+            return
+        if self.master is not None:
+            self.master.handle_signal(payload)
+        self.synchronizer.handle_signal(payload)
+
+    def _on_op(self, envelope: Envelope) -> None:
+        if self.state == GuesstimateNode.STATE_STOPPED:
+            return
+        if isinstance(envelope.payload, msg.OpMessage):
+            self.synchronizer.handle_op(envelope.payload)
+
+    # -- master failover (section-9 extension) ----------------------------------------
+
+    def _arm_failover_check(self) -> None:
+        timeout = self.config.failover_timeout
+        assert timeout is not None
+        self.scheduler.call_later(timeout / 2, self._failover_check)
+
+    def _failover_check(self) -> None:
+        """Promote this node to master if the master has gone silent.
+
+        The paper's future-work proposal: "designating a new machine as
+        master if no synchronization messages are received for a
+        threshold duration."  The lexicographically-smallest surviving
+        slave (per the last announced order) takes over, resuming round
+        numbering past anything previously seen.
+        """
+        if self.master is not None or self.state == GuesstimateNode.STATE_STOPPED:
+            return
+        timeout = self.config.failover_timeout
+        assert timeout is not None
+        sync = self.synchronizer
+        silent_for = self.scheduler.now() - sync.last_master_signal
+        if (
+            self.state == GuesstimateNode.STATE_ACTIVE
+            and silent_for > timeout
+            and sync.last_order
+        ):
+            old_master = sync.last_order[0]
+            survivors = [
+                machine_id
+                for machine_id in sync.last_order
+                if machine_id != old_master
+            ]
+            if survivors and survivors[0] == self.machine_id:
+                self._promote_to_master(survivors)
+                return
+        self._arm_failover_check()
+
+    def _promote_to_master(self, participants: list[str]) -> None:
+        self.trace(Tracer.RECOVERY, action="failover", participants=len(participants))
+        self.master = MasterControl(self)
+        self.master.participants = list(participants)
+        self.master.round_counter = self.synchronizer.last_round_seen + 1
+        self.master.start(0.0)
+
+    # -- introspection -------------------------------------------------------------------
+
+    def quiesced(self) -> bool:
+        """True when nothing is pending locally or in flight."""
+        return (
+            not self.model.pending
+            and not self.synchronizer.in_flight
+            and not self.synchronizer.pending_completions
+            and self._window is None
+            and not self._deferred
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "master" if self.is_master else "slave"
+        return f"<GuesstimateNode {self.machine_id} {role} {self.state}>"

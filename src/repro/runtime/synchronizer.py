@@ -1,0 +1,719 @@
+"""The three-stage synchronization protocol (paper section 4).
+
+Every node runs a :class:`Synchronizer`; the designated master node
+additionally runs a :class:`MasterControl` that initiates rounds,
+grants flush turns, watches for stalls and drives recovery.
+
+Stage 1 — **AddUpdatesToMesh** (serial).  The master grants each
+machine its turn; on its turn a machine flushes every pending operation
+as one :class:`~repro.runtime.messages.OpMessage` per operation (the
+paper's (machineID, opnumber, op) triples) followed by a
+:class:`~repro.runtime.messages.FlushDone`.  No operations may be
+issued inside the flush window.
+
+Stage 2 — **ApplyUpdatesFromMesh**.  The master broadcasts
+:class:`~repro.runtime.messages.BeginApply` with the authoritative
+per-machine counts.  Each machine waits for every expected operation,
+applies the consolidated list to its committed state in lexicographic
+(machineID, opnumber) order, acknowledges, then refreshes the
+guesstimated state (copy committed → guess, run completion routines,
+re-apply the still-pending list).  No operations may be issued inside
+the update window.
+
+Stage 3 — **FlagCompletion**.  Once every acknowledgment is in, the
+master broadcasts :class:`~repro.runtime.messages.SyncComplete` and
+schedules the next round.
+
+Fault recovery mirrors the paper: a stalled machine first gets its
+signal resent (:class:`~repro.runtime.messages.YourTurn` or a unicast
+``BeginApply``); if it still does not respond it is removed from the
+current synchronization and told to :class:`~repro.runtime.messages.Restart`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.machine import CompletedEntry, PendingEntry
+from repro.core.operations import OpKey
+from repro.core.serialization import decode_op, encode_op
+from repro.runtime import messages as msg
+from repro.runtime.tracing import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.node import GuesstimateNode
+
+
+@dataclass
+class RoundState:
+    """One node's view of a synchronization round."""
+
+    round_id: int
+    order: tuple[str, ...]
+    flushed: bool = False
+    flush_count: int = 0
+    counts: dict[str, int] | None = None
+    received: dict[OpKey, dict] = field(default_factory=dict)
+    dropped: set[str] = field(default_factory=set)
+    applied: bool = False
+    done: bool = False
+    missing_timer: object | None = None
+
+    def received_count_from(self, machine_id: str) -> int:
+        return sum(1 for key in self.received if key.machine_id == machine_id)
+
+    def missing(self) -> dict[str, int]:
+        """Per-machine number of operations still missing."""
+        assert self.counts is not None
+        gaps: dict[str, int] = {}
+        for machine_id, expected in self.counts.items():
+            have = self.received_count_from(machine_id)
+            if have < expected:
+                gaps[machine_id] = expected - have
+        return gaps
+
+    def complete(self) -> bool:
+        if self.counts is None:
+            return False
+        return not self.missing()
+
+
+class Synchronizer:
+    """Per-node protocol logic (both master and slaves run this)."""
+
+    def __init__(self, node: "GuesstimateNode"):
+        self.node = node
+        self.rounds: dict[int, RoundState] = {}
+        self.op_buffer: dict[int, dict[OpKey, dict]] = {}
+        self.last_flush: dict[int, dict[OpKey, dict]] = {}
+        self.in_flight: dict[OpKey, PendingEntry] = {}
+        self.pending_completions: list[tuple[PendingEntry, bool]] = []
+        # Master-liveness tracking for the failover extension.
+        self.last_master_signal: float = node.scheduler.now()
+        self.last_order: tuple[str, ...] = ()
+        self.last_round_seen: int = 0
+
+    # -- message dispatch -----------------------------------------------------
+
+    def handle_signal(self, payload: object) -> None:
+        """Dispatch one signals-channel message."""
+        node = self.node
+        if isinstance(
+            payload,
+            (
+                msg.StartSync,
+                msg.YourTurn,
+                msg.BeginApply,
+                msg.SyncComplete,
+                msg.ParticipantRemoved,
+                msg.Welcome,
+                msg.Restart,
+            ),
+        ):
+            self.last_master_signal = node.scheduler.now()
+            if isinstance(payload, (msg.StartSync, msg.BeginApply, msg.YourTurn)):
+                self.last_order = payload.order
+                self.last_round_seen = max(self.last_round_seen, payload.round_id)
+            elif isinstance(payload, msg.SyncComplete):
+                self.last_round_seen = max(self.last_round_seen, payload.round_id)
+        if isinstance(payload, msg.StartSync):
+            self._on_start_sync(payload)
+        elif isinstance(payload, msg.YourTurn):
+            if payload.machine_id == node.machine_id:
+                self._on_your_turn(payload)
+        elif isinstance(payload, msg.FlushDone):
+            pass  # counts are taken from BeginApply; FlushDone drives the master
+        elif isinstance(payload, msg.BeginApply):
+            self._on_begin_apply(payload)
+        elif isinstance(payload, msg.ResendOpsRequest):
+            self._on_resend_request(payload)
+        elif isinstance(payload, msg.SyncComplete):
+            self._on_sync_complete(payload)
+        elif isinstance(payload, msg.ParticipantRemoved):
+            self._on_participant_removed(payload)
+        elif isinstance(payload, msg.Restart):
+            if payload.machine_id == node.machine_id:
+                node.restart()
+        elif isinstance(payload, msg.Welcome):
+            if payload.machine_id == node.machine_id:
+                node.load_welcome(payload)
+
+    def handle_op(self, payload: msg.OpMessage) -> None:
+        """Dispatch one operations-channel message."""
+        key = OpKey(payload.machine_id, payload.op_number)
+        round_state = self.rounds.get(payload.round_id)
+        if round_state is None:
+            self.op_buffer.setdefault(payload.round_id, {})[key] = payload.payload
+            return
+        if key.machine_id in round_state.dropped:
+            return
+        round_state.received[key] = payload.payload
+        self._try_apply(round_state)
+
+    # -- stage 1: AddUpdatesToMesh ---------------------------------------------
+
+    def _on_start_sync(self, start: msg.StartSync) -> None:
+        if self.node.machine_id not in start.order:
+            return
+        round_state = self._ensure_round(start.round_id, start.order)
+        if start.parallel and round_state is not None and not round_state.flushed:
+            # Section-9 extension: everyone flushes at once.
+            self._flush(round_state)
+
+    def _on_your_turn(self, turn: msg.YourTurn) -> None:
+        round_state = self._ensure_round(turn.round_id, turn.order)
+        if round_state is None or round_state.done:
+            return
+        if round_state.flushed:
+            # Our FlushDone was probably lost; resend it (recovery path).
+            self.node.broadcast_signal(
+                msg.FlushDone(turn.round_id, self.node.machine_id, round_state.flush_count)
+            )
+            return
+        self._flush(round_state)
+
+    def _flush(self, round_state: RoundState) -> None:
+        node = self.node
+        node.enter_window("flush")
+        entries = node.model.take_pending()
+        if len(entries) > node.config.max_ops_per_flush:  # pragma: no cover
+            overflow = entries[node.config.max_ops_per_flush :]
+            entries = entries[: node.config.max_ops_per_flush]
+            node.model.pending = overflow + node.model.pending
+        stash = self.last_flush.setdefault(round_state.round_id, {})
+        for entry in entries:
+            payload = encode_op(entry.op)
+            stash[entry.key] = payload
+            self.in_flight[entry.key] = entry
+            round_state.received[entry.key] = payload  # self-delivery
+            node.ops_mesh.broadcast(
+                node.machine_id,
+                msg.OpMessage(
+                    round_state.round_id,
+                    entry.key.machine_id,
+                    entry.key.op_number,
+                    payload,
+                ),
+            )
+        round_state.flushed = True
+        round_state.flush_count = len(entries)
+        node.trace(Tracer.FLUSH, round=round_state.round_id, count=len(entries))
+
+        def end_flush() -> None:
+            node.exit_window("flush")
+            node.broadcast_signal(
+                msg.FlushDone(round_state.round_id, node.machine_id, round_state.flush_count)
+            )
+
+        node.scheduler.call_later(node.config.flush_cpu(len(entries)), end_flush)
+
+    # -- stage 2: ApplyUpdatesFromMesh -------------------------------------------
+
+    def _on_begin_apply(self, begin: msg.BeginApply) -> None:
+        if self.node.machine_id not in begin.order:
+            return
+        round_state = self._ensure_round(begin.round_id, begin.order)
+        if round_state is None or round_state.applied or round_state.done:
+            return
+        round_state.counts = dict(begin.counts)
+        for dropped in round_state.dropped:
+            round_state.counts.pop(dropped, None)
+        self._try_apply(round_state)
+        if not round_state.applied and round_state.missing_timer is None:
+            round_state.missing_timer = self.node.scheduler.call_later(
+                self.node.config.missing_ops_timeout,
+                lambda: self._request_missing(round_state),
+            )
+
+    def _request_missing(self, round_state: RoundState) -> None:
+        round_state.missing_timer = None
+        if round_state.applied or round_state.done:
+            return
+        have = tuple(
+            sorted((key.machine_id, key.op_number) for key in round_state.received)
+        )
+        self.node.trace(
+            Tracer.RECOVERY, action="request_missing", round=round_state.round_id
+        )
+        self.node.signals_mesh.broadcast(
+            self.node.machine_id,
+            msg.ResendOpsRequest(round_state.round_id, self.node.machine_id, have),
+        )
+        # Keep asking until the gap closes or the master removes us.
+        round_state.missing_timer = self.node.scheduler.call_later(
+            self.node.config.missing_ops_timeout,
+            lambda: self._request_missing(round_state),
+        )
+
+    def _on_resend_request(self, request: msg.ResendOpsRequest) -> None:
+        if request.machine_id == self.node.machine_id:
+            return
+        stash = self.last_flush.get(request.round_id)
+        if not stash:
+            return
+        have = {OpKey(machine, number) for machine, number in request.have}
+        for key, payload in stash.items():
+            if key not in have:
+                self.node.ops_mesh.send(
+                    self.node.machine_id,
+                    request.machine_id,
+                    msg.OpMessage(request.round_id, key.machine_id, key.op_number, payload),
+                )
+
+    def _try_apply(self, round_state: RoundState) -> None:
+        if round_state.applied or round_state.done or not round_state.complete():
+            return
+        if round_state.missing_timer is not None:
+            round_state.missing_timer.cancel()  # type: ignore[attr-defined]
+            round_state.missing_timer = None
+        self._apply(round_state)
+
+    def _apply(self, round_state: RoundState) -> None:
+        """Apply the consolidated list in lexicographic (machine, number) order."""
+        node = self.node
+        assert round_state.counts is not None
+        keys = sorted(
+            key for key in round_state.received if key.machine_id in round_state.counts
+        )
+        object_ids: set[str] = set()
+        decoded = []
+        for key in keys:
+            op = decode_op(round_state.received[key])
+            decoded.append((key, op))
+            object_ids |= op.object_ids()
+        remote_touched: set[str] = set()
+        with node.read_locks.writing(sorted(object_ids)):
+            for key, op in decoded:
+                result = op.execute(node.model.committed)
+                node.model.record_completed(
+                    CompletedEntry(key, op, result, node.scheduler.now())
+                )
+                node.trace(Tracer.COMMIT, key=str(key), ok=result)
+                if result and key.machine_id != node.machine_id:
+                    remote_touched |= op.object_ids()
+                if key in self.in_flight:
+                    entry = self.in_flight.pop(key)
+                    entry.executions += 1
+                    node.metrics.record_execution(key)
+                    self.pending_completions.append((entry, result))
+                    if result:
+                        node.metrics.ops_committed_ok += 1
+                    else:
+                        node.metrics.ops_committed_failed += 1
+                        if entry.issue_result:
+                            node.metrics.conflicts += 1
+        round_state.applied = True
+
+        def ack_and_update() -> None:
+            node.broadcast_signal(
+                msg.ApplyAck(round_state.round_id, node.machine_id)
+            )
+            self._update_guess(round_state, remote_touched)
+
+        node.scheduler.call_later(node.config.apply_cpu(len(decoded)), ack_and_update)
+
+    def _update_guess(
+        self, round_state: RoundState, remote_touched: set[str] = frozenset()
+    ) -> None:
+        """Copy committed → guess, run completions, re-apply pending ops."""
+        node = self.node
+        node.enter_window("update")
+        with node.read_locks.writing(node.model.committed.ids()):
+            node.model.guess.refresh_from(node.model.committed)
+        node.trace(Tracer.REFRESH, round=round_state.round_id)
+        completions = self.pending_completions
+        self.pending_completions = []
+        for entry, result in completions:
+            node.metrics.commit_latency_total += node.scheduler.now() - entry.issued_at
+            node.metrics.commit_latency_count += 1
+            if entry.completion is not None:
+                entry.completion(result)
+            node.trace(Tracer.COMPLETION, key=str(entry.key), ok=result)
+        for entry in node.model.pending:
+            entry.op.execute(node.model.guess)  # result deliberately ignored
+            entry.executions += 1
+            node.metrics.record_execution(entry.key)
+        node.fire_remote_updates(remote_touched)
+
+        def end_update() -> None:
+            node.exit_window("update")
+
+        node.scheduler.call_later(
+            node.config.update_cpu(len(node.model.pending)), end_update
+        )
+
+    # -- stage 3 and recovery -------------------------------------------------------
+
+    def _on_sync_complete(self, done: msg.SyncComplete) -> None:
+        round_state = self.rounds.pop(done.round_id, None)
+        if round_state is not None:
+            round_state.done = True
+            if round_state.missing_timer is not None:
+                round_state.missing_timer.cancel()  # type: ignore[attr-defined]
+        self.last_flush.pop(done.round_id, None)
+        self.op_buffer.pop(done.round_id, None)
+
+    def _on_participant_removed(self, removed: msg.ParticipantRemoved) -> None:
+        round_state = self.rounds.get(removed.round_id)
+        if round_state is None:
+            return
+        if removed.machine_id == self.node.machine_id:
+            # We were removed while alive (our signals were lost); stop
+            # participating — a Restart follows.
+            round_state.done = True
+            return
+        round_state.dropped.add(removed.machine_id)
+        if removed.drop_ops:
+            round_state.received = {
+                key: payload
+                for key, payload in round_state.received.items()
+                if key.machine_id != removed.machine_id
+            }
+        if round_state.counts is not None:
+            round_state.counts.pop(removed.machine_id, None)
+            self._try_apply(round_state)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _ensure_round(self, round_id: int, order: tuple[str, ...]) -> RoundState | None:
+        if self.node.machine_id not in order:
+            return None
+        if round_id not in self.rounds:
+            state = RoundState(round_id, order)
+            buffered = self.op_buffer.pop(round_id, {})
+            state.received.update(buffered)
+            self.rounds[round_id] = state
+        return self.rounds[round_id]
+
+    def reset(self) -> None:
+        """Drop all protocol state (used on restart)."""
+        for round_state in self.rounds.values():
+            if round_state.missing_timer is not None:
+                round_state.missing_timer.cancel()  # type: ignore[attr-defined]
+        self.rounds.clear()
+        self.op_buffer.clear()
+        self.last_flush.clear()
+        self.in_flight.clear()
+        self.pending_completions.clear()
+
+
+class MasterControl:
+    """Master-side round management, membership and stall recovery."""
+
+    def __init__(self, node: "GuesstimateNode"):
+        self.node = node
+        self.participants: list[str] = [node.machine_id]
+        self.round_counter = 0
+        self.current: _MasterRound | None = None
+        self.join_queue: list[str] = []
+        self.awaiting_ack: set[str] = set()
+        self.awaiting_restart: set[str] = set()
+        self._progress_seq = 0
+        self._next_round_timer: object | None = None
+        self._stopped = False
+        self.running = False  # set once start() schedules the first round
+
+    # -- round lifecycle -----------------------------------------------------------
+
+    def start(self, delay: float | None = None) -> None:
+        """Schedule the first (or next) synchronization round."""
+        if self._stopped:
+            return
+        self.running = True
+        interval = self.node.config.sync_interval if delay is None else delay
+        self._next_round_timer = self.node.scheduler.call_later(
+            interval, self.start_round
+        )
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._next_round_timer is not None:
+            self._next_round_timer.cancel()  # type: ignore[attr-defined]
+
+    def start_round(self) -> None:
+        if self._stopped or self.current is not None:
+            return
+        self._process_membership()
+        if len(self.participants) < 1:  # pragma: no cover - master always present
+            self.start()
+            return
+        self.round_counter += 1
+        order = tuple(self.participants)
+        from repro.runtime.metrics import SyncRecord
+
+        parallel = self.node.config.parallel_flush
+        self.current = _MasterRound(
+            round_id=self.round_counter,
+            order=order,
+            parallel=parallel,
+            record=SyncRecord(
+                round_id=self.round_counter,
+                started_at=self.node.scheduler.now(),
+                participants=len(order),
+            ),
+        )
+        self.node.trace(Tracer.SYNC_START, round=self.round_counter, users=len(order))
+        self.node.broadcast_signal(
+            msg.StartSync(self.round_counter, order, parallel)
+        )
+        if not parallel:
+            self._grant_turn()
+        self._arm_watchdog()
+
+    def _grant_turn(self) -> None:
+        """Grant the flush turn to the next machine in order."""
+        round_ = self.current
+        assert round_ is not None
+        while round_.turn_index < len(round_.order):
+            machine_id = round_.order[round_.turn_index]
+            if machine_id in round_.removed:
+                round_.turn_index += 1
+                continue
+            turn = msg.YourTurn(round_.round_id, machine_id, round_.order)
+            if machine_id == self.node.machine_id:
+                self.node.synchronizer.handle_signal(turn)
+            else:
+                self.node.signals_mesh.send(self.node.machine_id, machine_id, turn)
+            return
+        self._begin_apply()
+
+    def _begin_apply(self) -> None:
+        round_ = self.current
+        assert round_ is not None
+        round_.stage = "apply"
+        counts = tuple(sorted(round_.counts.items()))
+        round_.record.ops_committed = sum(round_.counts.values())
+        self.node.broadcast_signal(
+            msg.BeginApply(round_.round_id, round_.order, counts)
+        )
+        self._progress()
+
+    # -- signal handling (master consumes these) -------------------------------------
+
+    def handle_signal(self, payload: object) -> None:
+        if isinstance(payload, msg.FlushDone):
+            self._on_flush_done(payload)
+        elif isinstance(payload, msg.ApplyAck):
+            self._on_apply_ack(payload)
+        elif isinstance(payload, msg.Hello):
+            self._on_hello(payload)
+        elif isinstance(payload, msg.WelcomeAck):
+            self._on_welcome_ack(payload)
+        elif isinstance(payload, msg.Goodbye):
+            self._on_goodbye(payload)
+
+    def _on_flush_done(self, done: msg.FlushDone) -> None:
+        round_ = self.current
+        if round_ is None or done.round_id != round_.round_id:
+            return
+        if done.machine_id in round_.counts or done.machine_id in round_.removed:
+            return
+        round_.counts[done.machine_id] = done.count
+        self._progress()
+        if round_.stage != "flush":
+            return
+        if round_.parallel:
+            expected = set(round_.order) - round_.removed
+            if expected <= set(round_.counts):
+                self._begin_apply()
+        elif (
+            round_.turn_index < len(round_.order)
+            and round_.order[round_.turn_index] == done.machine_id
+        ):
+            round_.turn_index += 1
+            self._grant_turn()
+
+    def _on_apply_ack(self, ack: msg.ApplyAck) -> None:
+        round_ = self.current
+        if round_ is None or ack.round_id != round_.round_id:
+            return
+        round_.acks.add(ack.machine_id)
+        self._progress()
+        self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        round_ = self.current
+        if round_ is None:
+            return
+        expected = set(round_.order) - round_.removed
+        if round_.stage != "apply" or not expected <= round_.acks:
+            return
+        round_.record.finished_at = self.node.scheduler.now()
+        self.node.metrics_system.sync_records.append(round_.record)
+        self.node.trace(
+            Tracer.SYNC_DONE,
+            round=round_.round_id,
+            duration=round(round_.record.duration, 4),
+        )
+        self.node.broadcast_signal(msg.SyncComplete(round_.round_id))
+        self.current = None
+        self._nudge_restarts()
+        if self.awaiting_ack:
+            self._process_membership()  # re-welcome unacked joiners
+        self.start()
+
+    # -- membership ---------------------------------------------------------------------
+
+    def _on_hello(self, hello: msg.Hello) -> None:
+        self.awaiting_restart.discard(hello.machine_id)
+        if (
+            hello.machine_id not in self.join_queue
+            and hello.machine_id not in self.participants
+        ):
+            self.join_queue.append(hello.machine_id)
+        # A join between rounds can be processed immediately.
+        if self.current is None:
+            self._process_membership()
+
+    def _on_welcome_ack(self, ack: msg.WelcomeAck) -> None:
+        if ack.machine_id in self.awaiting_ack:
+            self.awaiting_ack.discard(ack.machine_id)
+            if ack.machine_id not in self.participants:
+                self.participants.append(ack.machine_id)
+            self.node.trace(Tracer.MEMBERSHIP, joined=ack.machine_id)
+
+    def _on_goodbye(self, goodbye: msg.Goodbye) -> None:
+        if goodbye.machine_id in self.participants:
+            self.participants.remove(goodbye.machine_id)
+            self.node.trace(Tracer.MEMBERSHIP, left=goodbye.machine_id)
+        round_ = self.current
+        if round_ is not None and goodbye.machine_id in set(round_.order):
+            # Treat a mid-round departure like a stage-appropriate removal.
+            self._remove_from_round(goodbye.machine_id, restart=False)
+
+    def _process_membership(self) -> None:
+        """Welcome queued joiners (between rounds, as the paper does).
+
+        Machines that never acknowledged a previous Welcome (the
+        message may have been lost) are re-welcomed with a fresh
+        snapshot — loading it is idempotent on the joiner.
+        """
+        while self.join_queue:
+            self.awaiting_ack.add(self.join_queue.pop(0))
+        for machine_id in sorted(self.awaiting_ack):
+            welcome = msg.Welcome(
+                machine_id=machine_id,
+                master_id=self.node.machine_id,
+                snapshot=self.node.model.committed.snapshot_states(),
+                completed_count=self.node.model.completed_count,
+            )
+            self.node.signals_mesh.send(self.node.machine_id, machine_id, welcome)
+
+    def _nudge_restarts(self) -> None:
+        """Re-send Restart to machines that have not re-entered yet."""
+        for machine_id in list(self.awaiting_restart):
+            if self.node.signals_mesh.is_member(machine_id):
+                self.node.signals_mesh.send(
+                    self.node.machine_id, machine_id, msg.Restart(machine_id)
+                )
+
+    # -- stall detection and recovery ------------------------------------------------------
+
+    def _progress(self) -> None:
+        self._progress_seq += 1
+        self._arm_watchdog()
+
+    def _arm_watchdog(self) -> None:
+        round_ = self.current
+        if round_ is None or self._stopped:
+            return
+        seq = self._progress_seq
+        self.node.scheduler.call_later(
+            self.node.config.stall_timeout, lambda: self._watchdog(seq)
+        )
+
+    def _watchdog(self, seq: int) -> None:
+        round_ = self.current
+        if round_ is None or self._stopped or seq != self._progress_seq:
+            return
+        if round_.stage == "flush":
+            if round_.parallel:
+                expected = set(round_.order) - round_.removed
+                for stalled in sorted(expected - set(round_.counts)):
+                    if self.current is not round_:
+                        break
+                    self._handle_stall(stalled, stage="flush")
+            else:
+                stalled = round_.order[round_.turn_index]
+                self._handle_stall(stalled, stage="flush")
+        else:
+            expected = set(round_.order) - round_.removed
+            for stalled in sorted(expected - round_.acks):
+                if self.current is not round_:
+                    break  # the round finished while we were removing
+                self._handle_stall(stalled, stage="apply")
+            self._maybe_finish()
+        if self.current is not None:
+            self._progress()  # restart the clock after acting
+
+    def _handle_stall(self, machine_id: str, stage: str) -> None:
+        round_ = self.current
+        if round_ is None:
+            return
+        strikes = round_.strikes.get(machine_id, 0) + 1
+        round_.strikes[machine_id] = strikes
+        self.node.trace(
+            Tracer.RECOVERY,
+            action="resend" if strikes == 1 else "remove",
+            machine=machine_id,
+            stage=stage,
+        )
+        if strikes == 1:
+            round_.record.resends += 1
+            if stage == "flush":
+                turn = msg.YourTurn(round_.round_id, machine_id, round_.order)
+                self.node.signals_mesh.send(self.node.machine_id, machine_id, turn)
+            else:
+                counts = tuple(sorted(round_.counts.items()))
+                begin = msg.BeginApply(round_.round_id, round_.order, counts)
+                self.node.signals_mesh.send(self.node.machine_id, machine_id, begin)
+        else:
+            round_.record.removals += 1
+            self._remove_from_round(machine_id, restart=True)
+
+    def _remove_from_round(self, machine_id: str, restart: bool) -> None:
+        round_ = self.current
+        assert round_ is not None
+        if machine_id in round_.removed:
+            return
+        round_.removed.add(machine_id)
+        if machine_id in self.participants:
+            self.participants.remove(machine_id)
+        drop_ops = machine_id not in round_.counts
+        round_.counts.pop(machine_id, None)
+        self.node.broadcast_signal(
+            msg.ParticipantRemoved(round_.round_id, machine_id, drop_ops)
+        )
+        if restart:
+            self.awaiting_restart.add(machine_id)
+            if self.node.signals_mesh.is_member(machine_id):
+                self.node.signals_mesh.send(
+                    self.node.machine_id, machine_id, msg.Restart(machine_id)
+                )
+        if round_.stage == "flush":
+            if round_.parallel:
+                expected = set(round_.order) - round_.removed
+                if expected <= set(round_.counts):
+                    self._begin_apply()
+            elif round_.order[round_.turn_index] == machine_id:
+                round_.turn_index += 1
+                self._grant_turn()
+        else:
+            self._maybe_finish()
+
+
+@dataclass
+class _MasterRound:
+    """Master-side bookkeeping for the in-flight round."""
+
+    round_id: int
+    order: tuple[str, ...]
+    record: object  # SyncRecord (kept loose to avoid a metrics import cycle)
+    parallel: bool = False
+    stage: str = "flush"
+    turn_index: int = 0
+    counts: dict[str, int] = field(default_factory=dict)
+    acks: set[str] = field(default_factory=set)
+    removed: set[str] = field(default_factory=set)
+    strikes: dict[str, int] = field(default_factory=dict)

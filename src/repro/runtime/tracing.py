@@ -1,0 +1,71 @@
+"""Structured trace log.
+
+The simulation-relation tests (:mod:`repro.model.simulation_relation`)
+need to observe the runtime's atomic steps — issue, commit, guess
+refresh — and map them onto the operational-semantics rules R1/R2/R3.
+The tracer records exactly those steps plus the protocol milestones,
+each as a flat tuple-friendly record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One runtime step: when, where, what."""
+
+    time: float
+    machine_id: str
+    kind: str
+    detail: dict[str, Any] = field(hash=False, default_factory=dict)
+
+    def __str__(self) -> str:
+        pairs = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:10.4f}] {self.machine_id:>6} {self.kind:<14} {pairs}"
+
+
+class Tracer:
+    """Append-only trace with a hard cap (drops oldest beyond it)."""
+
+    #: Event kinds emitted by the runtime; tests match on these.
+    ISSUE = "issue"  # rule R2: op executed on sg, queued in P
+    ISSUE_REJECTED = "issue_rejected"  # guard failed, op dropped
+    COMMIT = "commit"  # rule R3: op applied to sc
+    REFRESH = "refresh"  # sg := [P](sc) after a round
+    COMPLETION = "completion"  # completion routine ran
+    SYNC_START = "sync_start"
+    SYNC_DONE = "sync_done"
+    FLUSH = "flush"
+    RECOVERY = "recovery"
+    MEMBERSHIP = "membership"
+
+    def __init__(self, enabled: bool = True, cap: int = 1_000_000):
+        self.enabled = enabled
+        self.cap = cap
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+
+    def emit(self, time: float, machine_id: str, kind: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        if len(self.events) >= self.cap:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time, machine_id, kind, detail))
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def for_machine(self, machine_id: str) -> list[TraceEvent]:
+        return [event for event in self.events if event.machine_id == machine_id]
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    def dump(self, limit: int = 200) -> str:  # pragma: no cover - debugging aid
+        lines = [str(event) for event in self.events[-limit:]]
+        return "\n".join(lines)

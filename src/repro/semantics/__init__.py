@@ -1,0 +1,53 @@
+"""Executable operational semantics (paper section 3).
+
+A pure, runtime-free interpreter for the three transition rules:
+
+* **R1** — a local operation updates only the issuing machine's local
+  state (it may read the guesstimated state).
+* **R2** — a composite operation ``(s, c)`` issued at machine *i* is
+  guarded by ``s`` succeeding on the guesstimated state; on success it
+  is appended to the pending sequence ``P(i)`` and applied to ``sg(i)``.
+* **R3** — the operation at the head of some machine's pending queue
+  commits atomically on every machine: it is appended to every
+  completed sequence, applied to every committed state, the issuing
+  machine runs the completion routine, and every other machine
+  recomputes ``sg(j) = [P(j)](s(sc(j)))``.
+
+States are immutable values, so the interpreter can be used for
+exhaustive exploration by :mod:`repro.model` and as the specification
+oracle the runtime is tested against.
+"""
+
+from repro.semantics.interpreter import SemanticsInterpreter
+from repro.semantics.invariants import (
+    check_committed_agreement,
+    check_convergence,
+    check_quiescent_convergence,
+)
+from repro.semantics.rules import commit_step, issue_composite, issue_local
+from repro.semantics.state import (
+    AbstractMachine,
+    AbstractOp,
+    CompositeOp,
+    SystemState,
+    atomic,
+    make_system,
+    or_else,
+)
+
+__all__ = [
+    "AbstractMachine",
+    "AbstractOp",
+    "CompositeOp",
+    "SemanticsInterpreter",
+    "SystemState",
+    "atomic",
+    "or_else",
+    "check_committed_agreement",
+    "check_convergence",
+    "check_quiescent_convergence",
+    "commit_step",
+    "issue_composite",
+    "issue_local",
+    "make_system",
+]

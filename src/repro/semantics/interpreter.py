@@ -1,0 +1,135 @@
+"""A stateful driver over the pure transition rules.
+
+:class:`SemanticsInterpreter` holds a current system state, applies
+rules, optionally checks every invariant after every step, and can run
+random schedules — handy both for property-based tests and as a
+reference executor when comparing against the runtime.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import SimulationError
+from repro.semantics.invariants import check_all
+from repro.semantics.rules import (
+    commit_step,
+    enabled_commits,
+    issue_composite,
+    issue_local,
+)
+from repro.semantics.state import (
+    CompositeOp,
+    LocalFn,
+    SharedValue,
+    SystemState,
+    make_system,
+)
+
+
+class SemanticsInterpreter:
+    """Executable operational semantics with invariant checking."""
+
+    def __init__(
+        self,
+        n_machines: int,
+        initial_shared: SharedValue,
+        check_invariants: bool = True,
+    ):
+        self.state: SystemState = make_system(n_machines, initial_shared)
+        self.check_invariants = check_invariants
+        self.trace: list[tuple[str, int, str]] = []
+        self._verify("init")
+
+    # -- rule application ---------------------------------------------------------
+
+    def local(self, machine: int, op: LocalFn, label: str = "local") -> None:
+        """Apply R1."""
+        self.state = issue_local(self.state, machine, op)
+        self.trace.append(("R1", machine, label))
+        self._verify(f"R1 {label}@{machine}")
+
+    def issue(self, machine: int, op: CompositeOp) -> bool:
+        """Apply R2; returns whether the operation was issued."""
+        self.state, issued = issue_composite(self.state, machine, op)
+        self.trace.append(("R2", machine, op.shared.name))
+        self._verify(f"R2 {op.shared.name}@{machine}")
+        return issued
+
+    def commit(self, machine: int) -> bool:
+        """Apply R3 for ``machine``; returns whether it was enabled."""
+        next_state = commit_step(self.state, machine)
+        if next_state is None:
+            return False
+        self.state = next_state
+        self.trace.append(("R3", machine, "commit"))
+        self._verify(f"R3 @{machine}")
+        return True
+
+    # -- schedules ------------------------------------------------------------------
+
+    def commit_all(self, order: list[int] | None = None) -> int:
+        """Commit until every pending queue drains; returns #commits.
+
+        ``order`` fixes which machine's queue is drained first; default
+        is round-robin, which exercises interleaving.
+        """
+        committed = 0
+        guard = 0
+        while True:
+            enabled = enabled_commits(self.state)
+            if not enabled:
+                return committed
+            if order:
+                pick = next((m for m in order if m in enabled), enabled[0])
+            else:
+                pick = enabled[committed % len(enabled)]
+            if not self.commit(pick):  # pragma: no cover - enabled implies success
+                raise SimulationError("enabled commit failed")
+            committed += 1
+            guard += 1
+            if guard > 100_000:  # pragma: no cover - defensive
+                raise SimulationError("commit_all did not terminate")
+
+    def run_random(
+        self,
+        scripts: dict[int, list[CompositeOp]],
+        rng: random.Random,
+        commit_bias: float = 0.5,
+    ) -> None:
+        """Interleave issues and commits at random until fully quiesced.
+
+        ``scripts`` fixes each machine's issue order (program order);
+        the scheduler freely interleaves machines and commits — the
+        same nondeterminism the model checker explores exhaustively.
+        """
+        cursors = {machine: 0 for machine in scripts}
+        while True:
+            issuable = [
+                machine
+                for machine, ops in scripts.items()
+                if cursors[machine] < len(ops)
+            ]
+            committable = enabled_commits(self.state)
+            if not issuable and not committable:
+                return
+            do_commit = committable and (
+                not issuable or rng.random() < commit_bias
+            )
+            if do_commit:
+                self.commit(rng.choice(committable))
+            else:
+                machine = rng.choice(issuable)
+                self.issue(machine, scripts[machine][cursors[machine]])
+                cursors[machine] += 1
+
+    # -- internal -------------------------------------------------------------------
+
+    def _verify(self, context: str) -> None:
+        if not self.check_invariants:
+            return
+        violated = check_all(self.state)
+        if violated:
+            raise SimulationError(
+                f"invariant(s) violated after {context}: {violated}"
+            )

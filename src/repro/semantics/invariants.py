@@ -1,0 +1,49 @@
+"""The paper's invariants, checkable on any abstract system state.
+
+Section 3, "Invariants": every machine state satisfies
+``[P](sc) = sg``, and for any pair of machines ``sc(i) = sc(j)`` and
+``C(i) = C(j)``.  When the system quiesces (all pending queues empty)
+the guesstimated and committed states of all machines converge.
+"""
+
+from __future__ import annotations
+
+from repro.semantics.state import SystemState, effect_of_sequence
+
+
+def check_convergence(state: SystemState) -> bool:
+    """Per-machine invariant: [P](sc) = sg for every machine."""
+    return all(
+        effect_of_sequence(machine.pending, machine.sc) == machine.sg
+        for machine in state
+    )
+
+
+def check_committed_agreement(state: SystemState) -> bool:
+    """Cross-machine invariant: identical C and sc everywhere."""
+    if not state:
+        return True
+    reference = state[0]
+    return all(
+        machine.completed == reference.completed and machine.sc == reference.sc
+        for machine in state[1:]
+    )
+
+
+def check_quiescent_convergence(state: SystemState) -> bool:
+    """If all pending queues are empty, all sg equal the common sc."""
+    if any(machine.pending for machine in state):
+        return True  # vacuously holds; only constrains quiescent states
+    return all(machine.sg == machine.sc for machine in state)
+
+
+def check_all(state: SystemState) -> list[str]:
+    """Return the names of all violated invariants (empty = all hold)."""
+    violated = []
+    if not check_convergence(state):
+        violated.append("convergence: [P](sc) != sg")
+    if not check_committed_agreement(state):
+        violated.append("agreement: C or sc differ across machines")
+    if not check_quiescent_convergence(state):
+        violated.append("quiescence: sg != sc with empty pending queues")
+    return violated

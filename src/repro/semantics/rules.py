@@ -1,0 +1,93 @@
+"""The three transition rules R1, R2, R3 (Figure 3 of the paper).
+
+Each rule is a pure function from system state (plus rule inputs) to a
+new system state.  Guards are encoded in the return value: ``None`` (or
+a False flag) means the rule is not enabled for those inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.semantics.state import (
+    AbstractMachine,
+    CompositeOp,
+    LocalFn,
+    SystemState,
+    effect_of_sequence,
+)
+
+
+def issue_local(state: SystemState, machine: int, op: LocalFn) -> SystemState:
+    """R1: a local operation updates λ(i) from (sg(i), λ(i)).
+
+    Always enabled; never touches shared state and never propagates to
+    other machines.
+    """
+    target = state[machine]
+    new_lam = op(target.sg, target.lam)
+    updated = replace(target, lam=new_lam)
+    return state[:machine] + (updated,) + state[machine + 1 :]
+
+
+def issue_composite(
+    state: SystemState, machine: int, op: CompositeOp
+) -> tuple[SystemState, bool]:
+    """R2: issue a composite operation at ``machine``.
+
+    Guard: the shared operation must succeed on the guesstimated state.
+    On success the operation is appended to P(i) and sg(i) is updated;
+    on failure the operation is dropped and the state is unchanged.
+    Returns (new state, issued?).
+    """
+    target = state[machine]
+    new_sg, ok = op.shared.apply(target.sg)
+    if not ok:
+        return state, False
+    updated = target.with_issue(op, new_sg)
+    return state[:machine] + (updated,) + state[machine + 1 :], True
+
+
+def commit_step(state: SystemState, machine: int) -> SystemState | None:
+    """R3: commit the head of P(machine) atomically on all machines.
+
+    Returns None when the rule is not enabled (empty pending queue).
+    The operation executes on every committed state regardless of its
+    success; the issuing machine additionally runs the completion
+    routine (modeled as appending ``(label, result)`` to λ) and keeps
+    its guesstimated state unchanged, while every other machine
+    recomputes ``sg(j) = [P(j)](s(sc(j)))``.
+    """
+    issuer = state[machine]
+    if not issuer.pending:
+        return None
+    op = issuer.pending[0]
+    remaining = issuer.pending[1:]
+
+    new_machines: list[AbstractMachine] = []
+    for index, current in enumerate(state):
+        new_sc, result = op.shared.apply(current.sc)
+        new_completed = current.completed + ((op.shared.name, result),)
+        if index == machine:
+            new_lam = current.lam + ((op.completion_label, result),)
+            new_machines.append(
+                replace(
+                    current,
+                    lam=new_lam,
+                    completed=new_completed,
+                    sc=new_sc,
+                    pending=remaining,
+                    # sg(i) needs no update: C(i) ++ P(i) is invariant.
+                )
+            )
+        else:
+            new_sg = effect_of_sequence(current.pending, new_sc)
+            new_machines.append(
+                replace(current, completed=new_completed, sc=new_sc, sg=new_sg)
+            )
+    return tuple(new_machines)
+
+
+def enabled_commits(state: SystemState) -> list[int]:
+    """Machines whose commit rule is currently enabled."""
+    return [index for index, machine in enumerate(state) if machine.pending]

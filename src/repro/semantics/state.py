@@ -1,0 +1,133 @@
+"""Immutable abstract states for the operational semantics.
+
+The formal model abstracts shared state to any value in ``S`` and local
+state to any value in ``G``; here both are arbitrary *hashable* Python
+values so whole system states can be hashed and deduplicated by the
+model checker.
+
+A shared operation is a pure function ``S -> (S, bool)`` wrapped in
+:class:`AbstractOp`; a composite operation pairs it with a completion
+label (the completion routine is modeled as appending
+``(label, result)`` to the issuing machine's local state, which is all
+the model checker needs to observe completions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Hashable
+
+SharedValue = Hashable
+SharedFn = Callable[[SharedValue], tuple[SharedValue, bool]]
+LocalFn = Callable[[SharedValue, Hashable], Hashable]
+
+
+@dataclass(frozen=True)
+class AbstractOp:
+    """A named pure shared operation ``S -> (S, bool)``.
+
+    Identity (hash/equality) is by name, which keeps system states
+    hashable; use distinct names for distinct behaviours.
+    """
+
+    name: str
+    fn: SharedFn = field(compare=False, hash=False)
+
+    def apply(self, state: SharedValue) -> tuple[SharedValue, bool]:
+        new_state, ok = self.fn(state)
+        if not ok and new_state != state:
+            raise ValueError(
+                f"shared operation {self.name!r} violated the discipline: "
+                "returned False but changed the state"
+            )
+        return new_state, ok
+
+    def effect(self, state: SharedValue) -> SharedValue:
+        """The ``[o]`` notation: apply and discard the boolean."""
+        return self.apply(state)[0]
+
+
+@dataclass(frozen=True)
+class CompositeOp:
+    """A composite operation (s, c): shared op + completion label."""
+
+    shared: AbstractOp
+    completion: str = ""
+
+    @property
+    def completion_label(self) -> str:
+        return self.completion or self.shared.name
+
+
+@dataclass(frozen=True)
+class AbstractMachine:
+    """One machine's state (λ, C, sc, P, sg) as immutable values."""
+
+    lam: tuple = ()
+    completed: tuple[tuple[str, bool], ...] = ()
+    sc: SharedValue = None
+    pending: tuple[CompositeOp, ...] = ()
+    sg: SharedValue = None
+
+    def with_issue(self, op: CompositeOp, new_sg: SharedValue) -> "AbstractMachine":
+        return replace(self, pending=self.pending + (op,), sg=new_sg)
+
+    def quiesced(self) -> bool:
+        return not self.pending
+
+
+SystemState = tuple[AbstractMachine, ...]
+
+
+def make_system(n_machines: int, initial_shared: SharedValue) -> SystemState:
+    """A fresh system: every machine starts from the same shared value."""
+    if n_machines < 1:
+        raise ValueError("need at least one machine")
+    machine = AbstractMachine(sc=initial_shared, sg=initial_shared)
+    return tuple(machine for _ in range(n_machines))
+
+
+def effect_of_sequence(
+    ops: tuple[CompositeOp, ...], state: SharedValue
+) -> SharedValue:
+    """The ``[(o1..on)]`` notation: fold the effects left to right."""
+    for op in ops:
+        state = op.shared.effect(state)
+    return state
+
+
+# ---------------------------------------------------------------------------
+# Hierarchical operation combinators (the paper's SharedOp grammar, at
+# the abstract level).  Because abstract shared state is an immutable
+# value, all-or-nothing needs no copy-on-write: a failed branch simply
+# returns the original value.
+# ---------------------------------------------------------------------------
+
+
+def atomic(*ops: AbstractOp) -> AbstractOp:
+    """``Atomic { o1 ... on }``: all succeed (chained) or none apply."""
+    if not ops:
+        raise ValueError("Atomic requires at least one operation")
+
+    def fn(state: SharedValue) -> tuple[SharedValue, bool]:
+        current = state
+        for op in ops:
+            current, ok = op.apply(current)
+            if not ok:
+                return state, False  # discard partial effects
+        return current, True
+
+    name = "Atomic{" + ";".join(op.name for op in ops) + "}"
+    return AbstractOp(name, fn)
+
+
+def or_else(first: AbstractOp, second: AbstractOp) -> AbstractOp:
+    """``first OrElse second``: at most one applies, priority to first."""
+
+    def fn(state: SharedValue) -> tuple[SharedValue, bool]:
+        new_state, ok = first.apply(state)
+        if ok:
+            return new_state, True
+        return second.apply(state)
+
+    return AbstractOp(f"({first.name} OrElse {second.name})", fn)

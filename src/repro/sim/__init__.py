@@ -1,0 +1,34 @@
+"""Discrete-event simulation kernel.
+
+The GUESSTIMATE runtime is written against the small scheduler interface
+defined here, so the same synchronizer code runs on the deterministic
+virtual-time loop used by tests and benchmarks and on the real-time
+threaded scheduler used by the live examples.
+
+Public classes:
+
+* :class:`~repro.sim.clock.VirtualClock` — monotonically advancing
+  simulated time.
+* :class:`~repro.sim.eventloop.EventLoop` — deterministic discrete-event
+  scheduler (the heart of every benchmark).
+* :class:`~repro.sim.eventloop.ScheduledEvent` — cancellable handle.
+* :class:`~repro.sim.scheduler.Scheduler` — the abstract interface.
+* :class:`~repro.sim.scheduler.RealTimeScheduler` — wall-clock
+  implementation backed by a timer thread.
+* :class:`~repro.sim.rand.SeededSource` — seeded random streams, one
+  sub-stream per named component.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.eventloop import EventLoop, ScheduledEvent
+from repro.sim.rand import SeededSource
+from repro.sim.scheduler import RealTimeScheduler, Scheduler
+
+__all__ = [
+    "EventLoop",
+    "RealTimeScheduler",
+    "ScheduledEvent",
+    "Scheduler",
+    "SeededSource",
+    "VirtualClock",
+]

@@ -1,0 +1,41 @@
+"""Virtual clock for the discrete-event simulator."""
+
+from __future__ import annotations
+
+from repro.errors import ClockMonotonicityError
+
+
+class VirtualClock:
+    """A monotonically advancing simulated clock.
+
+    Time is a float in seconds.  Only the event loop advances the clock;
+    everything else reads it through :meth:`now`.
+    """
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError("clock cannot start before t=0")
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Return the current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises :class:`ClockMonotonicityError` if ``when`` is in the
+        past; advancing to the current instant is a no-op.
+        """
+        if when < self._now:
+            raise ClockMonotonicityError(self._now, when)
+        self._now = when
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by ``delta`` seconds."""
+        if delta < 0:
+            raise ClockMonotonicityError(self._now, self._now + delta)
+        self._now += delta
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(t={self._now:.6f})"

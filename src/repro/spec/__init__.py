@@ -1,0 +1,65 @@
+"""Specifications and contracts — the Spec#/Boogie substitute.
+
+The paper (sections 5 and 6) recommends a discipline where every shared
+operation ``s`` conforms to a specification φs ⊆ S×S: if ``s`` returns
+True the pre/post state pair satisfies φs; if it returns False the
+shared state is unchanged.  The authors wrote the contracts in Spec#
+and discharged them with the Boogie verifier, which classified
+assertions into statically verified, provably failing, and
+runtime-checked.
+
+This package reproduces that workflow without Spec#:
+
+* :mod:`repro.spec.contracts` — ``@requires`` / ``@ensures`` /
+  ``@modifies`` method decorators and an ``@invariant`` class
+  decorator, with switchable runtime checking.
+* :mod:`repro.spec.conformance` — the φs conformance checker (the
+  False-implies-unchanged rule is checked for *every* operation).
+* :mod:`repro.spec.verifier` — a bounded-exhaustive "Boogie-lite" that
+  classifies every declared assertion as VERIFIED (holds on the whole
+  declared state domain), REFUTED (counterexample found), or
+  RUNTIME_CHECK (domain too large to exhaust — the assertion stays as
+  an instrumented runtime check, exactly Spec#'s fallback).
+* :mod:`repro.spec.domains` — finite/sampled state-and-argument domains
+  the verifier quantifies over.
+"""
+
+from repro.spec.contracts import (
+    contract_assertions,
+    ensures,
+    invariant,
+    modifies,
+    requires,
+    set_checking,
+)
+from repro.spec.conformance import ConformanceReport, check_conformance
+from repro.spec.domains import (
+    Domain,
+    booleans,
+    choices,
+    integers,
+    product,
+    sampled,
+)
+from repro.spec.report import AssertionOutcome, VerificationReport
+from repro.spec.verifier import Verifier
+
+__all__ = [
+    "AssertionOutcome",
+    "ConformanceReport",
+    "Domain",
+    "VerificationReport",
+    "Verifier",
+    "booleans",
+    "check_conformance",
+    "choices",
+    "contract_assertions",
+    "ensures",
+    "integers",
+    "invariant",
+    "modifies",
+    "product",
+    "requires",
+    "sampled",
+    "set_checking",
+]

@@ -1,0 +1,133 @@
+"""State/argument domains the verifier quantifies over.
+
+A :class:`Domain` yields candidate values.  Exhaustive domains
+(``integers``, ``choices``, small ``product``\\ s) let the verifier
+*prove* an assertion over the whole space; sampled domains only let it
+search for counterexamples, so assertions that survive sampling are
+classified as runtime checks — the same conservative fallback Spec#
+makes for assertions Boogie cannot discharge.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A stream of candidate values, exhaustive or sampled."""
+
+    name: str
+    exhaustive: bool
+    _generate: Callable[[random.Random], Iterator[Any]]
+
+    def iterate(self, rng: random.Random, budget: int) -> Iterator[Any]:
+        """Yield up to ``budget`` candidates (all of them if fewer)."""
+        return itertools.islice(self._generate(rng), budget)
+
+    def size_within(self, budget: int) -> int:
+        """Number of candidates produced given ``budget``."""
+        return sum(1 for _ in self.iterate(random.Random(0), budget))
+
+    def map(self, fn: Callable[[Any], Any], name: str | None = None) -> "Domain":
+        """Apply ``fn`` to every candidate (e.g. build objects)."""
+
+        def generate(rng: random.Random) -> Iterator[Any]:
+            return (fn(value) for value in self._generate(rng))
+
+        return Domain(name or f"map({self.name})", self.exhaustive, generate)
+
+
+def integers(low: int, high: int) -> Domain:
+    """All integers in [low, high] — exhaustive."""
+    if low > high:
+        raise ValueError("need low <= high")
+
+    def generate(rng: random.Random) -> Iterator[int]:
+        return iter(range(low, high + 1))
+
+    return Domain(f"int[{low},{high}]", True, generate)
+
+
+def booleans() -> Domain:
+    """The two booleans — exhaustive."""
+
+    def generate(rng: random.Random) -> Iterator[bool]:
+        return iter((False, True))
+
+    return Domain("bool", True, generate)
+
+
+def choices(values: Iterable[Any], name: str = "choices") -> Domain:
+    """An explicit finite set of values — exhaustive."""
+    frozen = tuple(values)
+
+    def generate(rng: random.Random) -> Iterator[Any]:
+        return iter(frozen)
+
+    return Domain(name, True, generate)
+
+
+def product(*domains: Domain, name: str = "product") -> Domain:
+    """Cartesian product; exhaustive iff every factor is.
+
+    When every factor is exhaustive this is the plain Cartesian
+    product.  When any factor is sampled (infinite), full
+    materialization is impossible, so the product switches to sampling
+    mode: each yielded tuple draws a fresh candidate from every sampled
+    factor and a uniformly random one from each finite factor.  The
+    resulting domain is non-exhaustive, so the verifier can refute but
+    not prove over it — the conservative outcome the classification
+    relies on.
+    """
+    all_exhaustive = all(domain.exhaustive for domain in domains)
+
+    def generate(rng: random.Random) -> Iterator[tuple]:
+        if all_exhaustive:
+            return itertools.product(*(d._generate(rng) for d in domains))
+        return _sampled_product(domains, rng)
+
+    return Domain(name, all_exhaustive, generate)
+
+
+def _sampled_product(domains: tuple[Domain, ...], rng: random.Random) -> Iterator[tuple]:
+    finite_pools = {
+        index: list(domain._generate(rng))
+        for index, domain in enumerate(domains)
+        if domain.exhaustive
+    }
+    streams = {
+        index: domain._generate(rng)
+        for index, domain in enumerate(domains)
+        if not domain.exhaustive
+    }
+    while True:
+        item = []
+        for index, domain in enumerate(domains):
+            if domain.exhaustive:
+                pool = finite_pools[index]
+                if not pool:
+                    return
+                item.append(rng.choice(pool))
+            else:
+                item.append(next(streams[index]))
+        yield tuple(item)
+
+
+def sampled(
+    sampler: Callable[[random.Random], Any], name: str = "sampled"
+) -> Domain:
+    """An unbounded sampled domain — never exhaustive.
+
+    ``sampler`` draws one candidate per call; the verifier draws as
+    many as its budget allows and can only refute, never prove.
+    """
+
+    def generate(rng: random.Random) -> Iterator[Any]:
+        while True:
+            yield sampler(rng)
+
+    return Domain(name, False, generate)

@@ -1,0 +1,100 @@
+"""Verification report types and formatting.
+
+Mirrors the paper's Boogie output taxonomy (section 6): "Boogie
+classifies assertions into provably correct assertions, provably
+failing assertions (flagged as warnings at compile time) and other
+assertions which cannot be proven statically [which] Spec# translates
+into checks".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+
+class AssertionOutcome(Enum):
+    """What the verifier concluded about one assertion."""
+
+    VERIFIED = "verified"  # holds on the entire declared domain
+    REFUTED = "refuted"  # counterexample found
+    RUNTIME_CHECK = "runtime-check"  # domain not exhaustible; stays checked
+
+
+@dataclass
+class AssertionResult:
+    """One assertion's verdict, with the evidence."""
+
+    kind: str
+    subject: str
+    description: str
+    outcome: AssertionOutcome
+    cases_checked: int = 0
+    counterexample: Any = None
+
+
+@dataclass
+class VerificationReport:
+    """All assertion verdicts for one shared class."""
+
+    class_name: str
+    results: list[AssertionResult] = field(default_factory=list)
+
+    # -- tallies ---------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    def count(self, outcome: AssertionOutcome) -> int:
+        return sum(1 for result in self.results if result.outcome is outcome)
+
+    @property
+    def verified(self) -> int:
+        return self.count(AssertionOutcome.VERIFIED)
+
+    @property
+    def refuted(self) -> int:
+        return self.count(AssertionOutcome.REFUTED)
+
+    @property
+    def runtime_checks(self) -> int:
+        return self.count(AssertionOutcome.RUNTIME_CHECK)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was refuted."""
+        return self.refuted == 0
+
+    def refutations(self) -> list[AssertionResult]:
+        return [
+            result
+            for result in self.results
+            if result.outcome is AssertionOutcome.REFUTED
+        ]
+
+    # -- formatting ------------------------------------------------------------
+
+    def summary_line(self) -> str:
+        return (
+            f"{self.class_name}: {self.total} assertions — "
+            f"{self.verified} verified, {self.refuted} refuted, "
+            f"{self.runtime_checks} runtime checks"
+        )
+
+    def format_table(self) -> str:
+        lines = [self.summary_line(), "-" * 72]
+        for result in self.results:
+            marker = {
+                AssertionOutcome.VERIFIED: "ok ",
+                AssertionOutcome.REFUTED: "FAIL",
+                AssertionOutcome.RUNTIME_CHECK: "rtc ",
+            }[result.outcome]
+            lines.append(
+                f"  [{marker}] {result.kind:<11} {result.subject:<28} "
+                f"{result.description} ({result.cases_checked} cases)"
+            )
+            if result.counterexample is not None:
+                lines.append(f"         counterexample: {result.counterexample!r}")
+        return "\n".join(lines)

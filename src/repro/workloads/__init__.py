@@ -1,0 +1,21 @@
+"""Workload generation: simulated users driving the applications.
+
+The paper's measurements come from volunteers playing Sudoku on a LAN
+for an hour; here the volunteers are :class:`~repro.workloads.drivers.SudokuSession`
+players with exponential think times, occasional wrong guesses, and an
+on/off activity switch (Figure 6 compares synchronization time "in the
+presence and absence of user activity").
+"""
+
+from repro.workloads.activity import ActivityModel, ThinkTime
+from repro.workloads.drivers import MixedAppSession, SudokuSession
+from repro.workloads.traces import OpTrace, TraceRecorder
+
+__all__ = [
+    "ActivityModel",
+    "MixedAppSession",
+    "OpTrace",
+    "SudokuSession",
+    "ThinkTime",
+    "TraceRecorder",
+]

@@ -1,0 +1,49 @@
+"""User activity models: think times and activity switching."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ThinkTime:
+    """Exponential think time with a floor (humans need a beat to click).
+
+    ``mean`` is the average gap between a user's actions in seconds;
+    the paper's Sudoku volunteers were "high user activity", which the
+    defaults approximate (one action every ~4 s per user).
+    """
+
+    mean: float = 4.0
+    floor: float = 0.3
+
+    def sample(self, rng: random.Random) -> float:
+        return max(self.floor, rng.expovariate(1.0 / self.mean))
+
+
+@dataclass
+class ActivityModel:
+    """Whether (and how fast) a simulated user acts.
+
+    ``active=False`` models the Figure 6 "no user activity" series:
+    users are present (their machines participate in every
+    synchronization) but never issue operations.
+    """
+
+    active: bool = True
+    think: ThinkTime = ThinkTime()
+    #: probability an action is a deliberate wrong guess (drives the
+    #: conflict rate together with the cell-collision probability).
+    mistake_rate: float = 0.1
+
+    def next_delay(self, rng: random.Random) -> float:
+        return self.think.sample(rng)
+
+    @classmethod
+    def idle(cls) -> "ActivityModel":
+        return cls(active=False)
+
+    @classmethod
+    def busy(cls, mean_think: float = 2.0) -> "ActivityModel":
+        return cls(active=True, think=ThinkTime(mean=mean_think))

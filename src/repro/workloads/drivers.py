@@ -1,0 +1,290 @@
+"""Session drivers: scripted users playing the applications.
+
+:class:`SudokuSession` reproduces the paper's measurement workload —
+N users collaboratively solving shared Sudoku grids — on the
+deterministic event loop.  Users act on their own think-time schedules;
+when a grid fills up it is replaced with a freshly generated one, so an
+hour-long run keeps everyone busy ("8 users solving 2 Sudoku grids").
+
+:class:`MixedAppSession` drives the other applications (planner, board,
+car pool, auction, microblog) with a per-app operation mix; it powers
+the cross-application tests and the responsiveness ablation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.apps.sudoku import SudokuClient, generate_puzzle
+
+from repro.runtime.system import DistributedSystem
+from repro.workloads.activity import ActivityModel
+
+
+@dataclass
+class SessionStats:
+    """What a session driver observed (issue-side view)."""
+
+    actions: int = 0
+    fills_attempted: int = 0
+    fills_rejected_locally: int = 0
+    grids_completed: int = 0
+    mistakes_erased: int = 0
+    per_user_actions: dict[str, int] = field(default_factory=dict)
+
+
+class SudokuSession:
+    """N simulated players solving shared grids on one system."""
+
+    def __init__(
+        self,
+        system: DistributedSystem,
+        n_grids: int = 2,
+        activity: ActivityModel | None = None,
+        seed: int = 0,
+        clues: int = 38,
+        unique_puzzles: bool = False,
+    ):
+        self.system = system
+        self.activity = activity if activity is not None else ActivityModel()
+        self.rng = random.Random(seed)
+        self.clues = clues
+        self.unique_puzzles = unique_puzzles
+        self.stats = SessionStats()
+        self._stopped = False
+        self._grids: list[_GridState] = []
+        self._players: dict[str, list[SudokuClient]] = {}
+        self._n_grids = n_grids
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def setup(self, quiesce_time: float = 60.0) -> None:
+        """Create the shared grids and subscribe every machine.
+
+        Runs the system until creation commits so all machines start
+        from the same boards (like players gathering before a match).
+        Starts periodic synchronization if the caller has not already.
+        """
+        master = self.system.master_node.master
+        if master is not None and not master.running:
+            self.system.start()
+        machine_ids = self.system.machine_ids()
+        creator = self.system.api(machine_ids[0])
+        for _ in range(self._n_grids):
+            puzzle, solution = generate_puzzle(
+                self.rng, clues=self.clues, unique=self.unique_puzzles
+            )
+            client = SudokuClient.create(creator, puzzle)
+            self._grids.append(_GridState(client.board.unique_id, solution))
+        self.system.run_until_quiesced(max_time=quiesce_time)
+        for machine_id in machine_ids:
+            self._join_all(machine_id)
+
+    def add_player(self, machine_id: str) -> None:
+        """Subscribe a (possibly late-joining) machine and start it."""
+        self._join_all(machine_id)
+        self._schedule_player(machine_id)
+
+    def start(self) -> None:
+        """Schedule every player's first action."""
+        for machine_id in self._players:
+            self._schedule_player(machine_id)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # -- internals ------------------------------------------------------------------
+
+    def _join_all(self, machine_id: str) -> None:
+        from repro.errors import UnknownObjectError
+
+        api = self.system.api(machine_id)
+        clients: list[SudokuClient | None] = []
+        for grid in self._grids:
+            try:
+                clients.append(SudokuClient.join(api, grid.board_id))
+            except UnknownObjectError:
+                # Machine still waiting for its welcome snapshot; the
+                # client is resolved lazily by _refresh_client.
+                clients.append(None)
+        self._players[machine_id] = clients
+
+    def _schedule_player(self, machine_id: str) -> None:
+        if self._stopped:
+            return
+        delay = self.activity.next_delay(self.rng)
+        self.system.loop.call_later(delay, lambda: self._act(machine_id))
+
+    def _act(self, machine_id: str) -> None:
+        if self._stopped:
+            return
+        node = self.system.nodes.get(machine_id)
+        if node is None or node.state == "stopped":
+            return
+        self._schedule_player(machine_id)
+        if not self.activity.active:
+            return
+        if node.state != "active":
+            return  # restarting machines skip their turn
+        self.stats.actions += 1
+        self.stats.per_user_actions[machine_id] = (
+            self.stats.per_user_actions.get(machine_id, 0) + 1
+        )
+        clients = self._players.get(machine_id)
+        if not clients:
+            return
+        grid_index = self.rng.randrange(len(clients))
+        client = self._refresh_client(machine_id, grid_index)
+        if client is None:
+            return  # the new grid has not committed on this machine yet
+        grid = self._grids[grid_index]
+        empty = client.empty_cells()
+        if not empty:
+            self._replace_grid(grid_index)
+            return
+        row, col = self.rng.choice(empty)
+        correct = grid.solution[row - 1][col - 1]
+        if self.rng.random() < self.activity.mistake_rate:
+            value = self.rng.randint(1, 9)
+        else:
+            value = correct
+        self.stats.fills_attempted += 1
+        record = client.fill(row, col, value)
+        if record.ticket.status == "rejected":
+            self.stats.fills_rejected_locally += 1
+            grid.consecutive_rejects += 1
+            # A grid can wedge: committed mistakes block the remaining
+            # correct values.  Real players eventually spot and erase a
+            # wrong entry; the driver does the same once the grid stops
+            # accepting fills.
+            if grid.consecutive_rejects >= 20:
+                grid.consecutive_rejects = 0
+                self._erase_a_mistake(client, grid)
+        else:
+            grid.consecutive_rejects = 0
+
+    def _refresh_client(self, machine_id: str, grid_index: int) -> SudokuClient | None:
+        """Resolve the machine's client for the grid's *current* board.
+
+        Grid replacement and machine restarts both invalidate cached
+        clients; this lazily re-joins, returning None when the new
+        board's creation has not committed on this machine yet.
+        """
+        grid = self._grids[grid_index]
+        api = self.system.api(machine_id)
+        client = self._players[machine_id][grid_index]
+        stale = (
+            client is None
+            or client.api is not api
+            or client.board.unique_id != grid.board_id
+            or not api.model.guess.has(grid.board_id)
+        )
+        if stale:
+            from repro.errors import UnknownObjectError
+
+            try:
+                client = SudokuClient.join(api, grid.board_id)
+            except UnknownObjectError:
+                return None
+            self._players[machine_id][grid_index] = client
+        return client
+
+    def _replace_grid(self, grid_index: int) -> None:
+        """A solved grid is swapped for a fresh puzzle.
+
+        The driver generates a new shared board; every player's cached
+        client goes stale and re-joins lazily once the creation commits
+        on their machine.
+        """
+        machine_ids = self.system.machine_ids()
+        creator = self.system.api(machine_ids[0])
+        puzzle, solution = generate_puzzle(
+            self.rng, clues=self.clues, unique=self.unique_puzzles
+        )
+        from repro.errors import IssueBlockedError
+
+        try:
+            client = SudokuClient.create(creator, puzzle)
+        except IssueBlockedError:
+            return  # mid-window; the next player action will retry
+        self.stats.grids_completed += 1
+        self._grids[grid_index] = _GridState(client.board.unique_id, solution)
+        self._players[machine_ids[0]][grid_index] = client
+
+
+    def _erase_a_mistake(self, client: SudokuClient, grid: "_GridState") -> None:
+        """Clear one committed cell that disagrees with the solution."""
+        snapshot = client.snapshot_grid()
+        wrong = [
+            (r + 1, c + 1)
+            for r in range(9)
+            for c in range(9)
+            if snapshot[r][c] != 0 and snapshot[r][c] != grid.solution[r][c]
+        ]
+        if not wrong:
+            return
+        row, col = self.rng.choice(wrong)
+        client.erase(row, col)
+        self.stats.mistakes_erased += 1
+
+
+@dataclass
+class _GridState:
+    board_id: str
+    solution: list[list[int]]
+    consecutive_rejects: int = 0
+
+
+class MixedAppSession:
+    """Drives an arbitrary set of (client, weighted actions) users.
+
+    ``users`` maps machine id to a list of ``(weight, thunk)`` pairs;
+    each action draws a thunk by weight and calls it.  Thunks issue
+    operations through app clients, so all window/deferral logic is
+    exercised exactly as in production use.
+    """
+
+    def __init__(
+        self,
+        system: DistributedSystem,
+        users: dict[str, list[tuple[float, callable]]],
+        activity: ActivityModel | None = None,
+        seed: int = 0,
+    ):
+        self.system = system
+        self.users = users
+        self.activity = activity if activity is not None else ActivityModel()
+        self.rng = random.Random(seed)
+        self.stats = SessionStats()
+        self._stopped = False
+
+    def start(self) -> None:
+        for machine_id in self.users:
+            self._schedule(machine_id)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _schedule(self, machine_id: str) -> None:
+        if self._stopped:
+            return
+        delay = self.activity.next_delay(self.rng)
+        self.system.loop.call_later(delay, lambda: self._act(machine_id))
+
+    def _act(self, machine_id: str) -> None:
+        if self._stopped:
+            return
+        self._schedule(machine_id)
+        if not self.activity.active:
+            return
+        actions = self.users.get(machine_id)
+        if not actions:
+            return
+        weights = [weight for weight, _thunk in actions]
+        _weight, thunk = self.rng.choices(actions, weights=weights, k=1)[0]
+        self.stats.actions += 1
+        self.stats.per_user_actions[machine_id] = (
+            self.stats.per_user_actions.get(machine_id, 0) + 1
+        )
+        thunk()

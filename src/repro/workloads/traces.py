@@ -1,0 +1,95 @@
+"""Operation traces: record what users did, replay it elsewhere.
+
+Recording the issue stream of a session gives (a) deterministic
+regression workloads, (b) a way to replay the exact same user behaviour
+against a *baseline* runtime (the responsiveness ablation needs the
+same ops hitting GUESSTIMATE and one-copy serializability), and (c) a
+serialization exerciser — every recorded op goes through the wire
+format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.core.operations import SharedOp
+from repro.core.serialization import decode_op, encode_op
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One issued operation: when, by whom, what."""
+
+    time: float
+    machine_id: str
+    payload: dict
+
+    def decode(self) -> SharedOp:
+        return decode_op(self.payload)
+
+
+@dataclass
+class OpTrace:
+    """An ordered record of issued operations."""
+
+    entries: list[TraceEntry] = field(default_factory=list)
+
+    def append(self, time: float, machine_id: str, op: SharedOp) -> None:
+        self.entries.append(TraceEntry(time, machine_id, encode_op(op)))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def machines(self) -> list[str]:
+        return sorted({entry.machine_id for entry in self.entries})
+
+    def for_machine(self, machine_id: str) -> list[TraceEntry]:
+        return [e for e in self.entries if e.machine_id == machine_id]
+
+    # -- persistence ---------------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            [
+                {"t": entry.time, "m": entry.machine_id, "op": entry.payload}
+                for entry in self.entries
+            ]
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "OpTrace":
+        trace = cls()
+        for item in json.loads(text):
+            trace.entries.append(TraceEntry(item["t"], item["m"], item["op"]))
+        return trace
+
+
+class TraceRecorder:
+    """Hooks a :class:`~repro.runtime.system.DistributedSystem` and
+    records every issued operation into an :class:`OpTrace`."""
+
+    def __init__(self, system) -> None:
+        self.trace = OpTrace()
+        self.system = system
+        self._original_hooks = {}
+        for machine_id, node in system.nodes.items():
+            self._wrap(machine_id, node)
+
+    def _wrap(self, machine_id: str, node) -> None:
+        original = node.notify_issued
+
+        def recording(entry, original=original, machine_id=machine_id):
+            self.trace.append(node.scheduler.now(), machine_id, entry.op)
+            original(entry)
+
+        self._original_hooks[machine_id] = original
+        node.notify_issued = recording
+
+    def detach(self) -> OpTrace:
+        """Stop recording and return the trace."""
+        for machine_id, node in self.system.nodes.items():
+            original = self._original_hooks.pop(machine_id, None)
+            if original is not None:
+                node.notify_issued = original
+        return self.trace

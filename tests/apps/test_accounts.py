@@ -1,0 +1,126 @@
+"""UserDirectory + AccountClient (the blocking pattern)."""
+
+from repro.apps.accounts import AccountClient, UserDirectory
+from tests.helpers import quick_system
+
+
+def directory_system(n=2):
+    system = quick_system(n)
+    directory = system.apis()[0].create_instance(UserDirectory)
+    system.run_until_quiesced()
+    clients = [
+        AccountClient(api, api.join_instance(directory.unique_id))
+        for api in system.apis()
+    ]
+    return system, clients
+
+
+class TestDirectoryUnit:
+    def test_register_unique(self):
+        directory = UserDirectory()
+        assert directory.register("ada", "pw")
+        assert not directory.register("ada", "pw2")
+
+    def test_register_rejects_empty_and_non_string(self):
+        import pytest
+
+        from repro.errors import ContractViolation
+        from repro.spec.contracts import set_checking
+
+        directory = UserDirectory()
+        assert not directory.register("", "pw")
+        # With runtime checks on (Spec# mode) a non-string trips the
+        # precondition; with checks off the method rejects defensively.
+        with pytest.raises(ContractViolation):
+            directory.register(7, "pw")
+        previous = set_checking(False)
+        try:
+            assert not directory.register(7, "pw")
+        finally:
+            set_checking(previous)
+
+    def test_signin_requires_credentials(self):
+        directory = UserDirectory()
+        directory.register("ada", "pw")
+        assert not directory.signin("ada", "wrong", "m01")
+        assert directory.signin("ada", "pw", "m01")
+
+    def test_single_session(self):
+        directory = UserDirectory()
+        directory.register("ada", "pw")
+        assert directory.signin("ada", "pw", "m01")
+        assert not directory.signin("ada", "pw", "m02")
+
+    def test_signout_only_from_own_machine(self):
+        directory = UserDirectory()
+        directory.register("ada", "pw")
+        directory.signin("ada", "pw", "m01")
+        assert not directory.signout("ada", "m02")
+        assert directory.signout("ada", "m01")
+        assert not directory.is_signed_in("ada")
+
+
+class TestBlockingPattern:
+    def test_registration_commits(self):
+        system, (ada, _bert) = directory_system()
+        ticket = ada.register("ada", "pw")
+        system.run_until_quiesced()
+        assert ticket.commit_result is True
+
+    def test_duplicate_registration_denied_at_commit(self):
+        # Two machines register the same name in the same round: the
+        # paper's reason registration must block.
+        system, (ada, bert) = directory_system()
+        ticket_a = ada.register("dup", "pw")
+        ticket_b = bert.register("dup", "pw")
+        system.run_until_quiesced()
+        results = sorted([ticket_a.commit_result, ticket_b.commit_result])
+        assert results == [False, True]
+
+    def test_signin_sets_local_name_via_completion(self):
+        system, (ada, _bert) = directory_system()
+        ada.register("ada", "pw")
+        system.run_until_quiesced()
+        ticket = ada.signin("ada", "pw")
+        assert ada.my_name is None  # completion not run yet
+        system.run_until_quiesced()
+        assert ticket.commit_result is True
+        assert ada.my_name == "ada"
+
+    def test_concurrent_signin_one_machine_wins(self):
+        system, (ada, bert) = directory_system()
+        ada.register("ada", "pw")
+        system.run_until_quiesced()
+        ticket_a = ada.signin("ada", "pw")
+        ticket_b = bert.signin("ada", "pw")
+        system.run_until_quiesced()
+        assert sorted([ticket_a.commit_result, ticket_b.commit_result]) == [
+            False,
+            True,
+        ]
+        assert (ada.my_name == "ada") != (bert.my_name == "ada")
+
+    def test_signout_clears_local_name(self):
+        system, (ada, _bert) = directory_system()
+        ada.register("ada", "pw")
+        system.run_until_quiesced()
+        ada.signin("ada", "pw")
+        system.run_until_quiesced()
+        ada.signout()
+        system.run_until_quiesced()
+        assert ada.my_name is None
+        assert ada.signed_in_users() == []
+
+    def test_signout_without_signin_is_none(self):
+        _system, (ada, _bert) = directory_system()
+        assert ada.signout() is None
+
+    def test_signed_in_users_reads_guesstimate(self):
+        system, (ada, bert) = directory_system()
+        ada.register("ada", "pw")
+        bert.register("bert", "pw")
+        system.run_until_quiesced()
+        ada.signin("ada", "pw")
+        bert.signin("bert", "pw")
+        system.run_until_quiesced()
+        assert ada.signed_in_users() == ["ada", "bert"]

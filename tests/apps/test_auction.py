@@ -1,0 +1,118 @@
+"""AuctionHouse app tests."""
+
+from repro.apps.auction import AuctionClient, AuctionHouse
+from tests.helpers import quick_system
+
+
+def auction_system(n=3):
+    system = quick_system(n)
+    house = system.apis()[0].create_instance(AuctionHouse)
+    system.run_until_quiesced()
+    clients = [
+        AuctionClient(api, api.join_instance(house.unique_id), name)
+        for api, name in zip(system.apis(), ["sam", "bob", "carol"])
+    ]
+    return system, clients
+
+
+class TestHouseUnit:
+    def test_list_item(self):
+        house = AuctionHouse()
+        assert house.list_item("vase", "sam", 10)
+        assert not house.list_item("vase", "sam", 10)
+        assert not house.list_item("x", "sam", -1)
+
+    def test_bid_must_meet_reserve(self):
+        house = AuctionHouse()
+        house.list_item("vase", "sam", 10)
+        assert not house.place_bid("vase", "bob", 9)
+        assert house.place_bid("vase", "bob", 10)
+
+    def test_bid_must_beat_standing(self):
+        house = AuctionHouse()
+        house.list_item("vase", "sam", 10)
+        house.place_bid("vase", "bob", 20)
+        assert not house.place_bid("vase", "carol", 20)
+        assert house.place_bid("vase", "carol", 21)
+
+    def test_seller_cannot_bid(self):
+        house = AuctionHouse()
+        house.list_item("vase", "sam", 10)
+        assert not house.place_bid("vase", "sam", 50)
+
+    def test_close_only_by_seller_once(self):
+        house = AuctionHouse()
+        house.list_item("vase", "sam", 10)
+        assert not house.close_auction("vase", "bob")
+        assert house.close_auction("vase", "sam")
+        assert not house.close_auction("vase", "sam")
+
+    def test_no_bids_after_close(self):
+        house = AuctionHouse()
+        house.list_item("vase", "sam", 10)
+        house.close_auction("vase", "sam")
+        assert not house.place_bid("vase", "bob", 50)
+
+    def test_winning_bid_query(self):
+        house = AuctionHouse()
+        house.list_item("vase", "sam", 10)
+        assert house.winning_bid("vase") is None
+        house.place_bid("vase", "bob", 15)
+        assert house.winning_bid("vase") == ("bob", 15)
+
+
+class TestDistributedAuction:
+    def test_racing_equal_bids_one_wins(self):
+        system, (sam, bob, carol) = auction_system()
+        sam.list_item("vase", 10)
+        system.run_until_quiesced()
+        ticket_b = bob.bid("vase", 50)
+        ticket_c = carol.bid("vase", 50)
+        system.run_until_quiesced()
+        assert sorted([ticket_b.commit_result, ticket_c.commit_result]) == [
+            False,
+            True,
+        ]
+        loser = carol if ticket_b.commit_result else bob
+        assert loser.outbid_notices
+        assert loser.leading == {}
+
+    def test_remedial_rebid_after_loss(self):
+        system, (sam, bob, carol) = auction_system()
+        sam.list_item("vase", 10)
+        system.run_until_quiesced()
+        bob.bid("vase", 50)
+        carol.bid("vase", 50)
+        system.run_until_quiesced()
+        loser = carol if "vase" in bob.leading else bob
+        ticket = loser.bid("vase", 60)
+        system.run_until_quiesced()
+        assert ticket.commit_result is True
+        assert loser.leading == {"vase": 60}
+
+    def test_bid_racing_close_is_serialized(self):
+        system, (sam, bob, _carol) = auction_system()
+        sam.list_item("vase", 10)
+        system.run_until_quiesced()
+        bob.bid("vase", 20)
+        system.run_until_quiesced()
+        # Same round: bob raises, sam closes.  Commit order is
+        # lexicographic: m01 (sam)'s close lands first, so the raise
+        # must fail.
+        ticket_bid = bob.bid("vase", 30)
+        ticket_close = sam.close("vase")
+        system.run_until_quiesced()
+        assert ticket_close.commit_result is True
+        assert ticket_bid.commit_result is False
+        with sam.api.reading(sam.house) as house:
+            assert house.winning_bid("vase") == ("bob", 20)
+
+    def test_price_visible_on_all_machines(self):
+        system, (sam, bob, carol) = auction_system()
+        sam.list_item("vase", 10)
+        system.run_until_quiesced()
+        bob.bid("vase", 42)
+        system.run_until_quiesced()
+        assert sam.current_price("vase") == 42
+        assert carol.current_price("vase") == 42
+        system.check_all_invariants()

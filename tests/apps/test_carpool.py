@@ -1,0 +1,148 @@
+"""CarPool app tests, including the φ_GetRide conformance check."""
+
+from repro.apps.carpool import CarPool, CarPoolClient
+from repro.spec import check_conformance, choices, integers, product
+from tests.helpers import quick_system
+
+
+def pool_system(n=2):
+    system = quick_system(n)
+    pool = system.apis()[0].create_instance(CarPool)
+    system.run_until_quiesced()
+    clients = [
+        CarPoolClient(api, api.join_instance(pool.unique_id), f"user{i}")
+        for i, api in enumerate(system.apis())
+    ]
+    return system, clients
+
+
+class TestPoolUnit:
+    def test_offer_vehicle(self):
+        pool = CarPool()
+        assert pool.offer_vehicle("v1", "party", "dave", 2)
+        assert not pool.offer_vehicle("v1", "party", "dave", 2)  # dup id
+        assert not pool.offer_vehicle("v2", "party", "dave", 0)  # no seats
+
+    def test_get_ride_prefers_preferred(self):
+        pool = CarPool()
+        pool.offer_vehicle("v1", "party", "a", 2)
+        pool.offer_vehicle("v2", "party", "b", 2)
+        assert pool.get_ride("u", "party", preferred="v2")
+        assert pool.ride_of("u", "party") == "v2"
+
+    def test_get_ride_falls_back_when_preferred_full(self):
+        pool = CarPool()
+        pool.offer_vehicle("v1", "party", "a", 1)
+        pool.offer_vehicle("v2", "party", "b", 1)
+        pool.get_ride("x", "party", preferred="v1")
+        assert pool.get_ride("u", "party", preferred="v1")
+        assert pool.ride_of("u", "party") == "v2"
+
+    def test_one_ride_per_event(self):
+        pool = CarPool()
+        pool.offer_vehicle("v1", "party", "a", 3)
+        pool.get_ride("u", "party")
+        assert not pool.get_ride("u", "party")
+
+    def test_all_full_fails(self):
+        pool = CarPool()
+        pool.offer_vehicle("v1", "party", "a", 1)
+        pool.get_ride("x", "party")
+        assert not pool.get_ride("u", "party")
+
+    def test_cancel_ride(self):
+        pool = CarPool()
+        pool.offer_vehicle("v1", "party", "a", 1)
+        pool.get_ride("u", "party")
+        assert pool.cancel_ride("u", "party")
+        assert not pool.cancel_ride("u", "party")
+        assert pool.free_seats("party") == 1
+
+
+class TestPhiGetRide:
+    """'a predicate φ_GetRide which is satisfied if the user gets a
+    ride on some vehicle' — checked mechanically."""
+
+    def phi(self, old, new, args):
+        user, event = args[0], args[1]
+        return any(
+            user in vehicle["riders"]
+            for vehicle in new["vehicles"].values()
+            if vehicle["event"] == event
+        )
+
+    def states(self):
+        def build(config):
+            seats, riders = config
+            pool = CarPool()
+            pool.vehicles["v1"] = {
+                "event": "party",
+                "driver": "d",
+                "seats": seats,
+                "riders": [f"r{i}" for i in range(min(riders, seats))],
+            }
+            pool.vehicles["v2"] = {
+                "event": "party",
+                "driver": "d",
+                "seats": 1,
+                "riders": [],
+            }
+            return pool
+
+        return product(integers(1, 3), integers(0, 3)).map(build)
+
+    def test_get_ride_conforms_to_phi(self):
+        report = check_conformance(
+            "get_ride",
+            self.states(),
+            product(choices(["u", "r0"]), choices(["party", "nowhere"]),
+                    choices([None, "v1", "v2"])),
+            self.phi,
+            budget=500,
+        )
+        assert report.conforms, report.violations
+        assert report.successes > 0 and report.failures > 0
+
+
+class TestDistributedRides:
+    def test_commit_may_use_different_vehicle(self):
+        # The paper's exact scenario: preferred vehicle full at commit,
+        # rider still gets a seat (in another car).
+        system, (ada, bert) = pool_system()
+        ada.offer_vehicle("small", "party", 1)
+        ada.offer_vehicle("big", "party", 3)
+        system.run_until_quiesced()
+        ticket_a = ada.get_ride("party", preferred="small")
+        ticket_b = bert.get_ride("party", preferred="small")
+        system.run_until_quiesced()
+        assert ticket_a.commit_result is True
+        assert ticket_b.commit_result is True
+        rides = {ada.my_rides["party"], bert.my_rides["party"]}
+        assert rides == {"small", "big"}
+
+    def test_no_seats_anywhere_conflict(self):
+        system, (ada, bert) = pool_system()
+        ada.offer_vehicle("only", "party", 1)
+        system.run_until_quiesced()
+        ticket_a = ada.get_ride("party")
+        ticket_b = bert.get_ride("party")
+        system.run_until_quiesced()
+        assert sorted([ticket_a.commit_result, ticket_b.commit_result]) == [
+            False,
+            True,
+        ]
+        loser = bert if ticket_a.commit_result else ada
+        assert loser.notifications == ["no ride available to party"]
+
+    def test_cancel_then_refill(self):
+        system, (ada, bert) = pool_system()
+        ada.offer_vehicle("v", "party", 1)
+        system.run_until_quiesced()
+        ada.get_ride("party")
+        system.run_until_quiesced()
+        ada.cancel_ride("party")
+        system.run_until_quiesced()
+        assert ada.my_rides == {}
+        ticket = bert.get_ride("party")
+        system.run_until_quiesced()
+        assert ticket.commit_result is True

@@ -1,0 +1,184 @@
+"""EventPlanner app tests: quota, capacity, hierarchical ops."""
+
+from repro.apps.event_planner import EventPlanner, PlannerClient
+from tests.helpers import quick_system
+
+
+def planner_system(n=2, quota=2):
+    system = quick_system(n)
+    planner = system.apis()[0].create_instance(EventPlanner)
+    system.run_until_quiesced()
+    clients = [
+        PlannerClient(api, api.join_instance(planner.unique_id), f"user{i}")
+        for i, api in enumerate(system.apis())
+    ]
+    return system, clients
+
+
+class TestPlannerUnit:
+    def test_create_event(self):
+        planner = EventPlanner()
+        assert planner.create_event("party", 3)
+        assert not planner.create_event("party", 3)
+        assert not planner.create_event("", 3)
+        assert not planner.create_event("x", 0)
+
+    def test_join_capacity(self):
+        planner = EventPlanner()
+        planner.create_event("party", 1)
+        assert planner.join("a", "party")
+        assert not planner.join("b", "party")
+
+    def test_join_quota(self):
+        planner = EventPlanner()
+        for name in ["e1", "e2", "e3"]:
+            planner.create_event(name, 5)
+        assert planner.join("a", "e1")
+        assert planner.join("a", "e2")
+        assert not planner.join("a", "e3")  # quota 2
+
+    def test_double_join_rejected(self):
+        planner = EventPlanner()
+        planner.create_event("party", 5)
+        planner.join("a", "party")
+        assert not planner.join("a", "party")
+
+    def test_leave(self):
+        planner = EventPlanner()
+        planner.create_event("party", 5)
+        planner.join("a", "party")
+        assert planner.leave("a", "party")
+        assert not planner.leave("a", "party")
+
+    def test_vacancies(self):
+        planner = EventPlanner()
+        planner.create_event("party", 2)
+        planner.join("a", "party")
+        assert planner.vacancies("party") == 1
+        assert planner.vacancies("ghost") == 0
+
+
+class TestHierarchicalOps:
+    def test_join_one_of_prefers_first(self):
+        system, (ada, _bert) = planner_system()
+        ada.create_event("a", 2)
+        ada.create_event("b", 2)
+        system.run_until_quiesced()
+        ticket = ada.join_one_of("a", "b")
+        system.run_until_quiesced()
+        assert ticket.commit_result is True
+        assert ada.my_events == {"a"}
+
+    def test_join_one_of_falls_through(self):
+        system, (ada, bert) = planner_system()
+        ada.create_event("a", 1)
+        ada.create_event("b", 2)
+        system.run_until_quiesced()
+        ada.join("a")
+        system.run_until_quiesced()
+        ticket = bert.join_one_of("a", "b")
+        system.run_until_quiesced()
+        assert ticket.commit_result is True
+        assert bert.my_events == {"b"}
+
+    def test_join_one_of_commit_picks_different_alternative(self):
+        # The paper's OrElse design pattern: bert's guesstimate admits
+        # him to 'a', but ada's racing join (earlier in commit order)
+        # fills it; at commit bert lands in 'b' and the OrElse still
+        # succeeds.
+        system, (ada, bert) = planner_system()
+        ada.create_event("a", 1)
+        ada.create_event("b", 1)
+        system.run_until_quiesced()
+        ticket_ada = ada.join("a")
+        ticket_bert = bert.join_one_of("a", "b")
+        system.run_until_quiesced()
+        assert ticket_ada.commit_result is True
+        assert ticket_bert.commit_result is True
+        assert ada.my_events == {"a"}
+        assert bert.my_events == {"b"}
+
+    def test_join_all_atomicity(self):
+        system, (ada, bert) = planner_system()
+        ada.create_event("a", 1)
+        ada.create_event("b", 2)
+        system.run_until_quiesced()
+        ada.join("a")  # takes the only seat of 'a'
+        system.run_until_quiesced()
+        ticket = bert.join_all("a", "b")
+        system.run_until_quiesced()
+        # 'a' is already full on bert's guesstimate: rejected at issue.
+        assert ticket.status == "rejected"
+        assert bert.my_events == set()
+        with bert.api.reading(bert.planner) as planner:
+            assert planner.attendees("b") == []  # no partial join
+
+    def test_join_all_fails_at_commit_under_race(self):
+        # bert's guesstimate still shows a seat in 'a' when he issues
+        # the atomic; ada's racing join commits first, so the whole
+        # atomic fails at commit — with no partial effect on 'b'.
+        system, (ada, bert) = planner_system()
+        ada.create_event("a", 1)
+        ada.create_event("b", 2)
+        system.run_until_quiesced()
+        ticket_ada = ada.join("a")
+        ticket_bert = bert.join_all("a", "b")
+        system.run_until_quiesced()
+        assert ticket_ada.commit_result is True
+        assert ticket_bert.commit_result is False
+        with bert.api.reading(bert.planner) as planner:
+            assert planner.attendees("b") == []
+
+    def test_swap_keeps_old_event_on_failure(self):
+        system, (ada, bert) = planner_system()
+        ada.create_event("full", 1)
+        ada.create_event("mine", 2)
+        system.run_until_quiesced()
+        ada.join("full")
+        bert.join("mine")
+        system.run_until_quiesced()
+        ticket = bert.swap("mine", "full")
+        system.run_until_quiesced()
+        # 'full' has no vacancy on bert's guesstimate: rejected at issue.
+        assert ticket.status == "rejected"
+        with bert.api.reading(bert.planner) as planner:
+            assert "user1" in planner.attendees("mine")
+
+    def test_swap_succeeds_with_vacancy(self):
+        system, (ada, _bert) = planner_system()
+        ada.create_event("old", 2)
+        ada.create_event("new", 2)
+        system.run_until_quiesced()
+        ada.join("old")
+        system.run_until_quiesced()
+        ticket = ada.swap("old", "new")
+        system.run_until_quiesced()
+        assert ticket.commit_result is True
+        assert ada.my_events == {"new"}
+
+    def test_quota_frees_up_within_atomic_swap(self):
+        # The quota check inside the atomic sees the leave's effect —
+        # the value dependency the paper motivates Atomic with.
+        system, (ada, _bert) = planner_system()
+        for name in ["e1", "e2", "e3"]:
+            ada.create_event(name, 2)
+        system.run_until_quiesced()
+        ada.join("e1")
+        ada.join("e2")
+        system.run_until_quiesced()
+        ticket = ada.swap("e1", "e3")
+        system.run_until_quiesced()
+        assert ticket.commit_result is True
+        assert ada.my_events == {"e2", "e3"}
+
+
+class TestConflictNotifications:
+    def test_loser_gets_notification(self):
+        system, (ada, bert) = planner_system()
+        ada.create_event("party", 1)
+        system.run_until_quiesced()
+        ada.join("party")
+        bert.join("party")
+        system.run_until_quiesced()
+        assert ada.notifications == []
+        assert bert.notifications == ["could not join party"]

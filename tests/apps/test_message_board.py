@@ -1,0 +1,107 @@
+"""MessageBoard app tests."""
+
+from repro.apps.message_board import BoardClient, MessageBoard
+from tests.helpers import quick_system
+
+
+def board_system(n=3):
+    system = quick_system(n)
+    board = system.apis()[0].create_instance(MessageBoard)
+    system.run_until_quiesced()
+    clients = [
+        BoardClient(api, api.join_instance(board.unique_id), f"user{i}")
+        for i, api in enumerate(system.apis())
+    ]
+    return system, clients
+
+
+class TestBoardUnit:
+    def test_create_topic(self):
+        board = MessageBoard()
+        assert board.create_topic("general")
+        assert not board.create_topic("general")
+        assert not board.create_topic("")
+
+    def test_post_requires_topic(self):
+        board = MessageBoard()
+        assert not board.post("ghost", "a", "hi")
+        board.create_topic("general")
+        assert board.post("general", "a", "hi")
+
+    def test_post_validates_author_and_text(self):
+        board = MessageBoard()
+        board.create_topic("general")
+        assert not board.post("general", "", "hi")
+        assert not board.post("general", "a", 7)
+
+    def test_post_limit(self):
+        board = MessageBoard()
+        board.post_limit = 2
+        board.create_topic("general")
+        assert board.post("general", "a", "1")
+        assert board.post("general", "a", "2")
+        assert not board.post("general", "a", "3")
+
+    def test_delete_own_post_only(self):
+        board = MessageBoard()
+        board.create_topic("general")
+        board.post("general", "alice", "mine")
+        assert not board.delete_post("general", 0, "bob")
+        assert board.delete_post("general", 0, "alice")
+        assert board.post_count("general") == 0
+
+    def test_delete_bounds(self):
+        board = MessageBoard()
+        board.create_topic("general")
+        assert not board.delete_post("general", 0, "a")
+        assert not board.delete_post("general", -1, "a")
+
+
+class TestDistributedBoard:
+    def test_concurrent_posts_all_land(self):
+        system, clients = board_system()
+        clients[0].create_topic("general")
+        system.run_until_quiesced()
+        for client in clients:
+            client.post("general", f"hello from {client.user}")
+        system.run_until_quiesced()
+        posts = clients[0].read_topic("general")
+        assert len(posts) == 3
+        assert [author for author, _text in posts] == ["user0", "user1", "user2"]
+        assert all(c.sent == 1 and c.failed == 0 for c in clients)
+
+    def test_all_machines_see_same_order(self):
+        system, clients = board_system()
+        clients[1].create_topic("t")
+        system.run_until_quiesced()
+        for round_index in range(3):
+            for client in clients:
+                client.post("t", f"r{round_index}")
+            system.run_for(0.7)
+        system.run_until_quiesced()
+        reference = clients[0].read_topic("t")
+        assert all(client.read_topic("t") == reference for client in clients)
+
+    def test_duplicate_topic_creation_conflict(self):
+        system, clients = board_system()
+        t0 = clients[0].create_topic("dup")
+        t1 = clients[1].create_topic("dup")
+        system.run_until_quiesced()
+        assert sorted([t0.commit_result, t1.commit_result]) == [False, True]
+        assert clients[2].topics() == ["dup"]
+
+    def test_racing_delete_and_post(self):
+        system, clients = board_system()
+        clients[0].create_topic("t")
+        system.run_until_quiesced()
+        clients[0].post("t", "first")
+        system.run_until_quiesced()
+        # user0 deletes its post while user1 posts — both commit, in
+        # lexicographic order (delete first), so the final board has
+        # exactly user1's post.
+        clients[0].delete_my_post("t", 0)
+        clients[1].post("t", "second")
+        system.run_until_quiesced()
+        posts = clients[2].read_topic("t")
+        assert posts == [("user1", "second")]
+        system.check_all_invariants()

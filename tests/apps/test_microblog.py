@@ -1,0 +1,128 @@
+"""MicroBlog app tests."""
+
+from repro.apps.microblog import MESSAGE_LIMIT, MicroBlog, MicroBlogClient
+from tests.helpers import quick_system
+
+
+def blog_system(n=3):
+    system = quick_system(n)
+    blog = system.apis()[0].create_instance(MicroBlog)
+    system.run_until_quiesced()
+    clients = [
+        MicroBlogClient(api, api.join_instance(blog.unique_id), f"h{i}")
+        for i, api in enumerate(system.apis())
+    ]
+    return system, clients
+
+
+class TestBlogUnit:
+    def test_register_unique_handles(self):
+        blog = MicroBlog()
+        assert blog.register("ada")
+        assert not blog.register("ada")
+        assert not blog.register("")
+
+    def test_follow_requires_both_handles(self):
+        blog = MicroBlog()
+        blog.register("a")
+        assert not blog.follow("a", "ghost")
+        blog.register("b")
+        assert blog.follow("a", "b")
+
+    def test_no_self_or_duplicate_follow(self):
+        blog = MicroBlog()
+        blog.register("a")
+        blog.register("b")
+        assert not blog.follow("a", "a")
+        blog.follow("a", "b")
+        assert not blog.follow("a", "b")
+
+    def test_unfollow(self):
+        blog = MicroBlog()
+        blog.register("a")
+        blog.register("b")
+        blog.follow("a", "b")
+        assert blog.unfollow("a", "b")
+        assert not blog.unfollow("a", "b")
+
+    def test_post_length_limit(self):
+        blog = MicroBlog()
+        blog.register("a")
+        assert blog.post("a", "x" * MESSAGE_LIMIT)
+        assert not blog.post("a", "x" * (MESSAGE_LIMIT + 1))
+        assert not blog.post("a", "")
+
+    def test_post_requires_registration(self):
+        blog = MicroBlog()
+        assert not blog.post("ghost", "hi")
+
+    def test_timeline_filters_by_follows(self):
+        blog = MicroBlog()
+        for handle in ["a", "b", "c"]:
+            blog.register(handle)
+        blog.follow("a", "b")
+        blog.post("a", "mine")
+        blog.post("b", "followed")
+        blog.post("c", "invisible")
+        timeline = blog.timeline("a")
+        assert ("a", "mine") in timeline
+        assert ("b", "followed") in timeline
+        assert ("c", "invisible") not in timeline
+
+    def test_timeline_limit(self):
+        blog = MicroBlog()
+        blog.register("a")
+        for index in range(30):
+            blog.post("a", f"m{index}")
+        assert len(blog.timeline("a", limit=5)) == 5
+
+    def test_follower_count(self):
+        blog = MicroBlog()
+        for handle in ["a", "b", "c"]:
+            blog.register(handle)
+        blog.follow("b", "a")
+        blog.follow("c", "a")
+        assert blog.follower_count("a") == 2
+
+
+class TestDistributedBlog:
+    def test_handle_race_one_wins(self):
+        system, clients = blog_system(2)
+        # Both machines try to claim the same handle.
+        c0 = MicroBlogClient(clients[0].api, clients[0].blog, "same")
+        c1 = MicroBlogClient(clients[1].api, clients[1].blog, "same")
+        t0 = c0.register()
+        t1 = c1.register()
+        system.run_until_quiesced()
+        assert sorted([t0.commit_result, t1.commit_result]) == [False, True]
+
+    def test_timeline_converges_across_machines(self):
+        system, clients = blog_system()
+        for client in clients:
+            client.register()
+        system.run_until_quiesced()
+        clients[0].follow("h1")
+        clients[1].post("from h1")
+        clients[2].post("from h2")
+        system.run_until_quiesced()
+        timeline = clients[0].my_timeline()
+        assert ("h1", "from h1") in timeline
+        assert ("h2", "from h2") not in timeline
+        assert clients[0].posted + clients[1].posted + clients[2].posted == 2
+
+    def test_global_post_order_identical(self):
+        system, clients = blog_system()
+        for client in clients:
+            client.register()
+        system.run_until_quiesced()
+        for text in ["one", "two"]:
+            for client in clients:
+                client.post(text)
+            system.run_for(0.7)
+        system.run_until_quiesced()
+        logs = [
+            node.model.committed.get(clients[0].blog.unique_id).posts
+            for node in system.nodes.values()
+        ]
+        assert all(log == logs[0] for log in logs)
+        system.check_all_invariants()

@@ -1,0 +1,132 @@
+"""Event-planner waitlist tests (unit + distributed)."""
+
+from repro.apps.event_planner import EventPlanner, PlannerClient
+from tests.helpers import quick_system
+
+
+def planner_system(n=3):
+    system = quick_system(n)
+    planner = system.apis()[0].create_instance(EventPlanner)
+    system.run_until_quiesced()
+    clients = [
+        PlannerClient(api, api.join_instance(planner.unique_id), f"user{i}")
+        for i, api in enumerate(system.apis())
+    ]
+    return system, clients
+
+
+class TestWaitlistUnit:
+    def make_full_party(self):
+        planner = EventPlanner()
+        planner.create_event("party", 1)
+        planner.join("a", "party")
+        return planner
+
+    def test_join_or_wait_joins_when_room(self):
+        planner = EventPlanner()
+        planner.create_event("party", 2)
+        assert planner.join_or_wait("a", "party")
+        assert planner.attendees("party") == ["a"]
+        assert planner.waitlist_of("party") == []
+
+    def test_join_or_wait_queues_when_full(self):
+        planner = self.make_full_party()
+        assert planner.join_or_wait("b", "party")
+        assert planner.waitlist_of("party") == ["b"]
+
+    def test_no_double_wait_or_wait_while_attending(self):
+        planner = self.make_full_party()
+        planner.join_or_wait("b", "party")
+        assert not planner.join_or_wait("b", "party")
+        assert not planner.join_or_wait("a", "party")
+
+    def test_leave_promotes_in_order(self):
+        planner = self.make_full_party()
+        planner.join_or_wait("b", "party")
+        planner.join_or_wait("c", "party")
+        assert planner.leave("a", "party")
+        assert planner.attendees("party") == ["b"]
+        assert planner.waitlist_of("party") == ["c"]
+
+    def test_promotion_skips_quota_blocked_waiters(self):
+        planner = EventPlanner()
+        planner.create_event("party", 1)
+        planner.create_event("e1", 5)
+        planner.create_event("e2", 5)
+        planner.join("a", "party")
+        planner.join_or_wait("b", "party")  # b waits
+        planner.join_or_wait("c", "party")  # c waits behind b
+        planner.join("b", "e1")
+        planner.join("b", "e2")  # b is now at quota
+        assert planner.leave("a", "party")
+        assert planner.attendees("party") == ["c"]  # b skipped, kept in line
+        assert planner.waitlist_of("party") == ["b"]
+
+    def test_cancel_wait(self):
+        planner = self.make_full_party()
+        planner.join_or_wait("b", "party")
+        assert planner.cancel_wait("b", "party")
+        assert not planner.cancel_wait("b", "party")
+        assert planner.waitlist_of("party") == []
+
+    def test_plain_join_rejected_while_waiting(self):
+        planner = self.make_full_party()
+        planner.join_or_wait("b", "party")
+        planner.leave("a", "party")  # b promoted
+        planner.join_or_wait("c", "party")  # party full again: c waits
+        assert not planner.join("c", "party")
+
+
+class TestWaitlistDistributed:
+    def test_racing_waiters_get_globally_ordered(self):
+        system, (ada, bert, cleo) = planner_system()
+        ada.create_event("party", 1)
+        system.run_until_quiesced()
+        ada.join("party")
+        system.run_until_quiesced()
+        # bert and cleo race onto the waitlist in the same round:
+        # commit order (m02 before m03) fixes the queue order everywhere.
+        bert.join_or_wait("party")
+        cleo.join_or_wait("party")
+        system.run_until_quiesced()
+        with ada.api.reading(ada.planner) as planner:
+            assert planner.waitlist_of("party") == ["user1", "user2"]
+        assert bert.my_waits == {"party"}
+        assert cleo.my_waits == {"party"}
+
+    def test_remote_leave_promotes_and_callback_notifies(self):
+        system, (ada, bert, _cleo) = planner_system()
+        ada.create_event("party", 1)
+        system.run_until_quiesced()
+        ada.join("party")
+        system.run_until_quiesced()
+        bert.join_or_wait("party")
+        system.run_until_quiesced()
+        # bert learns of his promotion through the remote-update callback.
+        bert.api.on_remote_update(
+            bert.planner, lambda _uid: bert.refresh_membership()
+        )
+        ada.leave("party")
+        system.run_until_quiesced()
+        assert bert.my_events == {"party"}
+        assert bert.my_waits == set()
+        assert "promoted into party" in bert.notifications
+        system.check_all_invariants()
+
+    def test_leave_and_wait_race_stays_consistent(self):
+        system, (ada, bert, cleo) = planner_system()
+        ada.create_event("party", 1)
+        system.run_until_quiesced()
+        ada.join("party")
+        system.run_until_quiesced()
+        # Same round: ada leaves (frees the seat) while bert and cleo
+        # try to join-or-wait.  Commit order: ada's leave (m01) first,
+        # so bert joins directly and cleo waits.
+        ada.leave("party")
+        bert.join_or_wait("party")
+        cleo.join_or_wait("party")
+        system.run_until_quiesced()
+        with ada.api.reading(ada.planner) as planner:
+            assert planner.attendees("party") == ["user1"]
+            assert planner.waitlist_of("party") == ["user2"]
+        system.check_all_invariants()

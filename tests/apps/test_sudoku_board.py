@@ -1,0 +1,158 @@
+"""SudokuBoard shared-object tests (Figure 1 semantics)."""
+
+import pytest
+
+from repro.apps.sudoku import SudokuBoard
+from repro.errors import ContractViolation
+
+EASY = [
+    [5, 3, 0, 0, 7, 0, 0, 0, 0],
+    [6, 0, 0, 1, 9, 5, 0, 0, 0],
+    [0, 9, 8, 0, 0, 0, 0, 6, 0],
+    [8, 0, 0, 0, 6, 0, 0, 0, 3],
+    [4, 0, 0, 8, 0, 3, 0, 0, 1],
+    [7, 0, 0, 0, 2, 0, 0, 0, 6],
+    [0, 6, 0, 0, 0, 0, 2, 8, 0],
+    [0, 0, 0, 4, 1, 9, 0, 0, 5],
+    [0, 0, 0, 0, 8, 0, 0, 7, 9],
+]
+
+
+def board_with(grid=None):
+    board = SudokuBoard()
+    if grid is not None:
+        board.load(grid)
+    return board
+
+
+class TestUpdate:
+    def test_legal_update_succeeds(self):
+        board = board_with(EASY)
+        assert board.update(1, 3, 4) is True
+        assert board.puzzle[0][2] == 4
+
+    def test_out_of_range_coordinates_rejected(self):
+        board = board_with(EASY)
+        assert board.update(0, 1, 5) is False
+        assert board.update(10, 1, 5) is False
+        assert board.update(1, 0, 5) is False
+        assert board.update(1, 10, 5) is False
+
+    def test_out_of_range_value_rejected(self):
+        board = board_with(EASY)
+        assert board.update(1, 3, 0) is False
+        assert board.update(1, 3, 10) is False
+
+    def test_non_int_rejected(self):
+        board = board_with(EASY)
+        assert board.update("1", 3, 4) is False
+
+    def test_row_duplicate_rejected(self):
+        board = board_with(EASY)
+        assert board.update(1, 3, 5) is False  # 5 already in row 1
+
+    def test_column_duplicate_rejected(self):
+        board = board_with(EASY)
+        assert board.update(1, 3, 8) is False  # 8 in column 3 (row 3)
+
+    def test_box_duplicate_rejected(self):
+        board = board_with(EASY)
+        assert board.update(2, 2, 9) is False  # 9 in the top-left box? (row3 col2)
+
+    def test_given_cell_protected(self):
+        board = board_with(EASY)
+        assert board.update(1, 1, 5) is False
+        assert board.update(1, 1, 2) is False
+
+    def test_filled_cell_not_overwritten(self):
+        board = board_with(EASY)
+        assert board.update(1, 3, 4) is True
+        assert board.update(1, 3, 2) is False
+
+    def test_failed_update_leaves_state(self):
+        board = board_with(EASY)
+        before = board.get_state()
+        board.update(1, 3, 5)
+        assert board.get_state() == before
+
+
+class TestRowCheckOffByOne:
+    """Regression for the paper's anecdote: 'the Sudoku grid row check
+    had an off by one error in array indexing which was caught with the
+    aid of Spec#'. Cells on row/column/box boundaries must validate
+    against exactly their own row, column and box."""
+
+    def test_boundary_cells_each_row(self):
+        board = board_with()
+        # Fill column 9 with a value; row checks on column 1 must not
+        # be confused by neighbouring rows.
+        assert board.update(1, 9, 5)
+        assert board.update(2, 1, 5)  # same value, different row/col/box
+
+    def test_last_cell_of_grid(self):
+        board = board_with()
+        assert board.update(9, 9, 9)
+        assert board.update(9, 1, 9) is False  # same row now
+        assert board.update(1, 9, 9) is False  # same column
+
+    def test_box_boundaries(self):
+        board = board_with()
+        assert board.update(3, 3, 7)  # last cell of box (1,1)
+        assert board.update(4, 4, 7)  # first cell of box (2,2): legal
+        assert board.update(2, 2, 7) is False  # same box as (3,3)
+
+
+class TestClear:
+    def test_clear_own_guess(self):
+        board = board_with(EASY)
+        board.update(1, 3, 4)
+        assert board.clear(1, 3) is True
+        assert board.puzzle[0][2] == 0
+
+    def test_cannot_clear_given(self):
+        board = board_with(EASY)
+        assert board.clear(1, 1) is False
+
+    def test_cannot_clear_empty(self):
+        board = board_with(EASY)
+        assert board.clear(1, 3) is False
+
+    def test_bounds(self):
+        board = board_with(EASY)
+        assert board.clear(0, 1) is False
+        assert board.clear(1, 99) is False
+
+
+class TestQueriesAndState:
+    def test_empty_cells_one_based(self):
+        board = board_with(EASY)
+        assert (1, 3) in board.empty_cells()
+        assert (1, 1) not in board.empty_cells()
+
+    def test_filled_count(self):
+        board = board_with(EASY)
+        assert board.filled_count() == sum(
+            1 for row in EASY for value in row if value
+        )
+
+    def test_copy_from_copies_givens(self):
+        board = board_with(EASY)
+        other = SudokuBoard()
+        other.copy_from(board)
+        assert other.given == board.given
+        assert other.puzzle == board.puzzle
+        other.puzzle[0][2] = 4
+        assert board.puzzle[0][2] == 0  # deep copy
+
+    def test_solved_detection(self):
+        from repro.apps.sudoku import solve
+
+        solution = solve(EASY)
+        board = board_with(solution)
+        assert board.solved()
+
+    def test_invariant_trips_on_corrupt_grid(self):
+        board = board_with(EASY)
+        board.puzzle[0][1] = 5  # duplicate 5 in row 1, bypassing update
+        with pytest.raises(ContractViolation):
+            board.update(1, 3, 4)

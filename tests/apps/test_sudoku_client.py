@@ -1,0 +1,109 @@
+"""SudokuClient (the Figure 2 UI layer) over a live system."""
+
+import random
+
+from repro.apps.sudoku import CellMark, SudokuClient, generate_puzzle
+from tests.helpers import quick_system
+
+
+def game(n=2, seed=3, clues=45):
+    system = quick_system(n, seed=seed)
+    puzzle, solution = generate_puzzle(random.Random(seed), clues=clues)
+    creator = SudokuClient.create(system.apis()[0], puzzle)
+    system.run_until_quiesced()
+    players = [creator] + [
+        SudokuClient.join(api, creator.board.unique_id)
+        for api in system.apis()[1:]
+    ]
+    return system, players, solution
+
+
+class TestMarkLifecycle:
+    def test_fill_marks_tentative_then_clears(self):
+        system, (alice, _bob), solution = game()
+        row, col = alice.empty_cells()[0]
+        record = alice.fill(row, col, solution[row - 1][col - 1])
+        assert record.mark is CellMark.TENTATIVE
+        assert (row, col) in alice.tentative_cells()
+        system.run_until_quiesced()
+        assert record.mark is CellMark.CONFIRMED
+        assert alice.tentative_cells() == []
+
+    def test_conflicting_fill_marked_failed(self):
+        system, (alice, bob), solution = game()
+        from repro.apps.sudoku import generator
+
+        grid = bob.snapshot_grid()
+        target = None
+        for r, c in bob.empty_cells():
+            options = generator.candidates(grid, r - 1, c - 1)
+            wrong = [v for v in options if v != solution[r - 1][c - 1]]
+            if wrong:
+                target = (r, c, solution[r - 1][c - 1], wrong[0])
+                break
+        r, c, good, bad = target
+        alice.fill(r, c, good)
+        record = bob.fill(r, c, bad)
+        system.run_until_quiesced()
+        assert record.mark is CellMark.FAILED
+        assert (r, c) in bob.failed_cells()
+        assert bob.conflicts_seen == 1
+
+    def test_illegal_fill_rejected_locally(self):
+        system, (alice, _bob), _solution = game()
+        record = alice.fill(1, 1, alice.value_at(1, 1) or 1)  # given cell
+        assert record.ticket.status == "rejected"
+        assert record.mark is None or record.mark is not CellMark.TENTATIVE
+
+
+class TestReadsAndState:
+    def test_players_converge(self):
+        system, (alice, bob), solution = game()
+        cells = alice.empty_cells()[:4]
+        for r, c in cells:
+            alice.fill(r, c, solution[r - 1][c - 1])
+        system.run_until_quiesced()
+        assert alice.snapshot_grid() == bob.snapshot_grid()
+        for r, c in cells:
+            assert bob.value_at(r, c) == solution[r - 1][c - 1]
+
+    def test_erase_own_guess(self):
+        system, (alice, _bob), solution = game()
+        r, c = alice.empty_cells()[0]
+        alice.fill(r, c, solution[r - 1][c - 1])
+        system.run_until_quiesced()
+        ticket = alice.erase(r, c)
+        system.run_until_quiesced()
+        assert ticket.commit_result is True
+        assert alice.value_at(r, c) == 0
+
+    def test_join_rejects_wrong_type(self):
+        import pytest
+
+        from tests.helpers import Counter
+
+        system = quick_system(2)
+        api = system.apis()[0]
+        counter = api.create_instance(Counter)
+        system.run_until_quiesced()
+        with pytest.raises(TypeError):
+            SudokuClient.join(system.apis()[1], counter.unique_id)
+
+    def test_collaborative_solve_to_completion(self):
+        system, players, solution = game(n=3, seed=11, clues=55)
+        rng = random.Random(1)
+        for _round in range(300):
+            if players[0].solved():
+                break
+            player = rng.choice(players)
+            empty = player.empty_cells()
+            if not empty:
+                system.run_for(0.5)
+                continue
+            r, c = rng.choice(empty)
+            player.fill(r, c, solution[r - 1][c - 1])
+            system.run_for(rng.random() * 0.3)
+        system.run_until_quiesced()
+        assert players[0].solved()
+        assert all(p.snapshot_grid() == solution for p in players)
+        system.check_all_invariants()

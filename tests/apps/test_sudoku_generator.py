@@ -1,0 +1,138 @@
+"""Puzzle generator / solver tests."""
+
+import random
+
+import pytest
+
+from repro.apps.sudoku.generator import (
+    candidates,
+    count_solutions,
+    empty_grid,
+    generate_puzzle,
+    generate_solution,
+    is_complete,
+    is_valid_grid,
+    solve,
+)
+
+
+class TestValidity:
+    def test_empty_grid_is_valid(self):
+        assert is_valid_grid(empty_grid())
+
+    def test_malformed_grid_invalid(self):
+        assert not is_valid_grid([[0] * 9] * 8)
+        assert not is_valid_grid([[0] * 8 for _ in range(9)])
+
+    def test_out_of_range_value_invalid(self):
+        grid = empty_grid()
+        grid[0][0] = 10
+        assert not is_valid_grid(grid)
+
+    def test_row_duplicate_invalid(self):
+        grid = empty_grid()
+        grid[0][0] = grid[0][5] = 3
+        assert not is_valid_grid(grid)
+
+    def test_column_duplicate_invalid(self):
+        grid = empty_grid()
+        grid[0][0] = grid[5][0] = 3
+        assert not is_valid_grid(grid)
+
+    def test_box_duplicate_invalid(self):
+        grid = empty_grid()
+        grid[0][0] = grid[1][1] = 3
+        assert not is_valid_grid(grid)
+
+    def test_empty_grid_not_complete(self):
+        assert not is_complete(empty_grid())
+
+
+class TestSolve:
+    def test_solves_empty_grid(self):
+        solution = solve(empty_grid())
+        assert solution is not None
+        assert is_complete(solution)
+
+    def test_solve_does_not_mutate_input(self):
+        grid = empty_grid()
+        solve(grid)
+        assert grid == empty_grid()
+
+    def test_unsatisfiable_returns_none(self):
+        grid = empty_grid()
+        # Make the last cell of row 1 impossible: its row takes 1..8
+        # and its column and box take 9.
+        grid[0][:8] = [1, 2, 3, 4, 5, 6, 7, 8]
+        grid[1][8] = 9
+        assert solve(grid) is None
+
+    def test_invalid_grid_returns_none(self):
+        grid = empty_grid()
+        grid[0][0] = grid[0][1] = 5
+        assert solve(grid) is None
+
+    def test_solution_respects_givens(self):
+        grid = empty_grid()
+        grid[4][4] = 7
+        solution = solve(grid)
+        assert solution[4][4] == 7
+
+    def test_candidates(self):
+        grid = empty_grid()
+        grid[0][0] = 1
+        grid[0][1] = 2
+        options = candidates(grid, 0, 2)
+        assert 1 not in options and 2 not in options
+        assert set(options) <= set(range(3, 10))
+
+
+class TestCountSolutions:
+    def test_complete_grid_has_one(self):
+        solution = generate_solution(random.Random(0))
+        assert count_solutions(solution) == 1
+
+    def test_empty_grid_hits_limit(self):
+        assert count_solutions(empty_grid(), limit=2) == 2
+
+    def test_unsatisfiable_has_zero(self):
+        grid = empty_grid()
+        grid[0][0] = grid[0][1] = 5
+        assert count_solutions(grid) == 0
+
+
+class TestGeneration:
+    def test_generated_solution_is_complete(self):
+        assert is_complete(generate_solution(random.Random(1)))
+
+    def test_different_seeds_differ(self):
+        a = generate_solution(random.Random(1))
+        b = generate_solution(random.Random(2))
+        assert a != b
+
+    def test_same_seed_reproduces(self):
+        assert generate_solution(random.Random(3)) == generate_solution(
+            random.Random(3)
+        )
+
+    def test_puzzle_embeds_in_solution(self):
+        puzzle, solution = generate_puzzle(random.Random(4), clues=40)
+        for r in range(9):
+            for c in range(9):
+                if puzzle[r][c]:
+                    assert puzzle[r][c] == solution[r][c]
+
+    def test_unique_puzzle_has_one_solution(self):
+        puzzle, _solution = generate_puzzle(random.Random(5), clues=45, unique=True)
+        assert count_solutions(puzzle, limit=2) == 1
+
+    def test_clue_floor_respected(self):
+        puzzle, _solution = generate_puzzle(random.Random(6), clues=50)
+        givens = sum(1 for row in puzzle for value in row if value)
+        assert givens >= 50
+
+    def test_invalid_clue_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_puzzle(random.Random(0), clues=10)
+        with pytest.raises(ValueError):
+            generate_puzzle(random.Random(0), clues=90)

@@ -1,0 +1,109 @@
+"""Pencil marks: local operations (rule R1) with callback-driven pruning."""
+
+import random
+
+from repro.apps.sudoku import SudokuClient, generate_puzzle
+from repro.apps.sudoku.generator import candidates
+from tests.helpers import quick_system
+
+
+def game():
+    system = quick_system(2, seed=6)
+    puzzle, solution = generate_puzzle(random.Random(6), clues=45)
+    alice = SudokuClient.create(system.apis()[0], puzzle)
+    system.run_until_quiesced()
+    bob = SudokuClient.join(system.apis()[1], alice.board.unique_id)
+    return system, alice, bob, solution
+
+
+class TestPencilMarks:
+    def test_pencil_is_purely_local(self):
+        system, alice, bob, _solution = game()
+        row, col = alice.empty_cells()[0]
+        alice.pencil(row, col, 1, 2, 3)
+        assert alice.pencil_marks[(row, col)] == {1, 2, 3}
+        system.run_until_quiesced()
+        # Nothing crossed the network: no issue, no state change on bob.
+        assert bob.pencil_marks == {}
+        assert bob.value_at(row, col) == 0
+
+    def test_pencil_on_filled_cell_is_noop(self):
+        _system, alice, _bob, _solution = game()
+        # (1,1) may be a given; find any filled cell.
+        grid = alice.snapshot_grid()
+        filled = next(
+            (r + 1, c + 1) for r in range(9) for c in range(9) if grid[r][c]
+        )
+        alice.pencil(*filled, 5)
+        assert filled not in alice.pencil_marks
+
+    def test_out_of_range_values_ignored(self):
+        _system, alice, _bob, _solution = game()
+        row, col = alice.empty_cells()[0]
+        alice.pencil(row, col, 0, 10, 4)
+        assert alice.pencil_marks[(row, col)] == {4}
+
+    def test_erase_pencil(self):
+        _system, alice, _bob, _solution = game()
+        row, col = alice.empty_cells()[0]
+        alice.pencil(row, col, 4)
+        alice.erase_pencil(row, col)
+        assert (row, col) not in alice.pencil_marks
+
+    def test_remote_fill_prunes_marks_via_callback(self):
+        system, alice, bob, solution = game()
+        alice.enable_live_refresh()
+        row, col = alice.empty_cells()[0]
+        correct = solution[row - 1][col - 1]
+        alice.pencil(row, col, correct)
+        # Bob fills that exact cell: alice's mark must vanish.
+        bob.fill(row, col, correct)
+        system.run_until_quiesced()
+        assert (row, col) not in alice.pencil_marks
+
+    def test_remote_fill_prunes_now_illegal_values(self):
+        system, alice, bob, solution = game()
+        alice.enable_live_refresh()
+        grid = alice.snapshot_grid()
+        # Find two empty cells in the same row and a value legal in both.
+        target = None
+        for r in range(9):
+            empties = [c for c in range(9) if grid[r][c] == 0]
+            for i, c1 in enumerate(empties):
+                for c2 in empties[i + 1 :]:
+                    shared = set(candidates(grid, r, c1)) & set(
+                        candidates(grid, r, c2)
+                    )
+                    shared &= {solution[r][c1]}
+                    if shared:
+                        target = (r, c1, c2, shared.pop())
+                        break
+                if target:
+                    break
+            if target:
+                break
+        if target is None:
+            return  # puzzle shape didn't allow the scenario; fine
+        r, c1, c2, value = target
+        alice.pencil(r + 1, c2 + 1, value)
+        bob.fill(r + 1, c1 + 1, value)  # same row: value now illegal at c2
+        system.run_until_quiesced()
+        marks = alice.pencil_marks.get((r + 1, c2 + 1), set())
+        assert value not in marks
+
+    def test_surviving_marks_stay(self):
+        system, alice, bob, solution = game()
+        alice.enable_live_refresh()
+        empties = alice.empty_cells()
+        (r1, c1), (r2, c2) = empties[0], empties[-1]
+        keep = candidates(alice.snapshot_grid(), r2 - 1, c2 - 1)
+        alice.pencil(r2, c2, *keep)
+        bob.fill(r1, c1, solution[r1 - 1][c1 - 1])
+        system.run_until_quiesced()
+        # Unless the fill was in the same row/col/box with a kept value,
+        # most marks survive; at minimum the dict is still consistent.
+        grid = alice.snapshot_grid()
+        for (row, col), marks in alice.pencil_marks.items():
+            assert grid[row - 1][col - 1] == 0
+            legal = set(candidates(grid, row - 1, col - 1))
+            assert marks <= legal

@@ -1,0 +1,24 @@
+"""Shared fixtures for the GUESSTIMATE reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.guesstimate import Guesstimate
+from repro.spec.contracts import set_checking
+
+
+@pytest.fixture(autouse=True)
+def _fresh_ids():
+    """Deterministic shared-object ids in every test."""
+    Guesstimate._reset_id_counter()
+    yield
+    Guesstimate._reset_id_counter()
+
+
+@pytest.fixture(autouse=True)
+def _contracts_on():
+    """Tests run with runtime contract checking enabled (Spec# mode)."""
+    previous = set_checking(True)
+    yield
+    set_checking(previous)

@@ -1,0 +1,78 @@
+"""Guesstimate facade edge cases not covered by the main suites."""
+
+import pytest
+
+from repro.core.guesstimate import Guesstimate, LocalHost
+from repro.core.machine import MachineModel
+from repro.errors import SharedObjectError
+from tests.helpers import BadCopy, Counter, Ledger, quick_system
+
+
+def make_api():
+    return Guesstimate(MachineModel("m01"))
+
+
+class TestAvailableObjects:
+    def test_includes_pending_creates_and_committed(self):
+        api = make_api()
+        local = api.create_instance(Counter)  # pending, guess-only
+        api.model.committed.create("remote:1", Ledger, None)
+        listed = api.available_objects()
+        assert local.unique_id in listed
+        assert "remote:1" in listed
+
+    def test_sorted_and_deduplicated(self):
+        api = make_api()
+        counter = api.create_instance(Counter)
+        api.model.committed.create(counter.unique_id, Counter, None)
+        listed = api.available_objects()
+        assert listed.count(counter.unique_id) == 1
+        assert listed == sorted(listed)
+
+
+class TestGetType:
+    def test_falls_back_to_committed_store(self):
+        api = make_api()
+        api.model.committed.create("c:1", Ledger, None)
+        assert api.get_type("c:1") is Ledger
+
+
+class TestCreateInstanceValidation:
+    def test_invalid_shared_class_rejected(self):
+        api = make_api()
+        with pytest.raises(SharedObjectError):
+            api.create_instance(BadCopy)
+
+    def test_init_state_does_not_alias_caller_dict(self):
+        api = make_api()
+        seed = {"value": 3}
+        counter = api.create_instance(Counter, init_state=seed)
+        seed["value"] = 99
+        assert counter.value == 3
+
+
+class TestTicketLifecycleOverRuntime:
+    def test_ticket_key_matches_committed_entry(self):
+        system = quick_system(2)
+        api = system.apis()[0]
+        counter = api.create_instance(Counter)
+        system.run_until_quiesced()
+        ticket = api.issue_when_possible(
+            api.create_operation(counter, "increment", 5)
+        )
+        assert ticket.key is not None
+        system.run_until_quiesced()
+        committed_keys = [e.key for e in system.node("m01").model.completed]
+        assert ticket.key in committed_keys
+        assert ticket.status == "committed"
+
+    def test_wait_returns_immediately_when_done(self):
+        system = quick_system(2)
+        api = system.apis()[0]
+        counter = api.create_instance(Counter)
+        system.run_until_quiesced()
+        ticket = api.issue_when_possible(
+            api.create_operation(counter, "increment", 5)
+        )
+        system.run_until_quiesced()
+        assert ticket.wait(timeout=0.01)  # already committed; no block

@@ -1,0 +1,229 @@
+"""Guesstimate facade tests (standalone, LocalHost)."""
+
+import pytest
+
+from repro.core.guesstimate import Guesstimate, Host, IssueTicket, LocalHost
+from repro.core.machine import MachineModel
+from repro.errors import (
+    IssueBlockedError,
+    NotSubscribedError,
+    UnknownMethodError,
+    UnknownObjectError,
+)
+from tests.helpers import Counter, Ledger, Register
+
+
+def make_api(machine_id="m01"):
+    return Guesstimate(MachineModel(machine_id))
+
+
+class TestObjectLifecycle:
+    def test_create_instance_returns_guess_replica(self):
+        api = make_api()
+        counter = api.create_instance(Counter)
+        assert api.model.guess.get(counter.unique_id) is counter
+
+    def test_create_instance_queues_create_op(self):
+        api = make_api()
+        api.create_instance(Counter)
+        assert len(api.model.pending) == 1
+        assert api.model.pending[0].op.kind == "create"
+
+    def test_create_with_init_state(self):
+        api = make_api()
+        counter = api.create_instance(Counter, init_state={"value": 6})
+        assert counter.value == 6
+
+    def test_unique_ids_are_unique(self):
+        api = make_api()
+        a = api.create_instance(Counter)
+        b = api.create_instance(Counter)
+        assert a.unique_id != b.unique_id
+
+    def test_join_instance_of_local_create(self):
+        api = make_api()
+        counter = api.create_instance(Counter)
+        joined = api.join_instance(counter.unique_id)
+        assert joined is counter
+        assert api.is_subscribed(counter.unique_id)
+
+    def test_join_unknown_raises(self):
+        with pytest.raises(UnknownObjectError):
+            make_api().join_instance("ghost")
+
+    def test_join_from_committed_only(self):
+        api = make_api()
+        api.model.committed.create("c1", Counter, {"value": 2})
+        joined = api.join_instance("c1")
+        assert joined.value == 2
+        assert api.model.guess.has("c1")
+
+    def test_available_objects(self):
+        api = make_api()
+        counter = api.create_instance(Counter)
+        assert api.available_objects() == [counter.unique_id]
+
+    def test_get_type_and_unique_id(self):
+        api = make_api()
+        counter = api.create_instance(Counter)
+        assert api.get_type(counter.unique_id) is Counter
+        assert api.get_unique_id(counter) == counter.unique_id
+
+
+class TestOperationConstruction:
+    def test_create_operation_validates_method(self):
+        api = make_api()
+        counter = api.create_instance(Counter)
+        with pytest.raises(UnknownMethodError):
+            api.create_operation(counter, "no_such_method")
+
+    def test_create_operation_accepts_uid_string(self):
+        api = make_api()
+        counter = api.create_instance(Counter)
+        op = api.create_operation(counter.unique_id, "increment", 5)
+        assert op.object_id == counter.unique_id
+
+    def test_create_operation_on_unknown_object(self):
+        api = make_api()
+        with pytest.raises(NotSubscribedError):
+            api.create_operation("ghost", "increment", 5)
+
+    def test_create_atomic_and_or_else(self):
+        api = make_api()
+        counter = api.create_instance(Counter)
+        op1 = api.create_operation(counter, "increment", 5)
+        op2 = api.create_operation(counter, "increment", 5)
+        atomic = api.create_atomic([op1, op2])
+        orelse = api.create_or_else(op1, op2)
+        assert atomic.kind == "atomic"
+        assert orelse.kind == "orelse"
+
+
+class TestIssue:
+    def test_issue_updates_guess_and_queues(self):
+        api = make_api()
+        counter = api.create_instance(Counter)
+        op = api.create_operation(counter, "increment", 5)
+        assert api.issue_operation(op) is True
+        assert counter.value == 1
+        assert len(api.model.pending) == 2  # create + increment
+
+    def test_failed_issue_is_dropped(self):
+        api = make_api()
+        counter = api.create_instance(Counter, init_state={"value": 5})
+        op = api.create_operation(counter, "increment", 5)
+        assert api.issue_operation(op) is False
+        assert len(api.model.pending) == 1  # only the create
+
+    def test_issue_notifies_host(self):
+        host = LocalHost()
+        api = Guesstimate(MachineModel("m01"), host)
+        counter = api.create_instance(Counter)
+        api.issue_operation(api.create_operation(counter, "increment", 5))
+        assert len(host.issued) == 2
+
+    def test_issue_during_window_raises(self):
+        class Windowed(Host):
+            def now(self):
+                return 0.0
+
+            def active_window(self):
+                return "flush"
+
+        api = Guesstimate(MachineModel("m01"), Windowed())
+        with pytest.raises(IssueBlockedError):
+            api.create_instance(Counter)
+
+    def test_entry_records_issue_metadata(self):
+        host = LocalHost()
+        host.time = 12.5
+        api = Guesstimate(MachineModel("m01"), host)
+        counter = api.create_instance(Counter)
+        api.issue_operation(api.create_operation(counter, "increment", 5))
+        entry = api.model.pending[-1]
+        assert entry.issued_at == 12.5
+        assert entry.issue_result is True
+        assert entry.executions == 1
+
+
+class TestIssueWhenPossible:
+    def test_immediate_issue(self):
+        api = make_api()
+        counter = api.create_instance(Counter)
+        ticket = api.issue_when_possible(
+            api.create_operation(counter, "increment", 5)
+        )
+        assert ticket.status == IssueTicket.ISSUED
+        assert ticket.issue_result is True
+        assert not ticket.done  # not committed yet
+
+    def test_rejected_ticket(self):
+        api = make_api()
+        counter = api.create_instance(Counter, init_state={"value": 5})
+        ticket = api.issue_when_possible(
+            api.create_operation(counter, "increment", 5)
+        )
+        assert ticket.status == IssueTicket.REJECTED
+        assert ticket.done
+
+    def test_deferred_issue_runs_on_window_close(self):
+        class ToggleWindow(Host):
+            def __init__(self):
+                self.window = "update"
+                self.deferred = []
+
+            def now(self):
+                return 0.0
+
+            def active_window(self):
+                return self.window
+
+            def defer(self, fn):
+                self.deferred.append(fn)
+
+        host = ToggleWindow()
+        api = Guesstimate(MachineModel("m01"), host)
+        host.window = None
+        counter = api.create_instance(Counter)
+        host.window = "update"
+        ticket = api.issue_when_possible(
+            api.create_operation(counter, "increment", 5)
+        )
+        assert ticket.status == IssueTicket.PENDING
+        host.window = None
+        for fn in host.deferred:
+            fn()
+        assert ticket.status == IssueTicket.ISSUED
+
+    def test_completion_wrapper_marks_ticket(self):
+        api = make_api()
+        counter = api.create_instance(Counter)
+        seen = []
+        ticket = api.issue_when_possible(
+            api.create_operation(counter, "increment", 5), seen.append
+        )
+        entry = api.model.pending[-1]
+        entry.completion(True)  # what the synchronizer does at commit
+        assert ticket.status == IssueTicket.COMMITTED
+        assert ticket.commit_result is True
+        assert seen == [True]
+        assert ticket.done
+
+
+class TestReads:
+    def test_reading_context_manager(self):
+        api = make_api()
+        counter = api.create_instance(Counter)
+        with api.reading(counter) as replica:
+            assert replica is counter
+        assert api.read_locks.read_depth(counter.unique_id) == 0
+
+    def test_begin_end_read_nesting(self):
+        api = make_api()
+        counter = api.create_instance(Counter)
+        api.begin_read(counter)
+        api.begin_read(counter)
+        assert api.read_locks.read_depth(counter.unique_id) == 2
+        api.end_read(counter)
+        api.end_read(counter)
+        assert api.read_locks.read_depth(counter.unique_id) == 0

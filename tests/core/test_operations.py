@@ -1,0 +1,239 @@
+"""Operation algebra tests: primitive, Atomic, OrElse, create."""
+
+import pytest
+
+from repro.core.operations import AtomicOp, CreateObjectOp, OpKey, OrElseOp, PrimitiveOp
+from repro.core.store import ObjectStore
+from repro.errors import (
+    NonBooleanResultError,
+    OperationError,
+    UnknownMethodError,
+    UnknownObjectError,
+)
+from tests.helpers import Counter, Ledger, Register, Toggle
+
+
+def store_with(uid="c1", cls=Counter, state=None):
+    store = ObjectStore()
+    store.create(uid, cls, state)
+    return store
+
+
+class TestOpKey:
+    def test_lexicographic_order(self):
+        keys = [OpKey("m02", 1), OpKey("m01", 2), OpKey("m01", 1)]
+        assert sorted(keys) == [OpKey("m01", 1), OpKey("m01", 2), OpKey("m02", 1)]
+
+    def test_str(self):
+        assert str(OpKey("m01", 3)) == "m01#3"
+
+
+class TestPrimitiveOp:
+    def test_executes_method(self):
+        store = store_with()
+        op = PrimitiveOp("c1", "increment", (10,))
+        assert op.execute(store) is True
+        assert store.get("c1").value == 1
+
+    def test_failure_returns_false(self):
+        store = store_with(state={"value": 10})
+        op = PrimitiveOp("c1", "increment", (10,))
+        assert op.execute(store) is False
+        assert store.get("c1").value == 10
+
+    def test_unknown_object(self):
+        op = PrimitiveOp("ghost", "increment", (1,))
+        with pytest.raises(UnknownObjectError):
+            op.execute(ObjectStore())
+
+    def test_unknown_method(self):
+        store = store_with()
+        with pytest.raises(UnknownMethodError):
+            PrimitiveOp("c1", "no_such", ()).execute(store)
+
+    def test_non_boolean_result_rejected(self):
+        store = store_with()
+        with pytest.raises(NonBooleanResultError):
+            PrimitiveOp("c1", "get_state", ()).execute(store)
+
+    def test_private_method_rejected_at_build(self):
+        with pytest.raises(OperationError):
+            PrimitiveOp("c1", "_bind_id", ("x",))
+
+    def test_empty_object_id_rejected(self):
+        with pytest.raises(OperationError):
+            PrimitiveOp("", "increment", (1,))
+
+    def test_object_ids_and_primitives(self):
+        op = PrimitiveOp("c1", "increment", (1,))
+        assert op.object_ids() == {"c1"}
+        assert list(op.iter_primitives()) == [op]
+
+    def test_describe(self):
+        assert PrimitiveOp("c1", "increment", (5,)).describe() == "c1.increment(5)"
+
+
+class TestAtomicOp:
+    def test_all_succeed(self):
+        store = store_with()
+        op = AtomicOp([PrimitiveOp("c1", "increment", (10,))] * 3)
+        assert op.execute(store) is True
+        assert store.get("c1").value == 3
+
+    def test_all_or_nothing_on_failure(self):
+        store = store_with()
+        op = AtomicOp(
+            [
+                PrimitiveOp("c1", "increment", (10,)),
+                PrimitiveOp("c1", "increment", (1,)),  # fails: value already 1
+                PrimitiveOp("c1", "increment", (10,)),
+            ]
+        )
+        assert op.execute(store) is False
+        assert store.get("c1").value == 0  # first increment rolled back
+
+    def test_spans_multiple_objects(self):
+        store = ObjectStore()
+        store.create("a", Ledger, None)
+        store.create("b", Ledger, None)
+        transfer = AtomicOp(
+            [
+                PrimitiveOp("a", "deposit", (10, "seed")),
+                PrimitiveOp("a", "withdraw", (10, "move")),
+                PrimitiveOp("b", "deposit", (10, "recv")),
+            ]
+        )
+        assert transfer.execute(store) is True
+        assert store.get("b").balance == 10
+
+    def test_multi_object_rollback(self):
+        store = ObjectStore()
+        store.create("a", Ledger, {"balance": 5, "log": []})
+        store.create("b", Ledger, None)
+        transfer = AtomicOp(
+            [
+                PrimitiveOp("b", "deposit", (10, "recv")),
+                PrimitiveOp("a", "withdraw", (10, "overdraft")),  # fails
+            ]
+        )
+        assert transfer.execute(store) is False
+        assert store.get("a").balance == 5
+        assert store.get("b").balance == 0
+        assert store.get("b").log == []
+
+    def test_empty_atomic_rejected(self):
+        with pytest.raises(OperationError):
+            AtomicOp([])
+
+    def test_non_op_children_rejected(self):
+        with pytest.raises(OperationError):
+            AtomicOp([lambda: True])
+
+    def test_object_ids_union(self):
+        op = AtomicOp(
+            [PrimitiveOp("a", "deposit", (1, "")), PrimitiveOp("b", "deposit", (1, ""))]
+        )
+        assert op.object_ids() == {"a", "b"}
+
+    def test_describe(self):
+        op = AtomicOp([PrimitiveOp("a", "deposit", (1, "n"))])
+        assert op.describe() == "Atomic{a.deposit(1, 'n')}"
+
+
+class TestOrElseOp:
+    def test_first_succeeds_second_skipped(self):
+        store = store_with(cls=Toggle)
+        op = OrElseOp(
+            PrimitiveOp("c1", "claim", ("alice",)),
+            PrimitiveOp("c1", "claim", ("bob",)),
+        )
+        assert op.execute(store) is True
+        assert store.get("c1").owner == "alice"
+
+    def test_falls_back_to_second(self):
+        store = store_with(cls=Register, state={"value": 5})
+        op = OrElseOp(
+            PrimitiveOp("c1", "set_if", (0, 10)),  # fails: value is 5
+            PrimitiveOp("c1", "set_if", (5, 10)),
+        )
+        assert op.execute(store) is True
+        assert store.get("c1").value == 10
+
+    def test_both_fail_leaves_state(self):
+        store = store_with(cls=Register, state={"value": 5})
+        op = OrElseOp(
+            PrimitiveOp("c1", "set_if", (0, 10)),
+            PrimitiveOp("c1", "set_if", (1, 10)),
+        )
+        assert op.execute(store) is False
+        assert store.get("c1").value == 5
+
+    def test_at_most_one_alternative_applies(self):
+        # Even if both would succeed, only the first takes effect.
+        store = store_with()
+        op = OrElseOp(
+            PrimitiveOp("c1", "increment", (10,)),
+            PrimitiveOp("c1", "increment", (10,)),
+        )
+        assert op.execute(store) is True
+        assert store.get("c1").value == 1
+
+    def test_failed_first_alternative_rolled_back(self):
+        # The first alternative is an Atomic that partially executes
+        # before failing; its partial effects must not leak.
+        store = store_with()
+        first = AtomicOp(
+            [
+                PrimitiveOp("c1", "increment", (10,)),
+                PrimitiveOp("c1", "increment", (1,)),  # fails
+            ]
+        )
+        op = OrElseOp(first, PrimitiveOp("c1", "increment", (10,)))
+        assert op.execute(store) is True
+        assert store.get("c1").value == 1  # only the second alternative
+
+    def test_nesting_or_else_in_atomic(self):
+        store = ObjectStore()
+        store.create("r", Register, {"value": 1})
+        store.create("c", Counter, None)
+        op = AtomicOp(
+            [
+                OrElseOp(
+                    PrimitiveOp("r", "set_if", (0, 7)),
+                    PrimitiveOp("r", "set_if", (1, 7)),
+                ),
+                PrimitiveOp("c", "increment", (10,)),
+            ]
+        )
+        assert op.execute(store) is True
+        assert store.get("r").value == 7
+        assert store.get("c").value == 1
+
+    def test_non_op_operands_rejected(self):
+        with pytest.raises(OperationError):
+            OrElseOp(PrimitiveOp("a", "x", ()), "not an op")
+
+    def test_describe(self):
+        op = OrElseOp(
+            PrimitiveOp("a", "claim", ("x",)), PrimitiveOp("a", "claim", ("y",))
+        )
+        assert "OrElse" in op.describe()
+
+
+class TestCreateObjectOp:
+    def test_creates_fresh_object(self):
+        store = ObjectStore()
+        op = CreateObjectOp("c1", Counter, {"value": 3})
+        assert op.execute(store) is True
+        assert store.get("c1").value == 3
+
+    def test_idempotence_guard(self):
+        store = store_with()
+        assert CreateObjectOp("c1", Counter).execute(store) is False
+
+    def test_requires_shared_class(self):
+        with pytest.raises(OperationError):
+            CreateObjectOp("x", dict)
+
+    def test_no_primitives(self):
+        assert list(CreateObjectOp("x", Counter).iter_primitives()) == []

@@ -1,0 +1,82 @@
+"""ReadLockTable tests, including cross-thread exclusion."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.readlock import ReadLockTable
+from repro.errors import ReadIsolationError
+
+
+class TestPairing:
+    def test_end_without_begin_raises(self):
+        table = ReadLockTable()
+        with pytest.raises(ReadIsolationError):
+            table.end_read("x")
+
+    def test_balanced_nesting(self):
+        table = ReadLockTable()
+        table.begin_read("x")
+        table.begin_read("x")
+        table.end_read("x")
+        assert table.read_depth("x") == 1
+        table.end_read("x")
+        assert table.read_depth("x") == 0
+
+    def test_reading_context_manager_releases_on_error(self):
+        table = ReadLockTable()
+        with pytest.raises(RuntimeError):
+            with table.reading("x"):
+                raise RuntimeError("boom")
+        assert table.read_depth("x") == 0
+
+    def test_independent_objects(self):
+        table = ReadLockTable()
+        table.begin_read("x")
+        assert table.read_depth("y") == 0
+        table.end_read("x")
+
+
+class TestCrossThreadIsolation:
+    def test_writer_excluded_while_reading(self):
+        table = ReadLockTable()
+        order = []
+        table.begin_read("obj")
+
+        def writer():
+            with table.writing(["obj"]):
+                order.append("write")
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        time.sleep(0.05)
+        order.append("read-finished")
+        table.end_read("obj")
+        thread.join(timeout=2.0)
+        assert order == ["read-finished", "write"]
+
+    def test_writing_multiple_objects(self):
+        table = ReadLockTable()
+        with table.writing(["b", "a", "b"]):  # dups and order handled
+            pass
+
+    def test_writer_blocks_new_reader(self):
+        table = ReadLockTable()
+        order = []
+        gate = threading.Event()
+
+        def writer():
+            with table.writing(["obj"]):
+                gate.set()
+                time.sleep(0.05)
+                order.append("write-done")
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        gate.wait(timeout=2.0)
+        table.begin_read("obj")
+        order.append("read")
+        table.end_read("obj")
+        thread.join(timeout=2.0)
+        assert order == ["write-done", "read"]

@@ -1,0 +1,118 @@
+"""GSharedObject base-class tests."""
+
+import pytest
+
+from repro.core.shared_object import GSharedObject, validate_shared_class
+from repro.errors import SharedObjectError
+from tests.helpers import BadCopy, Counter, Ledger
+
+
+class TestIdentity:
+    def test_unregistered_object_has_no_id(self):
+        counter = Counter()
+        assert not counter.is_registered
+        with pytest.raises(SharedObjectError):
+            _ = counter.unique_id
+
+    def test_bound_id_is_readable(self):
+        counter = Counter()
+        counter._bind_id("Counter:x:1")
+        assert counter.is_registered
+        assert counter.unique_id == "Counter:x:1"
+
+
+class TestStateTransfer:
+    def test_get_state_excludes_runtime_fields(self):
+        counter = Counter()
+        counter._bind_id("Counter:x:1")
+        assert counter.get_state() == {"value": 0}
+
+    def test_get_state_deep_copies(self):
+        ledger = Ledger()
+        ledger.log.append("x")
+        state = ledger.get_state()
+        state["log"].append("mutated")
+        assert ledger.log == ["x"]
+
+    def test_set_state_round_trip(self):
+        ledger = Ledger()
+        ledger.deposit(10, "a")
+        clone = Ledger()
+        clone.set_state(ledger.get_state())
+        assert clone.state_equal(ledger)
+
+    def test_set_state_replaces_existing_fields(self):
+        counter = Counter()
+        counter.value = 42
+        counter.set_state({"value": 1})
+        assert counter.value == 1
+
+    def test_set_state_preserves_binding(self):
+        counter = Counter()
+        counter._bind_id("Counter:x:1")
+        counter.set_state({"value": 5})
+        assert counter.unique_id == "Counter:x:1"
+
+
+class TestClone:
+    def test_clone_copies_state(self):
+        counter = Counter()
+        counter.value = 7
+        replica = counter.clone()
+        assert replica.value == 7
+        assert replica is not counter
+
+    def test_clone_is_independent(self):
+        ledger = Ledger()
+        ledger.deposit(5, "x")
+        replica = ledger.clone()
+        replica.deposit(5, "y")
+        assert ledger.balance == 5
+        assert replica.balance == 10
+
+    def test_clone_preserves_id(self):
+        counter = Counter()
+        counter._bind_id("Counter:x:9")
+        assert counter.clone().unique_id == "Counter:x:9"
+
+
+class TestStateEqual:
+    def test_equal_states(self):
+        a, b = Counter(), Counter()
+        assert a.state_equal(b)
+
+    def test_unequal_states(self):
+        a, b = Counter(), Counter()
+        b.value = 1
+        assert not a.state_equal(b)
+
+    def test_different_types_never_equal(self):
+        assert not Counter().state_equal(Ledger())
+
+
+class TestValidation:
+    def test_valid_class_passes(self):
+        validate_shared_class(Counter)
+
+    def test_missing_copy_from_rejected(self):
+        with pytest.raises(SharedObjectError, match="copy_from"):
+            validate_shared_class(BadCopy)
+
+    def test_non_shared_class_rejected(self):
+        with pytest.raises(SharedObjectError):
+            validate_shared_class(dict)
+
+    def test_ctor_with_required_args_rejected(self):
+        class NeedsArgs(GSharedObject):
+            def __init__(self, x):
+                self.x = x
+
+            def copy_from(self, src):
+                self.x = src.x
+
+        with pytest.raises(SharedObjectError, match="no-argument"):
+            validate_shared_class(NeedsArgs)
+
+    def test_base_copy_from_raises(self):
+        with pytest.raises(NotImplementedError):
+            GSharedObject().copy_from(GSharedObject())

@@ -1,0 +1,173 @@
+"""ObjectStore and TransactionView (copy-on-write) tests."""
+
+import pytest
+
+from repro.core.store import ObjectStore, TransactionView
+from repro.errors import DuplicateObjectError, UnknownObjectError
+from tests.helpers import Counter, Ledger
+
+
+class TestObjectStore:
+    def test_create_and_get(self):
+        store = ObjectStore()
+        obj = store.create("c1", Counter, None)
+        assert store.get("c1") is obj
+        assert obj.unique_id == "c1"
+
+    def test_create_with_state(self):
+        store = ObjectStore()
+        obj = store.create("c1", Counter, {"value": 9})
+        assert obj.value == 9
+
+    def test_duplicate_create_rejected(self):
+        store = ObjectStore()
+        store.create("c1", Counter, None)
+        with pytest.raises(DuplicateObjectError):
+            store.create("c1", Counter, None)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownObjectError):
+            ObjectStore().get("missing")
+
+    def test_adopt(self):
+        store = ObjectStore()
+        counter = Counter()
+        store.adopt("c1", counter)
+        assert store.get("c1") is counter
+
+    def test_remove(self):
+        store = ObjectStore()
+        store.create("c1", Counter, None)
+        store.remove("c1")
+        assert not store.has("c1")
+
+    def test_ids_and_len(self):
+        store = ObjectStore()
+        store.create("a", Counter, None)
+        store.create("b", Counter, None)
+        assert store.ids() == ["a", "b"]
+        assert len(store) == 2
+
+
+class TestRefreshFrom:
+    def test_refresh_copies_state(self):
+        source, target = ObjectStore(), ObjectStore()
+        counter = source.create("c1", Counter, None)
+        counter.value = 5
+        target.create("c1", Counter, None)
+        target.refresh_from(source)
+        assert target.get("c1").value == 5
+
+    def test_refresh_creates_missing_objects(self):
+        source, target = ObjectStore(), ObjectStore()
+        source.create("c1", Counter, {"value": 3})
+        refreshed = target.refresh_from(source)
+        assert refreshed == 1
+        assert target.get("c1").value == 3
+
+    def test_refresh_does_not_alias(self):
+        source, target = ObjectStore(), ObjectStore()
+        source.create("c1", Counter, None)
+        target.refresh_from(source)
+        target.get("c1").value = 99
+        assert source.get("c1").value == 0
+
+    def test_state_equal(self):
+        a, b = ObjectStore(), ObjectStore()
+        a.create("c1", Counter, {"value": 2})
+        b.create("c1", Counter, {"value": 2})
+        assert a.state_equal(b)
+        b.get("c1").value = 3
+        assert not a.state_equal(b)
+
+    def test_state_equal_requires_same_ids(self):
+        a, b = ObjectStore(), ObjectStore()
+        a.create("c1", Counter, None)
+        assert not a.state_equal(b)
+
+    def test_snapshot_states(self):
+        store = ObjectStore()
+        store.create("c1", Counter, {"value": 4})
+        snapshot = store.snapshot_states()
+        assert snapshot == {"c1": ("Counter", {"value": 4})}
+
+
+class TestTransactionView:
+    def test_reads_shadow_not_base(self):
+        store = ObjectStore()
+        store.create("c1", Counter, None)
+        txn = TransactionView(store)
+        shadow = txn.get("c1")
+        shadow.value = 7
+        assert store.get("c1").value == 0
+
+    def test_commit_writes_back(self):
+        store = ObjectStore()
+        store.create("c1", Counter, None)
+        txn = TransactionView(store)
+        txn.get("c1").value = 7
+        txn.commit()
+        assert store.get("c1").value == 7
+
+    def test_abort_discards(self):
+        store = ObjectStore()
+        store.create("c1", Counter, None)
+        txn = TransactionView(store)
+        txn.get("c1").value = 7
+        txn.abort()
+        assert store.get("c1").value == 0
+
+    def test_shadow_reused_within_txn(self):
+        store = ObjectStore()
+        store.create("c1", Counter, None)
+        txn = TransactionView(store)
+        assert txn.get("c1") is txn.get("c1")
+
+    def test_create_inside_transaction_commits(self):
+        store = ObjectStore()
+        txn = TransactionView(store)
+        txn.create("c1", Counter, {"value": 2})
+        assert not store.has("c1")
+        txn.commit()
+        assert store.get("c1").value == 2
+
+    def test_create_inside_transaction_aborts(self):
+        store = ObjectStore()
+        txn = TransactionView(store)
+        txn.create("c1", Counter, None)
+        txn.abort()
+        assert not store.has("c1")
+
+    def test_nested_transactions(self):
+        store = ObjectStore()
+        store.create("c1", Counter, None)
+        outer = TransactionView(store)
+        outer.get("c1").value = 1
+        inner = TransactionView(outer)
+        inner.get("c1").value = 2
+        inner.abort()
+        assert outer.get("c1").value == 1
+        inner2 = TransactionView(outer)
+        inner2.get("c1").value = 3
+        inner2.commit()
+        assert outer.get("c1").value == 3
+        outer.commit()
+        assert store.get("c1").value == 3
+
+    def test_touched_tracks_first_touch_order(self):
+        store = ObjectStore()
+        store.create("a", Counter, None)
+        store.create("b", Ledger, None)
+        txn = TransactionView(store)
+        txn.get("b")
+        txn.get("a")
+        assert txn.touched == ["b", "a"]
+
+    def test_has_sees_base_and_shadow(self):
+        store = ObjectStore()
+        store.create("a", Counter, None)
+        txn = TransactionView(store)
+        assert txn.has("a")
+        txn.create("b", Counter, None)
+        assert txn.has("b")
+        assert not store.has("b")

@@ -1,0 +1,189 @@
+"""Experiment smoke tests: shortened runs, shape assertions.
+
+These check each experiment *reproduces the paper's qualitative shape*
+at reduced scale; the benchmarks run them at full scale.
+"""
+
+import pytest
+
+from repro.evalkit.experiments import (
+    appsizes,
+    fig5,
+    fig6,
+    fig7,
+    recovery,
+    reexec,
+    responsiveness,
+    specreport,
+)
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5.run(duration=600.0, seed=42)
+
+    def test_most_syncs_within_half_second(self, result):
+        assert result.fraction_within_half_second > 0.95
+
+    def test_two_recovery_outliers(self, result):
+        assert len(result.outliers) == 2
+        assert all(value > 12.0 for value in result.outliers)
+
+    def test_outliers_are_recoveries(self, result):
+        assert result.restarts == 2
+
+    def test_report_mentions_key_numbers(self, result):
+        report = fig5.format_report(result)
+        assert "outliers" in report and "> 12" in report
+
+    def test_no_faults_means_no_outliers(self):
+        clean = fig5.run(duration=200.0, seed=1, inject_faults=False)
+        assert clean.outliers == []
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6.run(user_counts=[2, 4, 6, 8], duration=60.0)
+
+    def test_sync_time_increases_with_users(self, result):
+        assert result.active_means == sorted(result.active_means)
+
+    def test_roughly_linear(self, result):
+        # Within each step, the increment should be comparable (serial
+        # first stage → constant per-user cost).
+        deltas = [
+            b - a for a, b in zip(result.active_means, result.active_means[1:])
+        ]
+        assert max(deltas) < 3 * min(deltas)
+
+    def test_activity_changes_little(self, result):
+        assert result.max_activity_gap < 0.25 * max(result.active_means)
+
+    def test_extrapolation_within_paper_band(self, result):
+        assert result.extrapolated_100_users < 3.5
+
+    def test_report_format(self, result):
+        report = fig6.format_report(result)
+        assert "ms/user" in report
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7.run(start_users=2, max_users=5, rounds_per_window=40)
+
+    def test_windows_cover_requested_users(self, result):
+        assert result.user_counts == [2, 3, 4, 5]
+
+    def test_conflicts_are_rare(self, result):
+        assert result.total_issued > 0
+        assert result.total_conflicts / result.total_issued < 0.15
+
+    def test_report_format(self, result):
+        assert "conflicts" in fig7.format_report(result)
+
+
+class TestRecovery:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return recovery.run(duration=600.0, users=8)
+
+    def test_all_three_failures_recovered(self, result):
+        assert result.resend_recoveries == 1
+        assert result.removal_recoveries == 2
+        assert result.restarts == 2
+
+    def test_users_unaware_and_converged(self, result):
+        assert result.users_unaware
+        assert result.converged
+        assert result.machines_active_at_end == 8
+
+
+class TestReexec:
+    def test_bound_of_three_holds(self):
+        result = reexec.run(duration=120.0, users=4)
+        assert result.max_executions <= 3
+        assert result.total_ops > 0
+        assert set(result.histogram) <= {2, 3}
+
+
+class TestResponsiveness:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return responsiveness.run(users=4, n_ops=120)
+
+    def test_guesstimate_issues_instantly_and_agrees(self, result):
+        row = result.row("guesstimate")
+        assert row.mean_issue_latency < 0.001
+        assert row.agreement
+
+    def test_serializable_pays_round_trip(self, result):
+        row = result.row("one-copy serializable")
+        assert row.mean_issue_latency > 0.01
+        assert row.agreement
+
+    def test_unsynchronized_diverges(self, result):
+        row = result.row("unsynchronized replicas")
+        assert row.mean_issue_latency == 0.0
+        assert not row.agreement
+
+    def test_lww_converges_but_loses_updates(self, result):
+        row = result.row("last-writer-wins")
+        assert row.agreement
+        assert row.anomaly_count > 0
+
+
+class TestSpecReport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return specreport.run(budget=150)
+
+    def test_covers_all_seven_classes(self, result):
+        assert len(result.reports) == 7
+
+    def test_nothing_refuted(self, result):
+        assert result.refuted == 0
+
+    def test_majority_verified(self, result):
+        assert result.verified > result.runtime_checks
+
+    def test_sudoku_is_all_runtime_checks(self, result):
+        sudoku = result.report_for("SudokuBoard")
+        assert sudoku.runtime_checks == sudoku.total
+
+
+class TestScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.evalkit.experiments import scaling
+
+        return scaling.run(user_counts=[2, 4, 8], duration=30.0)
+
+    def test_serial_grows_parallel_flat(self, result):
+        assert result.serial_means == sorted(result.serial_means)
+        assert result.parallel_slope < 0.2 * result.serial_slope
+
+    def test_extrapolations_ordered(self, result):
+        assert result.parallel_at_1000 < result.serial_at_1000
+
+    def test_report_format(self, result):
+        from repro.evalkit.experiments import scaling
+
+        text = scaling.format_report(result)
+        assert "1000 users" in text
+
+
+class TestAppSizes:
+    def test_counts_every_app(self):
+        result = appsizes.run()
+        names = [name for name, _loc, _sloc in result.rows]
+        assert len(names) == 7
+        for _name, loc, sloc in result.rows:
+            assert 0 < sloc <= loc
+
+    def test_apps_smaller_than_runtime(self):
+        result = appsizes.run()
+        total_apps = sum(sloc for _n, _l, sloc in result.rows)
+        assert total_apps < result.runtime_sloc

@@ -1,0 +1,60 @@
+"""Harness tests: configuration plumbing and outcome accounting."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.evalkit.harness import SessionConfig, build_system, run_sudoku_session
+from repro.net.latency import ConstantLatency
+from repro.runtime.config import RuntimeConfig
+from repro.spec.contracts import checking_enabled
+from repro.workloads.activity import ActivityModel
+
+
+class TestBuildSystem:
+    def test_zero_users_rejected(self):
+        with pytest.raises(ExperimentError):
+            build_system(SessionConfig(users=0))
+
+    def test_latency_override_plumbs_through(self):
+        config = SessionConfig(users=2, latency=ConstantLatency(0.123))
+        system = build_system(config)
+        assert system.meshes.signals.latency.delay == 0.123
+
+    def test_runtime_config_plumbs_through(self):
+        config = SessionConfig(
+            users=2, runtime=RuntimeConfig(sync_interval=9.0)
+        )
+        system = build_system(config)
+        assert system.config.sync_interval == 9.0
+
+    def test_seed_controls_determinism(self):
+        a = build_system(SessionConfig(users=2, seed=4))
+        b = build_system(SessionConfig(users=2, seed=4))
+        assert a.seeds.root_seed == b.seeds.root_seed
+
+
+class TestRunSession:
+    def test_session_produces_metrics_and_quiesces(self):
+        outcome = run_sudoku_session(
+            SessionConfig(users=3, duration=20.0, seed=1)
+        )
+        assert outcome.sync_durations
+        assert outcome.system.quiesced()
+        assert outcome.duration == 20.0
+        outcome.system.check_all_invariants()
+
+    def test_contracts_restored_after_session(self):
+        # Sessions run with contracts off (release mode) but must put
+        # the global switch back.
+        assert checking_enabled()
+        run_sudoku_session(SessionConfig(users=2, duration=5.0))
+        assert checking_enabled()
+
+    def test_idle_sessions_have_conflictless_outcome(self):
+        outcome = run_sudoku_session(
+            SessionConfig(
+                users=3, duration=15.0, activity=ActivityModel.idle()
+            )
+        )
+        assert outcome.conflicts == 0
+        assert outcome.stats.fills_attempted == 0

@@ -1,0 +1,100 @@
+"""Statistics toolbox tests."""
+
+import pytest
+
+from repro.evalkit.stats import Histogram, linear_fit, mean_excluding, percentile
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+
+class TestMeanExcluding:
+    def test_paper_rule(self):
+        # Figure 6: ignore outliers above 12 s.
+        values = [0.2, 0.3, 0.25, 13.0, 14.0]
+        assert mean_excluding(values, 12.0) == pytest.approx(0.25)
+
+    def test_nothing_excluded(self):
+        assert mean_excluding([1.0, 2.0], 10.0) == 1.5
+
+    def test_all_excluded_rejected(self):
+        with pytest.raises(ValueError):
+            mean_excluding([13.0], 12.0)
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        slope, intercept = linear_fit([1, 2, 3, 4], [3, 5, 7, 9])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+
+    def test_noisy_line(self):
+        xs = list(range(2, 9))
+        ys = [0.03 * x + 0.01 + (0.001 if x % 2 else -0.001) for x in xs]
+        slope, _ = linear_fit([float(x) for x in xs], ys)
+        assert slope == pytest.approx(0.03, abs=0.005)
+
+    def test_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            linear_fit([1.0], [2.0])
+        with pytest.raises(ValueError):
+            linear_fit([1.0, 1.0], [2.0, 3.0])
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        histogram = Histogram(edges=[0.1, 0.5, 1.0])
+        histogram.add_all([0.05, 0.3, 0.9, 5.0])
+        assert histogram.counts == [1, 1, 1]
+        assert histogram.overflow == 1
+        assert histogram.total == 4
+
+    def test_boundary_values_go_low(self):
+        histogram = Histogram(edges=[0.5, 1.0])
+        histogram.add(0.5)
+        assert histogram.counts == [1, 0]
+
+    def test_fraction_below(self):
+        histogram = Histogram(edges=[0.5, 1.0, 12.0])
+        histogram.add_all([0.2, 0.4, 0.9, 13.0])
+        assert histogram.fraction_below(0.5) == 0.5
+        assert histogram.fraction_below(12.0) == 0.75
+
+    def test_rows_include_overflow(self):
+        histogram = Histogram(edges=[1.0])
+        histogram.add_all([0.5, 2.0])
+        rows = histogram.rows()
+        assert rows[-1] == ("> 1", 1)
+
+    def test_bad_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(edges=[])
+        with pytest.raises(ValueError):
+            Histogram(edges=[2.0, 1.0])
+
+    def test_format_renders_bars(self):
+        histogram = Histogram(edges=[1.0])
+        histogram.add_all([0.5] * 10)
+        text = histogram.format()
+        assert "#" in text

@@ -1,0 +1,104 @@
+"""The Figure 4 blocking pattern end to end, on both transports."""
+
+import random
+import threading
+import time
+
+from repro.apps.accounts import AccountClient, UserDirectory
+from repro.net.latency import ConstantLatency
+from repro.net.mesh import MeshPair
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.metrics import SystemMetrics
+from repro.runtime.node import GuesstimateNode
+from repro.runtime.tracing import Tracer
+from repro.sim.scheduler import RealTimeScheduler
+from tests.helpers import quick_system
+
+
+class TestVirtualTimeBlocking:
+    def test_ticket_done_after_commit(self):
+        system = quick_system(2)
+        directory = system.apis()[0].create_instance(UserDirectory)
+        system.run_until_quiesced()
+        ada = AccountClient(
+            system.apis()[0], system.apis()[0].join_instance(directory.unique_id)
+        )
+        ticket = ada.register("ada", "pw")
+        assert not ticket.done
+        system.run_until_quiesced()
+        assert ticket.done and ticket.commit_result is True
+
+
+class TestRealTimeBlocking:
+    def _build(self):
+        scheduler = RealTimeScheduler()
+        meshes = MeshPair(
+            scheduler, latency=ConstantLatency(0.005), rng=random.Random(0)
+        )
+        metrics = SystemMetrics()
+        tracer = Tracer(enabled=False)
+        config = RuntimeConfig(sync_interval=0.1, stall_timeout=2.0)
+        nodes = [
+            GuesstimateNode(
+                f"rt{i + 1:02d}", scheduler, meshes, config, metrics, tracer,
+                is_master=(i == 0),
+            )
+            for i in range(2)
+        ]
+        for node in nodes:
+            node.start(founding=True)
+        nodes[0].master.participants = [n.machine_id for n in nodes]
+        nodes[0].master.start(0.05)
+        return scheduler, nodes
+
+    def test_wait_blocks_until_completion(self):
+        scheduler, nodes = self._build()
+        try:
+            directory = nodes[0].api.create_instance(UserDirectory)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if nodes[1].model.committed.has(directory.unique_id):
+                    break
+                time.sleep(0.01)
+            ada = AccountClient(nodes[0].api, directory)
+            started = time.monotonic()
+            ticket = ada.register("ada", "pw")
+            assert ticket.wait(timeout=5.0), "registration never committed"
+            elapsed = time.monotonic() - started
+            assert ticket.commit_result is True
+            assert elapsed < 5.0
+        finally:
+            nodes[0].master.stop()
+            scheduler.close()
+
+    def test_concurrent_registrations_from_threads(self):
+        scheduler, nodes = self._build()
+        try:
+            directory = nodes[0].api.create_instance(UserDirectory)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if nodes[1].model.committed.has(directory.unique_id):
+                    break
+                time.sleep(0.01)
+            results = {}
+
+            def register(node, name):
+                client = AccountClient(
+                    node.api, node.api.join_instance(directory.unique_id)
+                )
+                ticket = client.register("same-name", "pw")
+                ticket.wait(timeout=5.0)
+                results[name] = ticket.commit_result
+
+            threads = [
+                threading.Thread(target=register, args=(nodes[0], "a")),
+                threading.Thread(target=register, args=(nodes[1], "b")),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=6.0)
+            assert sorted(results.values()) == [False, True]
+        finally:
+            nodes[0].master.stop()
+            scheduler.close()

@@ -1,0 +1,100 @@
+"""Chaos test: random faults + random workload, invariants throughout.
+
+A condensed version of the paper's hour-long deployment with the fault
+dial turned up: background message loss, two machine crashes, a
+partition, plus churn (join/leave/offline) — the system must keep
+agreeing at every quiescent checkpoint and converge at the end.
+"""
+
+import random
+
+from repro.model.simulation_relation import replay_check
+from repro.net.faults import CrashPlan, PartitionPlan, ScheduledFaults
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.system import DistributedSystem
+from repro.workloads import ActivityModel, SudokuSession
+
+
+def test_chaos_session_converges():
+    faults = ScheduledFaults(
+        crashes=[
+            CrashPlan("m04", start=60.0, end=75.0),
+            CrashPlan("m02", start=200.0, end=215.0),
+        ],
+        partitions=[
+            PartitionPlan(
+                groups=(("m01", "m02", "m03"), ("m05",)),
+                start=120.0,
+                end=140.0,
+            )
+        ],
+    )
+    config = RuntimeConfig(sync_interval=1.0, stall_timeout=3.0)
+    system = DistributedSystem(n_machines=5, seed=77, faults=faults, config=config)
+    session = SudokuSession(
+        system, n_grids=2, activity=ActivityModel.busy(3.0), seed=77
+    )
+    session.setup()
+    session.start()
+
+    rng = random.Random(77)
+    # Churn layered on top: a machine joins mid-run; another goes
+    # offline for a stretch and returns with queued work.
+    system.loop.call_later(90.0, lambda: session.add_player(
+        system.add_machine().machine_id
+    ))
+
+    def offline_excursion():
+        from repro.errors import RuntimeFailure
+
+        node = system.node("m03")
+        if node.state != "active":
+            return
+        try:
+            node.go_offline()
+        except RuntimeFailure:
+            # Mid-round; try again shortly (the documented contract).
+            system.loop.call_later(2.0, offline_excursion)
+            return
+        api = node.api
+        boards = [uid for uid in api.available_objects() if "SudokuBoard" in uid]
+        # Issue a couple of blind fills while disconnected.
+        for uid in boards[:1]:
+            board = api.join_instance(uid)
+            empty = board.empty_cells()
+            if empty:
+                row, col = rng.choice(empty)
+                api.issue_when_possible(
+                    api.create_operation(board, "update", row, col,
+                                         rng.randint(1, 9))
+                )
+        system.loop.call_later(25.0, node.come_online)
+
+    system.loop.call_later(160.0, offline_excursion)
+
+    # Periodic live checks: committed prefixes always agree.
+    for _checkpoint in range(10):
+        system.run_for(30.0)
+        sequences = [
+            [(e.key, e.result) for e in node.model.completed]
+            for node in system.nodes.values()
+            if node.completed_offset == 0 and node.state == "active"
+        ]
+        if len(sequences) >= 2:
+            shortest = min(len(s) for s in sequences)
+            for sequence in sequences:
+                assert sequence[:shortest] == sequences[0][:shortest]
+
+    session.stop()
+    system.run_for(30.0)  # drain the tail of recoveries
+    system.run_until_quiesced(max_time=600.0)
+    system.check_all_invariants()
+    replay_check(system)
+
+    # Everyone is back and participating.
+    assert all(node.state == "active" for node in system.nodes.values())
+    histogram = system.metrics.execution_histogram()
+    assert max(histogram) <= 3
+    # The chaos actually happened:
+    assert sum(m.restarts for m in system.metrics.node_metrics.values()) >= 2
+    assert any(record.recovered for record in system.metrics.sync_records)

@@ -1,0 +1,156 @@
+"""End-to-end integration: multiple apps, many machines, long sessions."""
+
+import random
+
+from repro.apps.accounts import AccountClient, UserDirectory
+from repro.apps.auction import AuctionClient, AuctionHouse
+from repro.apps.event_planner import EventPlanner, PlannerClient
+from repro.apps.message_board import BoardClient, MessageBoard
+from repro.apps.microblog import MicroBlog, MicroBlogClient
+from repro.model.simulation_relation import replay_check
+from tests.helpers import quick_system
+
+
+class TestMultiAppDeployment:
+    def test_all_apps_coexist_on_one_system(self):
+        system = quick_system(4, seed=42)
+        creator = system.apis()[0]
+        shared = {
+            "directory": creator.create_instance(UserDirectory),
+            "planner": creator.create_instance(EventPlanner),
+            "board": creator.create_instance(MessageBoard),
+            "house": creator.create_instance(AuctionHouse),
+            "blog": creator.create_instance(MicroBlog),
+        }
+        system.run_until_quiesced()
+
+        rng = random.Random(7)
+        apis = system.apis()
+        accounts, planners, boards, auctions, blogs = [], [], [], [], []
+        for index, api in enumerate(apis):
+            accounts.append(
+                AccountClient(api, api.join_instance(shared["directory"].unique_id))
+            )
+            planners.append(
+                PlannerClient(
+                    api, api.join_instance(shared["planner"].unique_id), f"u{index}"
+                )
+            )
+            boards.append(
+                BoardClient(
+                    api, api.join_instance(shared["board"].unique_id), f"u{index}"
+                )
+            )
+            auctions.append(
+                AuctionClient(
+                    api, api.join_instance(shared["house"].unique_id), f"u{index}"
+                )
+            )
+            blogs.append(
+                MicroBlogClient(
+                    api, api.join_instance(shared["blog"].unique_id), f"u{index}"
+                )
+            )
+
+        # Seed content from various machines.
+        for account in accounts:
+            account.register(f"u{accounts.index(account)}", "pw")
+        planners[0].create_event("party", 3)
+        boards[1].create_topic("general")
+        auctions[2].list_item("vase", 10)
+        for blog in blogs:
+            blog.register()
+        system.run_until_quiesced()
+
+        # Random cross-app activity.
+        for _ in range(60):
+            index = rng.randrange(4)
+            action = rng.randrange(5)
+            if action == 0:
+                planners[index].join("party")
+            elif action == 1:
+                boards[index].post("general", f"msg {rng.random():.3f}")
+            elif action == 2:
+                price = (auctions[index].current_price("vase") or 10) + rng.randint(1, 5)
+                auctions[index].bid("vase", price)
+            elif action == 3:
+                blogs[index].post(f"tweet {rng.random():.3f}")
+            else:
+                blogs[index].follow(f"u{rng.randrange(4)}")
+            system.run_for(rng.random() * 0.4)
+
+        system.run_until_quiesced()
+        system.check_all_invariants()
+        committed = replay_check(system)
+        assert committed > 40
+        # Cross-machine agreement on app state:
+        reference = system.node("m01").model.committed
+        posts = reference.get(shared["board"].unique_id).topics["general"]
+        assert len(posts) > 0
+        price = reference.get(shared["house"].unique_id).winning_bid("vase")
+        assert price is not None
+
+
+class TestLongSessionWithChurn:
+    def test_machines_join_and_leave_mid_session(self):
+        system = quick_system(3, seed=8)
+        creator = system.apis()[0]
+        board = creator.create_instance(MessageBoard)
+        system.run_until_quiesced()
+        client0 = BoardClient(creator, creator.join_instance(board.unique_id), "u0")
+        client0.create_topic("log")
+        system.run_until_quiesced()
+
+        rng = random.Random(8)
+        clients = {
+            machine_id: BoardClient(
+                system.api(machine_id),
+                system.api(machine_id).join_instance(board.unique_id),
+                machine_id,
+            )
+            for machine_id in system.machine_ids()
+        }
+
+        # Phase 1: everyone posts.
+        for machine_id, client in clients.items():
+            client.post("log", f"hello from {machine_id}")
+        system.run_until_quiesced()
+
+        # Phase 2: m03 leaves; a new machine joins; posting continues.
+        system.node("m03").leave()
+        del clients["m03"]
+        node4 = system.add_machine()
+        system.run_until_quiesced()
+        clients["m04"] = BoardClient(
+            node4.api, node4.api.join_instance(board.unique_id), "m04"
+        )
+        for machine_id, client in clients.items():
+            client.post("log", f"second round from {machine_id}")
+        system.run_until_quiesced()
+
+        posts = clients["m04"].read_topic("log")
+        authors = [author for author, _text in posts]
+        assert authors.count("m04") == 1
+        assert authors.count("m01") == 2
+        assert "m03" in authors  # the departed machine's first post survives
+        system.check_all_invariants()
+
+    def test_hour_scale_session_stays_consistent(self):
+        from repro.workloads import ActivityModel, SudokuSession
+
+        system = quick_system(5, seed=99, sync_interval=1.0)
+        session = SudokuSession(
+            system, n_grids=2, activity=ActivityModel.busy(3.0), seed=99
+        )
+        session.setup()
+        session.start()
+        system.run_for(900.0)  # 15 simulated minutes
+        session.stop()
+        system.run_until_quiesced()
+        system.check_all_invariants()
+        assert replay_check(system) > 50
+        histogram = system.metrics.execution_histogram()
+        assert max(histogram) <= 3
+        durations = system.metrics.sync_durations()
+        assert len(durations) > 500
+        assert max(durations) < 1.0  # no faults injected, no outliers

@@ -1,0 +1,123 @@
+"""Fault injector tests."""
+
+import random
+
+import pytest
+
+from repro.net.faults import (
+    CrashPlan,
+    DropPlan,
+    NoFaults,
+    ProbabilisticDrops,
+    ScheduledFaults,
+)
+
+
+class TestNoFaults:
+    def test_never_drops(self):
+        injector = NoFaults()
+        rng = random.Random(0)
+        assert not any(
+            injector.should_drop(t, "signals", "a", "b", rng) for t in range(100)
+        )
+
+    def test_never_crashed(self):
+        assert not NoFaults().is_crashed(5.0, "m01")
+
+
+class TestProbabilisticDrops:
+    def test_zero_probability_never_drops(self):
+        injector = ProbabilisticDrops(0.0)
+        rng = random.Random(0)
+        assert not any(
+            injector.should_drop(0, "ops", "a", "b", rng) for _ in range(100)
+        )
+
+    def test_one_probability_always_drops(self):
+        injector = ProbabilisticDrops(1.0)
+        rng = random.Random(0)
+        assert all(injector.should_drop(0, "ops", "a", "b", rng) for _ in range(50))
+        assert injector.dropped == 50
+
+    def test_rate_roughly_matches(self):
+        injector = ProbabilisticDrops(0.3)
+        rng = random.Random(1)
+        drops = sum(
+            injector.should_drop(0, "ops", "a", "b", rng) for _ in range(5000)
+        )
+        assert 0.25 < drops / 5000 < 0.35
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            ProbabilisticDrops(1.5)
+
+
+class TestScheduledFaults:
+    def test_drop_only_in_window(self):
+        injector = ScheduledFaults(drops=[DropPlan(start=5.0, end=6.0)])
+        rng = random.Random(0)
+        assert not injector.should_drop(4.9, "signals", "a", "b", rng)
+        assert injector.should_drop(5.5, "signals", "a", "b", rng)
+
+    def test_max_drops_enforced(self):
+        injector = ScheduledFaults(drops=[DropPlan(start=0, end=10, max_drops=2)])
+        rng = random.Random(0)
+        results = [
+            injector.should_drop(1.0, "signals", "a", "b", rng) for _ in range(5)
+        ]
+        assert results == [True, True, False, False, False]
+        assert injector.drops_used() == 2
+
+    def test_recipient_filter(self):
+        injector = ScheduledFaults(
+            drops=[DropPlan(start=0, end=10, recipient="m02", max_drops=99)]
+        )
+        rng = random.Random(0)
+        assert not injector.should_drop(1.0, "signals", "a", "m01", rng)
+        assert injector.should_drop(1.0, "signals", "a", "m02", rng)
+
+    def test_sender_filter(self):
+        injector = ScheduledFaults(
+            drops=[DropPlan(start=0, end=10, sender="m01", max_drops=99)]
+        )
+        rng = random.Random(0)
+        assert injector.should_drop(1.0, "signals", "m01", "b", rng)
+        assert not injector.should_drop(1.0, "signals", "m02", "b", rng)
+
+    def test_channel_filter(self):
+        injector = ScheduledFaults(
+            drops=[DropPlan(start=0, end=10, channel="operations", max_drops=99)]
+        )
+        rng = random.Random(0)
+        assert injector.should_drop(1.0, "operations", "a", "b", rng)
+        assert not injector.should_drop(1.0, "signals", "a", "b", rng)
+
+    def test_payload_type_filter(self):
+        class YourTurn:
+            pass
+
+        class Other:
+            pass
+
+        injector = ScheduledFaults(
+            drops=[DropPlan(start=0, end=10, payload_type="YourTurn", max_drops=99)]
+        )
+        rng = random.Random(0)
+        assert injector.should_drop(1.0, "signals", "a", "b", rng, YourTurn())
+        assert not injector.should_drop(1.0, "signals", "a", "b", rng, Other())
+
+    def test_crash_window(self):
+        injector = ScheduledFaults(
+            crashes=[CrashPlan("m03", start=10.0, end=20.0)]
+        )
+        assert not injector.is_crashed(9.9, "m03")
+        assert injector.is_crashed(10.0, "m03")
+        assert injector.is_crashed(19.9, "m03")
+        assert not injector.is_crashed(20.0, "m03")
+        assert not injector.is_crashed(15.0, "m01")
+
+    def test_permanent_crash(self):
+        injector = ScheduledFaults(
+            crashes=[CrashPlan("m03", start=10.0, end=20.0, recovers=False)]
+        )
+        assert injector.is_crashed(30.0, "m03")

@@ -1,0 +1,87 @@
+"""Latency model tests."""
+
+import random
+
+import pytest
+
+from repro.net.latency import (
+    ConstantLatency,
+    LognormalLatency,
+    UniformLatency,
+    lan_profile,
+)
+
+
+class TestConstantLatency:
+    def test_always_same(self):
+        model = ConstantLatency(0.02)
+        rng = random.Random(0)
+        assert {model.sample(rng) for _ in range(10)} == {0.02}
+
+    def test_mean(self):
+        assert ConstantLatency(0.5).mean() == 0.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+
+
+class TestUniformLatency:
+    def test_within_bounds(self):
+        model = UniformLatency(0.01, 0.05)
+        rng = random.Random(1)
+        samples = [model.sample(rng) for _ in range(200)]
+        assert all(0.01 <= s <= 0.05 for s in samples)
+
+    def test_mean(self):
+        assert UniformLatency(0.0, 1.0).mean() == 0.5
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.5, 0.1)
+        with pytest.raises(ValueError):
+            UniformLatency(-0.1, 0.5)
+
+
+class TestLognormalLatency:
+    def test_floor_respected(self):
+        model = LognormalLatency(median=0.01, sigma=2.0, floor=0.005)
+        rng = random.Random(2)
+        assert all(model.sample(rng) >= 0.005 for _ in range(500))
+
+    def test_median_roughly_right(self):
+        model = LognormalLatency(median=0.012, sigma=0.4)
+        rng = random.Random(3)
+        samples = sorted(model.sample(rng) for _ in range(4001))
+        median = samples[len(samples) // 2]
+        assert 0.010 <= median <= 0.014
+
+    def test_mean_above_median(self):
+        model = LognormalLatency(median=0.01, sigma=0.5)
+        assert model.mean() > 0.01
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LognormalLatency(median=0.0)
+        with pytest.raises(ValueError):
+            LognormalLatency(median=0.01, sigma=-1.0)
+
+    def test_deterministic_given_rng(self):
+        model = LognormalLatency(median=0.01)
+        assert [model.sample(random.Random(7)) for _ in range(5)] == [
+            model.sample(random.Random(7)) for _ in range(5)
+        ]
+
+
+class TestLanProfile:
+    def test_scale_scales_median(self):
+        fast = lan_profile(1.0)
+        slow = lan_profile(10.0)
+        assert slow.median == pytest.approx(10 * fast.median)
+
+    def test_sane_defaults(self):
+        model = lan_profile()
+        rng = random.Random(0)
+        samples = [model.sample(rng) for _ in range(1000)]
+        # A LAN: single-digit-to-tens of milliseconds.
+        assert 0.005 <= sum(samples) / len(samples) <= 0.05

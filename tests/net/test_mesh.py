@@ -1,0 +1,197 @@
+"""Broadcast mesh tests over the deterministic event loop."""
+
+import random
+
+import pytest
+
+from repro.errors import NotInMeshError
+from repro.net.faults import CrashPlan, ProbabilisticDrops, ScheduledFaults
+from repro.net.latency import ConstantLatency, UniformLatency
+from repro.net.mesh import Mesh, MeshPair
+from repro.sim.eventloop import EventLoop
+
+
+def make_mesh(latency=None, faults=None, seed=0):
+    loop = EventLoop()
+    mesh = Mesh(
+        "test", loop, latency or ConstantLatency(0.01), faults,
+        rng=random.Random(seed),
+    )
+    return loop, mesh
+
+
+class TestBroadcast:
+    def test_delivers_to_all_other_members(self):
+        loop, mesh = make_mesh()
+        received = {name: [] for name in "abc"}
+        for name in "abc":
+            mesh.join(name, lambda env, n=name: received[n].append(env.payload))
+        mesh.broadcast("a", "hello")
+        loop.run()
+        assert received == {"a": [], "b": ["hello"], "c": ["hello"]}
+
+    def test_sender_does_not_receive_own_broadcast(self):
+        loop, mesh = make_mesh()
+        got = []
+        mesh.join("a", lambda env: got.append(env))
+        mesh.join("b", lambda env: None)
+        mesh.broadcast("a", "x")
+        loop.run()
+        assert got == []
+
+    def test_latency_applied(self):
+        loop, mesh = make_mesh(latency=ConstantLatency(0.25))
+        times = []
+        mesh.join("a", lambda env: None)
+        mesh.join("b", lambda env: times.append(env.delivered_at))
+        mesh.broadcast("a", "x")
+        loop.run()
+        assert times == [0.25]
+
+    def test_envelope_fields(self):
+        loop, mesh = make_mesh()
+        envelopes = []
+        mesh.join("a", lambda env: None)
+        mesh.join("b", envelopes.append)
+        mesh.broadcast("a", {"k": 1})
+        loop.run()
+        env = envelopes[0]
+        assert env.sender == "a" and env.recipient == "b"
+        assert env.channel == "test" and env.payload == {"k": 1}
+        assert env.delivered_at >= env.sent_at
+
+    def test_non_member_cannot_broadcast(self):
+        _loop, mesh = make_mesh()
+        with pytest.raises(NotInMeshError):
+            mesh.broadcast("ghost", "x")
+
+    def test_per_recipient_latencies_vary(self):
+        loop, mesh = make_mesh(latency=UniformLatency(0.01, 0.5), seed=4)
+        times = []
+        mesh.join("a", lambda env: None)
+        for name in ["b", "c", "d"]:
+            mesh.join(name, lambda env: times.append(env.delivered_at))
+        mesh.broadcast("a", "x")
+        loop.run()
+        assert len(set(times)) == 3  # independent draws
+
+
+class TestUnicast:
+    def test_send_reaches_only_target(self):
+        loop, mesh = make_mesh()
+        received = {name: [] for name in "abc"}
+        for name in "abc":
+            mesh.join(name, lambda env, n=name: received[n].append(env.payload))
+        mesh.send("a", "c", "direct")
+        loop.run()
+        assert received == {"a": [], "b": [], "c": ["direct"]}
+
+    def test_send_to_non_member_is_undeliverable(self):
+        # A departed recipient is a normal event, not a sender error.
+        loop, mesh = make_mesh()
+        mesh.join("a", lambda env: None)
+        mesh.send("a", "ghost", "x")
+        loop.run()
+        assert mesh.stats.undeliverable == 1
+
+    def test_send_from_non_member_raises(self):
+        _loop, mesh = make_mesh()
+        mesh.join("a", lambda env: None)
+        with pytest.raises(NotInMeshError):
+            mesh.send("ghost", "a", "x")
+
+
+class TestMembership:
+    def test_leave_stops_delivery(self):
+        loop, mesh = make_mesh()
+        got = []
+        mesh.join("a", lambda env: None)
+        mesh.join("b", lambda env: got.append(env.payload))
+        mesh.broadcast("a", "first")
+        loop.run()
+        mesh.leave("b")
+        mesh.broadcast("a", "second")
+        loop.run()
+        assert got == ["first"]
+
+    def test_leave_during_flight_loses_message(self):
+        loop, mesh = make_mesh(latency=ConstantLatency(1.0))
+        got = []
+        mesh.join("a", lambda env: None)
+        mesh.join("b", lambda env: got.append(env.payload))
+        mesh.broadcast("a", "x")
+        mesh.leave("b")  # before delivery time
+        loop.run()
+        assert got == []
+        assert mesh.stats.undeliverable == 1
+
+    def test_members_listed_in_join_order(self):
+        _loop, mesh = make_mesh()
+        for name in ["c", "a", "b"]:
+            mesh.join(name, lambda env: None)
+        assert mesh.members == ["c", "a", "b"]
+
+
+class TestFaults:
+    def test_drops_eat_deliveries(self):
+        loop, mesh = make_mesh(faults=ProbabilisticDrops(1.0))
+        got = []
+        mesh.join("a", lambda env: None)
+        mesh.join("b", lambda env: got.append(env))
+        mesh.broadcast("a", "x")
+        loop.run()
+        assert got == []
+        assert mesh.stats.dropped == 1
+
+    def test_crashed_sender_sends_nothing(self):
+        faults = ScheduledFaults(crashes=[CrashPlan("a", start=0.0, end=10.0)])
+        loop, mesh = make_mesh(faults=faults)
+        got = []
+        mesh.join("a", lambda env: None)
+        mesh.join("b", lambda env: got.append(env))
+        assert mesh.broadcast("a", "x") == 0
+        loop.run()
+        assert got == []
+
+    def test_crashed_recipient_receives_nothing(self):
+        faults = ScheduledFaults(crashes=[CrashPlan("b", start=0.0, end=10.0)])
+        loop, mesh = make_mesh(faults=faults)
+        got = []
+        mesh.join("a", lambda env: None)
+        mesh.join("b", lambda env: got.append(env))
+        mesh.broadcast("a", "x")
+        loop.run()
+        assert got == []
+        assert mesh.stats.undeliverable == 1
+
+    def test_stats_counters(self):
+        loop, mesh = make_mesh()
+        mesh.join("a", lambda env: None)
+        mesh.join("b", lambda env: None)
+        mesh.broadcast("a", "x")
+        mesh.send("a", "b", "y")
+        loop.run()
+        assert mesh.stats.broadcasts == 1
+        assert mesh.stats.unicasts == 1
+        assert mesh.stats.deliveries == 2
+
+
+class TestMeshPair:
+    def test_joins_both_channels(self):
+        loop = EventLoop()
+        pair = MeshPair(loop, latency=ConstantLatency(0.01))
+        signals, ops = [], []
+        pair.join("a", signals.append, ops.append)
+        pair.join("b", lambda e: None, lambda e: None)
+        pair.signals.broadcast("b", "sig")
+        pair.operations.broadcast("b", "op")
+        loop.run()
+        assert [e.payload for e in signals] == ["sig"]
+        assert [e.payload for e in ops] == ["op"]
+
+    def test_leave_both(self):
+        loop = EventLoop()
+        pair = MeshPair(loop)
+        pair.join("a", lambda e: None, lambda e: None)
+        pair.leave("a")
+        assert pair.members == []

@@ -1,0 +1,179 @@
+"""Property-based tests over the application shared objects.
+
+Each app declares object invariants; here hypothesis drives random
+operation sequences through the raw objects and asserts the invariants
+(and a few app-specific monotonicity facts) survive any sequence —
+exactly the discipline the paper's Spec# contracts enforce.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.auction import AuctionHouse
+from repro.apps.carpool import CarPool
+from repro.apps.event_planner import EventPlanner
+from repro.apps.message_board import MessageBoard
+from repro.apps.microblog import MicroBlog
+from repro.spec.contracts import set_checking
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _raw_semantics():
+    """Property tests exercise raw behaviour (checks would just raise
+    earlier); the invariants are asserted explicitly at the end."""
+    previous = set_checking(False)
+    yield
+    set_checking(previous)
+
+
+USERS = st.sampled_from(["ada", "bob", "cleo", "dan", ""])
+EVENTS = st.sampled_from(["party", "gig", "conf"])
+
+
+class TestEventPlannerProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 2), USERS, EVENTS, st.integers(0, 3)),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_capacity_and_quota_never_violated(self, ops):
+        planner = EventPlanner()
+        planner.create_event("party", 2)
+        planner.create_event("gig", 1)
+        for kind, user, event, capacity in ops:
+            if kind == 0:
+                planner.create_event(f"e{capacity}", capacity)
+            elif kind == 1:
+                planner.join(user, event)
+            else:
+                planner.leave(user, event)
+        for name, event in planner.events.items():
+            assert len(event["attendees"]) <= event["capacity"]
+            assert len(set(event["attendees"])) == len(event["attendees"])
+        for user in {"ada", "bob", "cleo", "dan"}:
+            assert planner.joined_count(user) <= planner.quota
+
+
+class TestAuctionProperties:
+    @given(
+        bids=st.lists(
+            st.tuples(st.sampled_from(["bob", "cleo", "sam"]), st.integers(-5, 40)),
+            max_size=30,
+        ),
+        close_after=st.integers(0, 30),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_price_is_strictly_increasing_and_close_is_final(
+        self, bids, close_after
+    ):
+        house = AuctionHouse()
+        house.list_item("vase", "sam", 5)
+        prices = []
+        for index, (bidder, amount) in enumerate(bids):
+            if index == close_after:
+                house.close_auction("vase", "sam")
+            if house.place_bid("vase", bidder, amount):
+                assert index < close_after or close_after >= len(bids)
+                prices.append(amount)
+        assert prices == sorted(prices)
+        assert len(prices) == len(set(prices))  # strictly increasing
+        winning = house.winning_bid("vase")
+        if prices:
+            assert winning == (None if winning is None else winning)
+            assert winning[1] == prices[-1]
+            assert winning[1] >= 5  # reserve respected
+
+
+class TestCarPoolProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 2), USERS, st.integers(1, 3)),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_seats_and_uniqueness(self, ops):
+        pool = CarPool()
+        pool.offer_vehicle("v1", "party", "driver", 2)
+        pool.offer_vehicle("v2", "party", "driver", 1)
+        for kind, user, seats in ops:
+            if kind == 0:
+                pool.offer_vehicle(f"v{seats + 2}", "party", "driver", seats)
+            elif kind == 1:
+                pool.get_ride(user, "party")
+            else:
+                pool.cancel_ride(user, "party")
+        for vehicle in pool.vehicles.values():
+            assert len(vehicle["riders"]) <= vehicle["seats"]
+        riders = [
+            rider
+            for vehicle in pool.vehicles.values()
+            for rider in vehicle["riders"]
+        ]
+        assert len(riders) == len(set(riders))  # one ride per user
+
+
+class TestMessageBoardProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(0, 2),
+                st.sampled_from(["general", "random"]),
+                st.sampled_from(["ada", "bob"]),
+                st.integers(-1, 5),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_posts_are_well_formed_and_deletes_respect_authorship(self, ops):
+        board = MessageBoard()
+        board.create_topic("general")
+        for kind, topic, author, index in ops:
+            if kind == 0:
+                board.create_topic(topic)
+            elif kind == 1:
+                board.post(topic, author, f"text{index}")
+            else:
+                posts_before = [p[:] for p in board.topics.get(topic, [])]
+                if board.delete_post(topic, index, author):
+                    assert posts_before[index][0] == author
+        for posts in board.topics.values():
+            for post in posts:
+                assert len(post) == 2 and post[0] in {"ada", "bob"}
+
+
+class TestMicroBlogProperties:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(0, 3),
+                st.sampled_from(["h1", "h2", "h3", "ghost"]),
+                st.sampled_from(["h1", "h2", "h3"]),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_graph_and_posts_stay_registered(self, ops):
+        blog = MicroBlog()
+        for kind, a, b in ops:
+            if kind == 0:
+                blog.register(a)
+            elif kind == 1:
+                blog.follow(a, b)
+            elif kind == 2:
+                blog.unfollow(a, b)
+            else:
+                blog.post(a, "hello")
+        for follower, followees in blog.follows.items():
+            assert follower in blog.handles
+            for followee in followees:
+                assert followee in blog.handles
+                assert followee != follower
+            assert len(set(followees)) == len(followees)
+        for author, _text in blog.posts:
+            assert author in blog.handles

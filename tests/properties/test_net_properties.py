@@ -1,0 +1,127 @@
+"""Property-based tests for the network substrate."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.faults import NoFaults, ProbabilisticDrops
+from repro.net.latency import UniformLatency
+from repro.net.mesh import Mesh
+from repro.sim.eventloop import EventLoop
+
+
+@st.composite
+def mesh_script(draw):
+    n_nodes = draw(st.integers(2, 6))
+    sends = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n_nodes - 1),  # sender
+                st.integers(0, 100),  # payload tag
+                st.floats(0.0, 2.0),  # send time
+            ),
+            max_size=30,
+        )
+    )
+    return n_nodes, sends
+
+
+class TestDeliveryProperties:
+    @given(script=mesh_script(), seed=st.integers(0, 999))
+    @settings(max_examples=80, deadline=None)
+    def test_exactly_once_to_every_other_member(self, script, seed):
+        n_nodes, sends = script
+        loop = EventLoop()
+        mesh = Mesh(
+            "p",
+            loop,
+            UniformLatency(0.001, 0.3),
+            NoFaults(),
+            rng=random.Random(seed),
+        )
+        received: dict[str, list] = {}
+        for index in range(n_nodes):
+            name = f"n{index}"
+            received[name] = []
+            mesh.join(name, lambda env, n=name: received[n].append(env))
+        for sender_index, tag, when in sorted(sends, key=lambda item: item[2]):
+            loop.schedule_at(
+                max(when, loop.now()),
+                lambda s=f"n{sender_index}", t=tag: mesh.broadcast(s, t),
+            )
+        loop.run()
+        # Each broadcast reaches every non-sender exactly once.
+        for index in range(n_nodes):
+            name = f"n{index}"
+            sent_by_others = [
+                tag for s, tag, _w in sends if f"n{s}" != name
+            ]
+            got = [env.payload for env in received[name]]
+            assert sorted(got) == sorted(sent_by_others)
+            # Never delivered to self:
+            for env in received[name]:
+                assert env.sender != name
+
+    @given(script=mesh_script(), seed=st.integers(0, 999))
+    @settings(max_examples=50, deadline=None)
+    def test_delivery_times_respect_latency_bounds(self, script, seed):
+        n_nodes, sends = script
+        loop = EventLoop()
+        mesh = Mesh(
+            "p", loop, UniformLatency(0.01, 0.2), rng=random.Random(seed)
+        )
+        envelopes = []
+        for index in range(n_nodes):
+            mesh.join(f"n{index}", envelopes.append)
+        for sender_index, tag, when in sends:
+            loop.schedule_at(
+                max(when, 0.0), lambda s=f"n{sender_index}", t=tag: mesh.broadcast(s, t)
+            )
+        loop.run()
+        for env in envelopes:
+            delay = env.delivered_at - env.sent_at
+            assert 0.01 <= delay <= 0.2
+
+    @given(
+        p=st.floats(0.0, 1.0),
+        n_messages=st.integers(1, 50),
+        seed=st.integers(0, 999),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_drops_plus_deliveries_account_for_everything(
+        self, p, n_messages, seed
+    ):
+        loop = EventLoop()
+        mesh = Mesh(
+            "p",
+            loop,
+            UniformLatency(0.001, 0.01),
+            ProbabilisticDrops(p),
+            rng=random.Random(seed),
+        )
+        mesh.join("a", lambda env: None)
+        mesh.join("b", lambda env: None)
+        for _ in range(n_messages):
+            mesh.broadcast("a", "x")
+        loop.run()
+        assert mesh.stats.deliveries + mesh.stats.dropped == n_messages
+
+    @given(seed=st.integers(0, 999))
+    @settings(max_examples=30, deadline=None)
+    def test_same_seed_same_delivery_schedule(self, seed):
+        def run_once():
+            loop = EventLoop()
+            mesh = Mesh(
+                "p", loop, UniformLatency(0.01, 0.5), rng=random.Random(seed)
+            )
+            times = []
+            mesh.join("a", lambda env: None)
+            mesh.join("b", lambda env: times.append(env.delivered_at))
+            mesh.join("c", lambda env: times.append(env.delivered_at))
+            for _ in range(5):
+                mesh.broadcast("a", "x")
+            loop.run()
+            return times
+
+        assert run_once() == run_once()

@@ -1,0 +1,98 @@
+"""Property-based tests over the full runtime.
+
+Random op mixes, random timing, random user counts — after quiescence
+the paper's invariants must hold, the replay oracle must agree, and no
+operation may execute more than three times.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.simulation_relation import replay_check
+from tests.helpers import Counter, Ledger, Register, quick_system
+
+
+@st.composite
+def session_plan(draw):
+    n_machines = draw(st.integers(2, 4))
+    seed = draw(st.integers(0, 100))
+    n_actions = draw(st.integers(5, 25))
+    actions = [
+        (
+            draw(st.integers(0, n_machines - 1)),
+            draw(st.integers(0, 2)),  # which object
+            draw(st.integers(0, 5)),  # argument flavour
+            draw(st.floats(0.0, 1.2)),  # think time after
+        )
+        for _ in range(n_actions)
+    ]
+    return n_machines, seed, actions
+
+
+@settings(max_examples=25, deadline=None)
+@given(plan=session_plan())
+def test_runtime_invariants_under_random_sessions(plan):
+    n_machines, seed, actions = plan
+    system = quick_system(n_machines, seed=seed)
+    apis = system.apis()
+    creator = apis[0]
+    counter = creator.create_instance(Counter)
+    register = creator.create_instance(Register)
+    ledger = creator.create_instance(Ledger)
+    system.run_until_quiesced()
+    replicas = [
+        (
+            api.join_instance(counter.unique_id),
+            api.join_instance(register.unique_id),
+            api.join_instance(ledger.unique_id),
+        )
+        for api in apis
+    ]
+
+    for machine_index, object_index, flavour, pause in actions:
+        api = apis[machine_index]
+        objs = replicas[machine_index]
+        if object_index == 0:
+            op = api.create_operation(objs[0], "increment", 3 + flavour)
+        elif object_index == 1:
+            op = api.create_operation(objs[1], "set_if", objs[1].value, flavour)
+        else:
+            method = "deposit" if flavour % 2 == 0 else "withdraw"
+            op = api.create_operation(objs[2], method, flavour, "p")
+        api.issue_when_possible(op)
+        system.run_for(pause)
+
+    system.run_until_quiesced()
+    system.check_all_invariants()
+    replay_check(system)
+    histogram = system.metrics.execution_histogram()
+    assert not histogram or max(histogram) <= 3
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    n_machines=st.integers(2, 5),
+)
+def test_all_machines_commit_identical_sequences(seed, n_machines):
+    system = quick_system(n_machines, seed=seed)
+    apis = system.apis()
+    counter = apis[0].create_instance(Counter)
+    system.run_until_quiesced()
+    rng = random.Random(seed)
+    replicas = [api.join_instance(counter.unique_id) for api in apis]
+    for _ in range(12):
+        index = rng.randrange(n_machines)
+        api = apis[index]
+        api.issue_when_possible(
+            api.create_operation(replicas[index], "increment", rng.randint(1, 8))
+        )
+        system.run_for(rng.random())
+    system.run_until_quiesced()
+    sequences = {
+        tuple((e.key, e.result) for e in node.model.completed)
+        for node in system.nodes.values()
+    }
+    assert len(sequences) == 1

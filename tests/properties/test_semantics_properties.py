@@ -1,0 +1,124 @@
+"""Property-based tests over the operational semantics (hypothesis).
+
+Random shared-op vocabularies, random per-machine scripts, random
+schedules — the paper's invariants must hold at every step and the
+system must converge whenever it quiesces.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semantics.interpreter import SemanticsInterpreter
+from repro.semantics.invariants import check_all
+from repro.semantics.state import AbstractOp, CompositeOp
+
+
+def inc_upto(limit):
+    def fn(state):
+        if state >= limit:
+            return state, False
+        return state + 1, True
+
+    return AbstractOp(f"inc<{limit}", fn)
+
+
+def dec_above(floor):
+    def fn(state):
+        if state <= floor:
+            return state, False
+        return state - 1, True
+
+    return AbstractOp(f"dec>{floor}", fn)
+
+
+def set_to(value):
+    return AbstractOp(f"set{value}", lambda s: (value, True))
+
+
+def cas(expected, value):
+    def fn(state):
+        if state != expected:
+            return state, False
+        return value, True
+
+    return AbstractOp(f"cas{expected}->{value}", fn)
+
+
+OP_BUILDERS = [
+    lambda draw: inc_upto(draw(st.integers(0, 5))),
+    lambda draw: dec_above(draw(st.integers(-3, 2))),
+    lambda draw: set_to(draw(st.integers(-2, 6))),
+    lambda draw: cas(draw(st.integers(-1, 4)), draw(st.integers(-1, 5))),
+]
+
+
+@st.composite
+def scripts_strategy(draw, max_machines=4, max_ops=4):
+    n_machines = draw(st.integers(2, max_machines))
+    scripts = {}
+    for machine in range(n_machines):
+        length = draw(st.integers(0, max_ops))
+        ops = []
+        for _ in range(length):
+            builder = draw(st.sampled_from(OP_BUILDERS))
+            ops.append(CompositeOp(builder(draw)))
+        scripts[machine] = ops
+    return n_machines, scripts
+
+
+class TestRandomSchedules:
+    @given(
+        data=scripts_strategy(),
+        schedule_seed=st.integers(0, 10_000),
+        commit_bias=st.floats(0.1, 0.9),
+        initial=st.integers(-2, 5),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_invariants_hold_and_system_converges(
+        self, data, schedule_seed, commit_bias, initial
+    ):
+        n_machines, scripts = data
+        interp = SemanticsInterpreter(n_machines, initial)
+        interp.run_random(scripts, random.Random(schedule_seed), commit_bias)
+        # run_random drains everything; the interpreter asserted the
+        # invariants after every single rule application.  Terminal:
+        assert all(machine.quiesced() for machine in interp.state)
+        assert check_all(interp.state) == []
+        shared = {machine.sc for machine in interp.state}
+        assert len(shared) == 1
+
+    @given(
+        data=scripts_strategy(max_machines=3, max_ops=3),
+        seed_a=st.integers(0, 999),
+        seed_b=st.integers(0, 999),
+        initial=st.integers(0, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_committed_history_determines_final_state(
+        self, data, seed_a, seed_b, initial
+    ):
+        # Two different schedules of the same scripts may commit in
+        # different orders — but within each run, every machine ends
+        # with the same completed sequence and hence the same state.
+        n_machines, scripts = data
+        for seed in (seed_a, seed_b):
+            interp = SemanticsInterpreter(n_machines, initial)
+            interp.run_random(scripts, random.Random(seed))
+            histories = {machine.completed for machine in interp.state}
+            assert len(histories) == 1
+
+
+class TestIssueGuard:
+    @given(initial=st.integers(0, 5), limit=st.integers(0, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_guard_failure_never_mutates(self, initial, limit):
+        interp = SemanticsInterpreter(2, initial)
+        before = interp.state
+        issued = interp.issue(0, CompositeOp(inc_upto(limit)))
+        if initial >= limit:
+            assert not issued
+            assert interp.state == before
+        else:
+            assert issued

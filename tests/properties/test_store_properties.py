@@ -1,0 +1,130 @@
+"""Property-based tests for stores, transactions and the op algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.operations import AtomicOp, OrElseOp, PrimitiveOp
+from repro.core.serialization import roundtrip_op
+from repro.core.store import ObjectStore, TransactionView
+from tests.helpers import Counter, Ledger, Register
+
+
+def fresh_store(counter=0, register=0, balance=0):
+    store = ObjectStore()
+    store.create("c", Counter, {"value": counter})
+    store.create("r", Register, {"value": register})
+    store.create(
+        "l", Ledger, {"balance": balance, "log": [f"seed{balance}"] if balance else []}
+    )
+    return store
+
+
+@st.composite
+def primitive_ops(draw):
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return PrimitiveOp("c", "increment", (draw(st.integers(0, 5)),))
+    if kind == 1:
+        return PrimitiveOp(
+            "r", "set_if", (draw(st.integers(0, 3)), draw(st.integers(0, 5)))
+        )
+    if kind == 2:
+        return PrimitiveOp("r", "always_set", (draw(st.integers(0, 5)),))
+    if kind == 3:
+        return PrimitiveOp("l", "deposit", (draw(st.integers(-1, 5)), "d"))
+    return PrimitiveOp("l", "withdraw", (draw(st.integers(-1, 5)), "w"))
+
+
+@st.composite
+def op_trees(draw, depth=2):
+    if depth == 0:
+        return draw(primitive_ops())
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        return draw(primitive_ops())
+    if kind == 1:
+        children = draw(
+            st.lists(op_trees(depth=depth - 1), min_size=1, max_size=3)
+        )
+        return AtomicOp(children)
+    return OrElseOp(
+        draw(op_trees(depth=depth - 1)), draw(op_trees(depth=depth - 1))
+    )
+
+
+def snapshot(store):
+    return {uid: obj.get_state() for uid, obj in store}
+
+
+class TestOperationProperties:
+    @given(op=op_trees(), c=st.integers(0, 3), r=st.integers(0, 3), b=st.integers(0, 3))
+    @settings(max_examples=200, deadline=None)
+    def test_failure_implies_unchanged(self, op, c, r, b):
+        """The conformance discipline lifts through Atomic/OrElse."""
+        store = fresh_store(c, r, b)
+        before = snapshot(store)
+        if not op.execute(store):
+            assert snapshot(store) == before
+
+    @given(op=op_trees(), c=st.integers(0, 3), r=st.integers(0, 3), b=st.integers(0, 3))
+    @settings(max_examples=200, deadline=None)
+    def test_serialization_preserves_behaviour(self, op, c, r, b):
+        store_a = fresh_store(c, r, b)
+        store_b = fresh_store(c, r, b)
+        result_a = op.execute(store_a)
+        result_b = roundtrip_op(op).execute(store_b)
+        assert result_a == result_b
+        assert snapshot(store_a) == snapshot(store_b)
+
+    @given(op=op_trees(), c=st.integers(0, 3))
+    @settings(max_examples=100, deadline=None)
+    def test_transaction_commit_equals_direct_execution(self, op, c):
+        direct = fresh_store(c)
+        direct_result = op.execute(direct)
+
+        via_txn = fresh_store(c)
+        txn = TransactionView(via_txn)
+        txn_result = op.execute(txn)
+        txn.commit()
+        assert direct_result == txn_result
+        assert snapshot(direct) == snapshot(via_txn)
+
+    @given(op=op_trees(), c=st.integers(0, 3))
+    @settings(max_examples=100, deadline=None)
+    def test_transaction_abort_is_a_noop(self, op, c):
+        store = fresh_store(c)
+        before = snapshot(store)
+        txn = TransactionView(store)
+        op.execute(txn)
+        txn.abort()
+        assert snapshot(store) == before
+
+    @given(first=op_trees(depth=1), second=op_trees(depth=1), c=st.integers(0, 3))
+    @settings(max_examples=100, deadline=None)
+    def test_or_else_equals_first_when_first_succeeds(self, first, second, c):
+        probe = fresh_store(c)
+        if not first.execute(probe):
+            return  # only the success case is constrained here
+        alone = fresh_store(c)
+        first.execute(alone)
+        combined = fresh_store(c)
+        assert OrElseOp(first, second).execute(combined)
+        assert snapshot(alone) == snapshot(combined)
+
+
+class TestRefreshProperties:
+    @given(
+        values=st.lists(st.integers(0, 9), min_size=1, max_size=5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_refresh_from_is_idempotent(self, values):
+        source = ObjectStore()
+        for index, value in enumerate(values):
+            source.create(f"c{index}", Counter, {"value": value})
+        target = ObjectStore()
+        target.refresh_from(source)
+        once = {uid: obj.get_state() for uid, obj in target}
+        target.refresh_from(source)
+        twice = {uid: obj.get_state() for uid, obj in target}
+        assert once == twice
+        assert target.state_equal(source)

@@ -1,0 +1,117 @@
+"""Property-based Sudoku tests: board invariants and generator facts."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.sudoku import SudokuBoard, generate_puzzle, is_valid_grid, solve
+from repro.apps.sudoku.generator import candidates, generate_solution
+from repro.spec.contracts import set_checking
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _raw_semantics():
+    previous = set_checking(False)
+    yield
+    set_checking(previous)
+
+
+@st.composite
+def fill_sequences(draw):
+    seed = draw(st.integers(0, 10_000))
+    moves = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, 10),
+                st.integers(0, 10),
+                st.integers(0, 10),
+            ),
+            max_size=40,
+        )
+    )
+    return seed, moves
+
+
+class TestBoardInvariants:
+    @given(data=fill_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_any_update_sequence_keeps_grid_valid(self, data):
+        seed, moves = data
+        puzzle, _solution = generate_puzzle(
+            random.Random(seed), clues=45, unique=False
+        )
+        board = SudokuBoard()
+        board.load(puzzle)
+        for row, col, value in moves:
+            board.update(row, col, value)
+        assert is_valid_grid(board.puzzle)
+        # Givens are never clobbered.
+        for r in range(9):
+            for c in range(9):
+                if board.given[r][c]:
+                    assert board.puzzle[r][c] == puzzle[r][c]
+
+    @given(data=fill_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_update_reports_honestly(self, data):
+        seed, moves = data
+        puzzle, _solution = generate_puzzle(
+            random.Random(seed), clues=45, unique=False
+        )
+        board = SudokuBoard()
+        board.load(puzzle)
+        for row, col, value in moves:
+            before = [line[:] for line in board.puzzle]
+            result = board.update(row, col, value)
+            if result:
+                assert board.puzzle[row - 1][col - 1] == value
+                changed = sum(
+                    1
+                    for r in range(9)
+                    for c in range(9)
+                    if board.puzzle[r][c] != before[r][c]
+                )
+                assert changed == 1
+            else:
+                assert board.puzzle == before
+
+
+class TestGeneratorProperties:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_generated_solutions_are_valid_and_complete(self, seed):
+        solution = generate_solution(random.Random(seed))
+        assert is_valid_grid(solution)
+        assert all(value != 0 for row in solution for value in row)
+
+    @given(seed=st.integers(0, 10_000), clues=st.integers(30, 60))
+    @settings(max_examples=20, deadline=None)
+    def test_puzzles_are_solvable_to_their_solution(self, seed, clues):
+        puzzle, solution = generate_puzzle(
+            random.Random(seed), clues=clues, unique=False
+        )
+        solved = solve(puzzle)
+        assert solved is not None
+        assert is_valid_grid(solved)
+        # Every given survives into the embedded solution.
+        for r in range(9):
+            for c in range(9):
+                if puzzle[r][c]:
+                    assert solution[r][c] == puzzle[r][c]
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_candidates_are_exactly_the_legal_values(self, seed):
+        rng = random.Random(seed)
+        puzzle, _solution = generate_puzzle(rng, clues=40, unique=False)
+        board = SudokuBoard()
+        board.load(puzzle)
+        empties = board.empty_cells()
+        if not empties:
+            return
+        row, col = rng.choice(empties)
+        legal = set(candidates(puzzle, row - 1, col - 1))
+        for value in range(1, 10):
+            assert board.check(row, col, value) == (value in legal)

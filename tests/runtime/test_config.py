@@ -1,0 +1,31 @@
+"""RuntimeConfig tests: the cost model and recovery thresholds."""
+
+from repro.runtime.config import RuntimeConfig
+
+
+class TestCostModel:
+    def test_flush_cost_scales_with_ops(self):
+        config = RuntimeConfig()
+        assert config.flush_cpu(10) > config.flush_cpu(0) > 0
+
+    def test_apply_and_update_costs(self):
+        config = RuntimeConfig()
+        assert config.apply_cpu(5) == config.apply_cpu_base + 5 * config.apply_cpu_per_op
+        assert config.update_cpu(5) == (
+            config.update_cpu_base + 5 * config.update_cpu_per_op
+        )
+
+    def test_removal_threshold_exceeds_paper_outlier_line(self):
+        # Two stall timeouts must land past 12 s so full recoveries are
+        # the Figure 5 outliers.
+        config = RuntimeConfig()
+        assert config.removal_threshold > 12.0
+
+    def test_frozen(self):
+        import dataclasses
+
+        import pytest
+
+        config = RuntimeConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.sync_interval = 5.0  # type: ignore[misc]

@@ -1,0 +1,205 @@
+"""Section-9 future-work extensions: parallel flush, master failover,
+offline updates."""
+
+import pytest
+
+from repro.errors import NodeCrashedError
+from repro.net.faults import CrashPlan, ScheduledFaults
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.system import DistributedSystem
+from tests.helpers import Counter, quick_system, shared_counter
+
+
+class TestParallelFlush:
+    def make(self, n, parallel):
+        config = RuntimeConfig(sync_interval=0.5, parallel_flush=parallel)
+        system = DistributedSystem(n_machines=n, seed=3, config=config)
+        system.start(first_sync_delay=0.1)
+        return system
+
+    def test_commits_work_in_parallel_mode(self):
+        system = self.make(4, parallel=True)
+        replicas, uid = shared_counter(system)
+        for machine_id, replica in replicas.items():
+            api = system.api(machine_id)
+            api.issue_operation(api.create_operation(replica, "increment", 10))
+        system.run_until_quiesced()
+        assert system.node("m03").model.committed.get(uid).value == 4
+        system.check_all_invariants()
+
+    def test_parallel_flush_removes_per_user_slope(self):
+        """The paper's scalability fix: stage-1 time no longer grows
+        with the user count."""
+
+        def mean_sync(n, parallel):
+            system = self.make(n, parallel)
+            system.run_for(10.0)
+            durations = system.metrics.sync_durations()
+            return sum(durations) / len(durations)
+
+        serial_growth = mean_sync(8, False) - mean_sync(2, False)
+        parallel_growth = mean_sync(8, True) - mean_sync(2, True)
+        assert serial_growth > 0.1  # ~28 ms/user over 6 users
+        assert parallel_growth < 0.25 * serial_growth
+
+    def test_recovery_still_works_in_parallel_mode(self):
+        faults = ScheduledFaults(crashes=[CrashPlan("m03", start=1.0, end=10.0)])
+        config = RuntimeConfig(
+            sync_interval=0.5, parallel_flush=True, stall_timeout=2.0
+        )
+        system = DistributedSystem(n_machines=3, seed=4, faults=faults, config=config)
+        system.start(first_sync_delay=0.1)
+        system.run_for(30.0)
+        assert system.metrics.node("m03").restarts == 1
+        assert all(node.state == "active" for node in system.nodes.values())
+        system.run_until_quiesced()
+        system.check_all_invariants()
+
+    def test_bounded_reexecution_holds_in_parallel_mode(self):
+        system = self.make(4, parallel=True)
+        replicas, _uid = shared_counter(system)
+        import random
+
+        rng = random.Random(0)
+        for _ in range(40):
+            machine_id = rng.choice(list(replicas))
+            api = system.api(machine_id)
+            api.issue_when_possible(
+                api.create_operation(replicas[machine_id], "increment", 1000)
+            )
+            system.run_for(rng.random() * 0.3)
+        system.run_until_quiesced()
+        histogram = system.metrics.execution_histogram()
+        assert max(histogram) <= 3
+
+
+class TestMasterFailover:
+    def make(self):
+        # Master m01 is killed at t=5; m02 should take over.
+        config = RuntimeConfig(
+            sync_interval=0.5, stall_timeout=2.0, failover_timeout=4.0
+        )
+        system = DistributedSystem(n_machines=3, seed=5, config=config)
+        system.start(first_sync_delay=0.1)
+        system.loop.call_later(5.0, system.node("m01").halt)
+        return system
+
+    def test_slave_promotes_after_master_silence(self):
+        system = self.make()
+        system.run_for(20.0)
+        assert system.node("m02").is_master
+        assert not system.node("m03").is_master
+
+    def test_rounds_resume_under_new_master(self):
+        system = self.make()
+        replicas, uid = shared_counter(system)
+        system.run_for(20.0)  # master dies at 5; failover by ~10
+        rounds_at_failover = len(system.metrics.sync_records)
+        api = system.api("m03")
+        api.issue_when_possible(
+            api.create_operation(replicas["m03"], "increment", 10)
+        )
+        system.run_for(10.0)
+        assert len(system.metrics.sync_records) > rounds_at_failover
+        # The op committed on the surviving machines.
+        assert system.node("m02").model.committed.get(uid).value == 1
+        assert system.node("m03").model.committed.get(uid).value == 1
+
+    def test_new_master_round_ids_advance(self):
+        system = self.make()
+        system.run_for(20.0)
+        round_ids = [record.round_id for record in system.metrics.sync_records]
+        assert round_ids == sorted(round_ids)
+        assert len(set(round_ids)) == len(round_ids)
+
+    def test_no_failover_while_master_alive(self):
+        config = RuntimeConfig(sync_interval=0.5, failover_timeout=3.0)
+        system = DistributedSystem(n_machines=3, seed=6, config=config)
+        system.start(first_sync_delay=0.1)
+        system.run_for(20.0)
+        assert system.node("m01").is_master
+        assert not system.node("m02").is_master
+
+
+class TestOfflineUpdates:
+    def test_offline_ops_commit_after_reconnect(self):
+        system = quick_system(3)
+        replicas, uid = shared_counter(system)
+        node = system.node("m03")
+        node.go_offline()
+        system.run_for(2.0)
+        api = node.api
+        # Issue while offline: applies to the local guesstimate only.
+        assert api.issue_operation(api.create_operation(replicas["m03"], "increment", 10))
+        assert api.issue_operation(api.create_operation(replicas["m03"], "increment", 10))
+        assert node.model.guess.get(uid).value == 2
+        assert system.node("m01").model.committed.get(uid).value == 0
+        system.run_for(3.0)
+
+        node.come_online()
+        system.run_until_quiesced()
+        assert node.state == "active"
+        assert system.node("m01").model.committed.get(uid).value == 2
+        system.check_all_invariants()
+
+    def test_offline_machine_misses_remote_commits_until_reconnect(self):
+        system = quick_system(3)
+        replicas, uid = shared_counter(system)
+        node = system.node("m03")
+        node.go_offline()
+        system.run_for(1.0)
+        api1 = system.api("m01")
+        api1.issue_operation(api1.create_operation(replicas["m01"], "increment", 10))
+        system.run_for(3.0)
+        assert node.model.committed.get(uid).value == 0  # stale while offline
+        node.come_online()
+        system.run_until_quiesced()
+        assert node.model.committed.get(uid).value == 1
+
+    def test_offline_conflict_surfaces_at_reconnect(self):
+        system = quick_system(2)
+        replicas, uid = shared_counter(system)
+        node = system.node("m02")
+        node.go_offline()
+        system.run_for(1.0)
+        # Offline user takes the last slot locally…
+        outcome = []
+        api2 = node.api
+        api2.issue_operation(
+            api2.create_operation(replicas["m02"], "increment", 1), outcome.append
+        )
+        # …while an online user takes it for real.
+        api1 = system.api("m01")
+        api1.issue_operation(api1.create_operation(replicas["m01"], "increment", 1))
+        system.run_for(3.0)
+        node.come_online()
+        system.run_until_quiesced()
+        # The offline op lost at commit; its completion reported it.
+        assert outcome == [False]
+        assert system.metrics.node("m02").conflicts == 1
+        assert node.model.committed.get(uid).value == 1
+
+    def test_go_offline_requires_active(self):
+        system = quick_system(2)
+        node = system.node("m02")
+        node.go_offline()
+        with pytest.raises(NodeCrashedError):
+            node.go_offline()
+
+    def test_come_online_requires_offline(self):
+        system = quick_system(2)
+        with pytest.raises(NodeCrashedError):
+            system.node("m02").come_online()
+
+    def test_executions_stay_bounded_across_offline_cycle(self):
+        system = quick_system(3)
+        replicas, _uid = shared_counter(system)
+        node = system.node("m03")
+        node.go_offline()
+        api = node.api
+        api.issue_operation(api.create_operation(replicas["m03"], "increment", 10))
+        system.run_for(2.0)
+        node.come_online()
+        system.run_until_quiesced()
+        histogram = system.metrics.node("m03").execution_histogram()
+        assert max(histogram) <= 3

@@ -1,0 +1,97 @@
+"""Metrics and tracer unit tests."""
+
+from repro.core.operations import OpKey
+from repro.runtime.metrics import NodeMetrics, SyncRecord, SystemMetrics
+from repro.runtime.tracing import Tracer
+
+
+class TestSyncRecord:
+    def test_duration(self):
+        record = SyncRecord(round_id=1, started_at=2.0, finished_at=2.5)
+        assert record.duration == 0.5
+
+    def test_recovered_flag(self):
+        clean = SyncRecord(1, 0.0, 1.0)
+        assert not clean.recovered
+        resent = SyncRecord(2, 0.0, 1.0, resends=1)
+        removed = SyncRecord(3, 0.0, 1.0, removals=1)
+        assert resent.recovered and removed.recovered
+
+
+class TestNodeMetrics:
+    def test_execution_histogram(self):
+        metrics = NodeMetrics("m01")
+        for _ in range(2):
+            metrics.record_execution(OpKey("m01", 1))
+        metrics.record_execution(OpKey("m01", 2))
+        assert metrics.execution_histogram() == {1: 1, 2: 1}
+
+    def test_mean_commit_latency(self):
+        metrics = NodeMetrics("m01")
+        assert metrics.mean_commit_latency == 0.0
+        metrics.commit_latency_total = 3.0
+        metrics.commit_latency_count = 2
+        assert metrics.mean_commit_latency == 1.5
+
+
+class TestSystemMetrics:
+    def test_node_accessor_creates(self):
+        metrics = SystemMetrics()
+        node = metrics.node("m01")
+        assert metrics.node("m01") is node
+
+    def test_aggregates(self):
+        metrics = SystemMetrics()
+        metrics.node("m01").ops_issued = 3
+        metrics.node("m01").conflicts = 1
+        metrics.node("m02").ops_issued = 2
+        metrics.node("m02").ops_committed_ok = 2
+        assert metrics.total_issued() == 5
+        assert metrics.total_conflicts() == 1
+        assert metrics.total_committed() == 2
+
+    def test_cross_machine_execution_histogram(self):
+        metrics = SystemMetrics()
+        metrics.node("m01").record_execution(OpKey("m01", 1))
+        metrics.node("m02").record_execution(OpKey("m02", 1))
+        metrics.node("m02").record_execution(OpKey("m02", 1))
+        assert metrics.execution_histogram() == {1: 1, 2: 1}
+
+    def test_recovered_rounds_filter(self):
+        metrics = SystemMetrics()
+        metrics.sync_records.append(SyncRecord(1, 0.0, 1.0))
+        metrics.sync_records.append(SyncRecord(2, 0.0, 1.0, resends=1))
+        assert [r.round_id for r in metrics.recovered_rounds()] == [2]
+
+
+class TestTracer:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.emit(1.0, "m01", Tracer.ISSUE)
+        assert tracer.events == []
+
+    def test_filters(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "m01", Tracer.ISSUE, key="k1")
+        tracer.emit(2.0, "m02", Tracer.COMMIT, key="k1")
+        assert len(tracer.of_kind(Tracer.ISSUE)) == 1
+        assert len(tracer.for_machine("m02")) == 1
+
+    def test_cap_drops_excess(self):
+        tracer = Tracer(cap=2)
+        for index in range(5):
+            tracer.emit(float(index), "m01", Tracer.ISSUE)
+        assert len(tracer.events) == 2
+        assert tracer.dropped == 3
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(1.0, "m01", Tracer.ISSUE)
+        tracer.clear()
+        assert tracer.events == [] and tracer.dropped == 0
+
+    def test_event_str(self):
+        tracer = Tracer()
+        tracer.emit(1.5, "m01", Tracer.COMMIT, key="m01#1", ok=True)
+        text = str(tracer.events[0])
+        assert "m01" in text and "commit" in text and "ok=True" in text

@@ -1,0 +1,149 @@
+"""DistributedSystem construction and basic commit flow."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.runtime.system import DistributedSystem
+from tests.helpers import Counter, quick_system, shared_counter
+
+
+class TestConstruction:
+    def test_zero_machines_rejected(self):
+        with pytest.raises(ExperimentError):
+            DistributedSystem(n_machines=0)
+
+    def test_first_machine_is_master(self):
+        system = DistributedSystem(n_machines=3)
+        assert system.master_node.machine_id == "m01"
+        assert not system.node("m02").is_master
+
+    def test_machine_ids_are_zero_padded(self):
+        system = DistributedSystem(n_machines=3)
+        assert system.machine_ids() == ["m01", "m02", "m03"]
+
+    def test_founding_members_are_participants(self):
+        system = DistributedSystem(n_machines=4)
+        assert system.master_node.master.participants == [
+            "m01",
+            "m02",
+            "m03",
+            "m04",
+        ]
+
+    def test_all_nodes_join_both_meshes(self):
+        system = DistributedSystem(n_machines=3)
+        assert set(system.meshes.signals.members) == {"m01", "m02", "m03"}
+        assert set(system.meshes.operations.members) == {"m01", "m02", "m03"}
+
+
+class TestCommitFlow:
+    def test_create_commits_everywhere(self):
+        system = quick_system(3)
+        counter = system.api("m01").create_instance(Counter)
+        system.run_until_quiesced()
+        for node in system.nodes.values():
+            assert node.model.committed.has(counter.unique_id)
+
+    def test_ops_from_all_machines_commit(self):
+        system = quick_system(3)
+        replicas, uid = shared_counter(system)
+        for machine_id, replica in replicas.items():
+            api = system.api(machine_id)
+            assert api.issue_operation(api.create_operation(replica, "increment", 10))
+        system.run_until_quiesced()
+        values = [
+            node.model.committed.get(uid).value for node in system.nodes.values()
+        ]
+        assert values == [3, 3, 3]
+
+    def test_completion_called_with_commit_result(self):
+        system = quick_system(2)
+        replicas, _uid = shared_counter(system)
+        results = []
+        api = system.api("m01")
+        api.issue_operation(
+            api.create_operation(replicas["m01"], "increment", 10), results.append
+        )
+        system.run_until_quiesced()
+        assert results == [True]
+
+    def test_commit_order_is_lexicographic_by_machine(self):
+        # Ops issued in the same round commit ordered by (machine, number).
+        system = quick_system(3)
+        replicas, uid = shared_counter(system)
+        for machine_id in ["m03", "m01", "m02"]:  # issue order scrambled
+            api = system.api(machine_id)
+            api.issue_operation(
+                api.create_operation(replicas[machine_id], "increment", 10)
+            )
+        system.run_until_quiesced()
+        committed = [
+            entry.key.machine_id
+            for entry in system.node("m01").model.completed
+            if entry.op.kind == "primitive"
+        ]
+        assert committed == ["m01", "m02", "m03"]
+
+    def test_guess_converges_to_committed(self):
+        system = quick_system(3)
+        replicas, uid = shared_counter(system)
+        api = system.api("m02")
+        api.issue_operation(api.create_operation(replicas["m02"], "increment", 5))
+        system.run_until_quiesced()
+        for node in system.nodes.values():
+            assert node.model.guess.state_equal(node.model.committed)
+
+    def test_check_all_invariants_passes_at_quiescence(self):
+        system = quick_system(3)
+        replicas, _uid = shared_counter(system)
+        for machine_id, replica in replicas.items():
+            api = system.api(machine_id)
+            api.issue_operation(api.create_operation(replica, "increment", 10))
+        system.run_until_quiesced()
+        system.check_all_invariants()
+
+    def test_stop_prevents_future_rounds(self):
+        system = quick_system(2)
+        system.run_until_quiesced()
+        rounds_before = len(system.metrics.sync_records)
+        system.stop()
+        system.run_for(5.0)
+        assert len(system.metrics.sync_records) == rounds_before
+
+
+class TestConflicts:
+    def test_conflicting_ops_one_wins(self):
+        system = quick_system(2)
+        replicas, uid = shared_counter(system)
+        # Both increment toward limit 1 within the same round.
+        for machine_id, replica in replicas.items():
+            api = system.api(machine_id)
+            api.issue_operation(api.create_operation(replica, "increment", 1))
+        system.run_until_quiesced()
+        assert system.node("m01").model.committed.get(uid).value == 1
+        assert system.metrics.total_conflicts() == 1
+
+    def test_loser_completion_gets_false(self):
+        system = quick_system(2)
+        replicas, _uid = shared_counter(system)
+        outcomes = {}
+        for machine_id, replica in replicas.items():
+            api = system.api(machine_id)
+            api.issue_operation(
+                api.create_operation(replica, "increment", 1),
+                lambda ok, m=machine_id: outcomes.__setitem__(m, ok),
+            )
+        system.run_until_quiesced()
+        assert sorted(outcomes.values()) == [False, True]
+        # Lexicographic order: m01 wins.
+        assert outcomes["m01"] is True
+
+    def test_conflict_metrics_attributed_to_loser(self):
+        system = quick_system(2)
+        replicas, _uid = shared_counter(system)
+        for machine_id, replica in replicas.items():
+            api = system.api(machine_id)
+            api.issue_operation(api.create_operation(replica, "increment", 1))
+        system.run_until_quiesced()
+        assert system.metrics.node("m02").conflicts == 1
+        assert system.metrics.node("m01").conflicts == 0

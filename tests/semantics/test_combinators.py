@@ -1,0 +1,143 @@
+"""Algebraic laws of the abstract Atomic / OrElse combinators.
+
+These mirror the concrete copy-on-write implementation's behaviour at
+the semantics level, plus the section-5 lemma about OrElse preserving
+specifications — all checked with hypothesis over random operation
+vocabularies.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.checker import ModelChecker
+from repro.semantics.state import AbstractOp, CompositeOp, atomic, or_else
+
+
+def inc_upto(limit):
+    def fn(state):
+        if state >= limit:
+            return state, False
+        return state + 1, True
+
+    return AbstractOp(f"inc<{limit}", fn)
+
+
+def dec_above(floor):
+    def fn(state):
+        if state <= floor:
+            return state, False
+        return state - 1, True
+
+    return AbstractOp(f"dec>{floor}", fn)
+
+
+def set_to(value):
+    return AbstractOp(f"set{value}", lambda s: (value, True))
+
+
+@st.composite
+def ops(draw, depth=0):
+    kind = draw(st.integers(0, 4 if depth < 2 else 2))
+    if kind == 0:
+        return inc_upto(draw(st.integers(0, 5)))
+    if kind == 1:
+        return dec_above(draw(st.integers(-3, 2)))
+    if kind == 2:
+        return set_to(draw(st.integers(-2, 6)))
+    if kind == 3:
+        children = draw(st.lists(ops(depth=depth + 1), min_size=1, max_size=3))
+        return atomic(*children)
+    return or_else(draw(ops(depth=depth + 1)), draw(ops(depth=depth + 1)))
+
+
+STATES = st.integers(-3, 7)
+
+
+class TestCombinatorLaws:
+    @given(op_tree=ops(), state=STATES)
+    @settings(max_examples=300, deadline=None)
+    def test_conformance_discipline_is_closed_under_composition(
+        self, op_tree, state
+    ):
+        new_state, ok = op_tree.apply(state)
+        if not ok:
+            assert new_state == state
+
+    @given(a=ops(), b=ops(), state=STATES)
+    @settings(max_examples=200, deadline=None)
+    def test_or_else_left_bias(self, a, b, state):
+        a_state, a_ok = a.apply(state)
+        combined_state, combined_ok = or_else(a, b).apply(state)
+        if a_ok:
+            assert (combined_state, combined_ok) == (a_state, a_ok)
+        else:
+            assert (combined_state, combined_ok) == b.apply(state)
+
+    @given(a=ops(), b=ops(), c=ops(), state=STATES)
+    @settings(max_examples=200, deadline=None)
+    def test_or_else_is_associative(self, a, b, c, state):
+        left = or_else(or_else(a, b), c).apply(state)
+        right = or_else(a, or_else(b, c)).apply(state)
+        assert left == right
+
+    @given(a=ops(), b=ops(), c=ops(), state=STATES)
+    @settings(max_examples=200, deadline=None)
+    def test_atomic_is_associative_in_effect(self, a, b, c, state):
+        nested = atomic(atomic(a, b), c).apply(state)
+        flat = atomic(a, b, c).apply(state)
+        assert nested == flat
+
+    @given(a=ops(), state=STATES)
+    @settings(max_examples=100, deadline=None)
+    def test_singleton_atomic_is_identity(self, a, state):
+        assert atomic(a).apply(state) == a.apply(state)
+
+    @given(a=ops(), state=STATES)
+    @settings(max_examples=100, deadline=None)
+    def test_or_else_self_is_self(self, a, state):
+        assert or_else(a, a).apply(state) == a.apply(state)
+
+    def test_empty_atomic_rejected(self):
+        with pytest.raises(ValueError):
+            atomic()
+
+
+class TestSection5Lemma:
+    """'If operations s and t both conform to a specification φ, then
+    s OrElse t also conforms to φ.'"""
+
+    @given(
+        limit_a=st.integers(1, 5),
+        limit_b=st.integers(1, 5),
+        state=st.integers(0, 6),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_or_else_preserves_phi(self, limit_a, limit_b, state):
+        # φ: on success the state strictly increased (both alternatives
+        # are bounded increments, which conform).
+        a, b = inc_upto(limit_a), inc_upto(limit_b)
+        new_state, ok = or_else(a, b).apply(state)
+        if ok:
+            assert new_state > state  # φ holds regardless of which ran
+        else:
+            assert new_state == state
+
+
+class TestCombinatorsUnderTheModelChecker:
+    def test_atomic_scripts_explore_cleanly(self):
+        op = CompositeOp(atomic(inc_upto(4), inc_upto(4)))
+        result = ModelChecker().explore(2, 0, {0: [op], 1: [op]})
+        assert result.ok
+        # Each atomic adds 2 when it fits; interleavings can drop one.
+        assert result.final_shared_values <= {2, 4}
+        assert 4 in result.final_shared_values
+
+    def test_or_else_scripts_explore_cleanly(self):
+        op = CompositeOp(or_else(inc_upto(1), set_to(9)))
+        result = ModelChecker().explore(2, 0, {0: [op], 1: [op]})
+        assert result.ok
+        # First issuer increments to 1; the second falls to set9 —
+        # ordering decides whether 9 or 1 survives... set9 always wins
+        # when it runs second; all terminals must still agree.
+        assert result.final_shared_values

@@ -1,0 +1,103 @@
+"""Interpreter and invariant tests."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.semantics.interpreter import SemanticsInterpreter
+from repro.semantics.invariants import (
+    check_all,
+    check_committed_agreement,
+    check_convergence,
+    check_quiescent_convergence,
+)
+from repro.semantics.state import AbstractOp, CompositeOp, make_system
+
+
+def inc_upto(limit):
+    def fn(state):
+        if state >= limit:
+            return state, False
+        return state + 1, True
+
+    return AbstractOp(f"inc<{limit}", fn)
+
+
+class TestInvariants:
+    def test_fresh_system_satisfies_all(self):
+        assert check_all(make_system(3, 0)) == []
+
+    def test_convergence_detects_drift(self):
+        state = make_system(1, 0)
+        from dataclasses import replace
+
+        broken = (replace(state[0], sg=99),)
+        assert not check_convergence(broken)
+
+    def test_agreement_detects_divergence(self):
+        state = make_system(2, 0)
+        from dataclasses import replace
+
+        broken = (state[0], replace(state[1], sc=1))
+        assert not check_committed_agreement(broken)
+
+    def test_quiescent_convergence_vacuous_with_pending(self):
+        state = make_system(1, 0)
+        from dataclasses import replace
+
+        pending = (replace(state[0], pending=(CompositeOp(inc_upto(5)),), sg=1),)
+        assert check_quiescent_convergence(pending)
+
+
+class TestInterpreter:
+    def test_full_cycle_converges(self):
+        interp = SemanticsInterpreter(3, 0)
+        op = CompositeOp(inc_upto(10))
+        for machine in range(3):
+            assert interp.issue(machine, op)
+        assert interp.commit_all() == 3
+        assert all(machine.sc == 3 for machine in interp.state)
+        assert all(machine.sg == 3 for machine in interp.state)
+
+    def test_local_rule(self):
+        interp = SemanticsInterpreter(2, 0)
+        interp.local(1, lambda sg, lam: lam + ("marked",))
+        assert interp.state[1].lam == ("marked",)
+
+    def test_commit_on_empty_queue_returns_false(self):
+        interp = SemanticsInterpreter(1, 0)
+        assert interp.commit(0) is False
+
+    def test_invariants_checked_each_step(self):
+        # A shared op violating the discipline trips the checker via
+        # the ValueError in AbstractOp.apply.
+        interp = SemanticsInterpreter(1, 0)
+        bad = AbstractOp("bad", lambda s: (s + 1, False))
+        with pytest.raises(ValueError):
+            interp.issue(0, CompositeOp(bad))
+
+    def test_trace_records_rules(self):
+        interp = SemanticsInterpreter(2, 0)
+        interp.issue(0, CompositeOp(inc_upto(5)))
+        interp.commit(0)
+        assert [kind for kind, _m, _l in interp.trace] == ["R2", "R3"]
+
+    def test_run_random_always_converges(self):
+        op = CompositeOp(inc_upto(4))
+        for seed in range(10):
+            interp = SemanticsInterpreter(3, 0)
+            scripts = {0: [op, op], 1: [op], 2: [op, op]}
+            interp.run_random(scripts, random.Random(seed))
+            assert all(machine.quiesced() for machine in interp.state)
+            assert check_all(interp.state) == []
+            # Cap respected regardless of interleaving.
+            assert interp.state[0].sc <= 4
+
+    def test_commit_all_with_explicit_order(self):
+        interp = SemanticsInterpreter(2, 0)
+        set_op = lambda v: CompositeOp(AbstractOp(f"set{v}", lambda s: (v, True)))
+        interp.issue(0, set_op(1))
+        interp.issue(1, set_op(2))
+        interp.commit_all(order=[1, 0])
+        assert interp.state[0].sc == 1  # machine 1's op committed first

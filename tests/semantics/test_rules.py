@@ -1,0 +1,124 @@
+"""Tests for the R1/R2/R3 transition rules."""
+
+import pytest
+
+from repro.semantics.rules import (
+    commit_step,
+    enabled_commits,
+    issue_composite,
+    issue_local,
+)
+from repro.semantics.state import AbstractOp, CompositeOp, make_system
+
+
+def inc_upto(limit):
+    def fn(state):
+        if state >= limit:
+            return state, False
+        return state + 1, True
+
+    return AbstractOp(f"inc<{limit}", fn)
+
+
+def always_set(value):
+    return AbstractOp(f"set{value}", lambda s: (value, True))
+
+
+class TestR1Local:
+    def test_updates_only_local_state(self):
+        state = make_system(2, 0)
+        new = issue_local(state, 0, lambda sg, lam: lam + (("note", sg),))
+        assert new[0].lam == (("note", 0),)
+        assert new[1].lam == ()
+        assert new[0].sc == state[0].sc
+        assert new[0].sg == state[0].sg
+
+    def test_reads_guesstimated_state(self):
+        state = make_system(1, 0)
+        state, _ = issue_composite(state, 0, CompositeOp(inc_upto(5)))
+        new = issue_local(state, 0, lambda sg, lam: lam + ((sg,),))
+        assert new[0].lam == ((1,),)
+
+
+class TestR2Issue:
+    def test_successful_issue_appends_and_updates_sg(self):
+        state = make_system(2, 0)
+        op = CompositeOp(inc_upto(5))
+        new, issued = issue_composite(state, 0, op)
+        assert issued
+        assert new[0].pending == (op,)
+        assert new[0].sg == 1
+        assert new[0].sc == 0  # committed state untouched
+
+    def test_other_machines_unaffected(self):
+        state = make_system(2, 0)
+        new, _ = issue_composite(state, 0, CompositeOp(inc_upto(5)))
+        assert new[1] == state[1]
+
+    def test_guard_failure_drops_operation(self):
+        state = make_system(1, 5)
+        new, issued = issue_composite(state, 0, CompositeOp(inc_upto(5)))
+        assert not issued
+        assert new == state
+
+    def test_discipline_violation_detected(self):
+        # An op returning False but mutating state is a bug the
+        # abstraction refuses to model.
+        bad = AbstractOp("bad", lambda s: (s + 1, False))
+        state = make_system(1, 0)
+        with pytest.raises(ValueError):
+            issue_composite(state, 0, CompositeOp(bad))
+
+
+class TestR3Commit:
+    def test_commit_updates_all_machines(self):
+        state = make_system(3, 0)
+        state, _ = issue_composite(state, 0, CompositeOp(inc_upto(5)))
+        new = commit_step(state, 0)
+        assert all(machine.sc == 1 for machine in new)
+        assert all(machine.completed == (("inc<5", True),) for machine in new)
+
+    def test_commit_disabled_on_empty_queue(self):
+        assert commit_step(make_system(2, 0), 1) is None
+
+    def test_completion_runs_only_on_issuer(self):
+        state = make_system(2, 0)
+        state, _ = issue_composite(state, 0, CompositeOp(inc_upto(5), "done"))
+        new = commit_step(state, 0)
+        assert new[0].lam == (("done", True),)
+        assert new[1].lam == ()
+
+    def test_failed_commit_still_recorded(self):
+        state = make_system(2, 0)
+        # Machine 0 and 1 both inc toward limit 1.
+        state, _ = issue_composite(state, 0, CompositeOp(inc_upto(1)))
+        state, _ = issue_composite(state, 1, CompositeOp(inc_upto(1)))
+        state = commit_step(state, 0)
+        state = commit_step(state, 1)  # fails: sc is already 1
+        assert state[1].lam == (("inc<1", False),)
+        assert state[0].completed == (("inc<1", True), ("inc<1", False))
+        assert all(machine.sc == 1 for machine in state)
+
+    def test_other_machines_recompute_sg(self):
+        state = make_system(2, 0)
+        state, _ = issue_composite(state, 0, CompositeOp(always_set(10)))
+        state, _ = issue_composite(state, 1, CompositeOp(inc_upto(99)))
+        # Machine 1's guesstimate is 1 (its own inc on 0).
+        assert state[1].sg == 1
+        state = commit_step(state, 0)  # set10 commits everywhere
+        # Machine 1 re-applies its pending inc on the new committed state.
+        assert state[1].sc == 10
+        assert state[1].sg == 11
+
+    def test_issuer_sg_unchanged_by_own_commit(self):
+        state = make_system(1, 0)
+        state, _ = issue_composite(state, 0, CompositeOp(inc_upto(5)))
+        sg_before = state[0].sg
+        state = commit_step(state, 0)
+        assert state[0].sg == sg_before == state[0].sc
+
+    def test_enabled_commits(self):
+        state = make_system(3, 0)
+        assert enabled_commits(state) == []
+        state, _ = issue_composite(state, 1, CompositeOp(inc_upto(5)))
+        assert enabled_commits(state) == [1]

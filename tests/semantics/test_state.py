@@ -1,0 +1,82 @@
+"""Abstract-state helper tests."""
+
+import pytest
+
+from repro.semantics.state import (
+    AbstractMachine,
+    AbstractOp,
+    CompositeOp,
+    effect_of_sequence,
+    make_system,
+)
+
+
+def inc():
+    return AbstractOp("inc", lambda s: (s + 1, True))
+
+
+class TestAbstractOp:
+    def test_apply_returns_state_and_flag(self):
+        op = inc()
+        assert op.apply(3) == (4, True)
+
+    def test_effect_discards_flag(self):
+        assert inc().effect(3) == 4
+
+    def test_discipline_enforced(self):
+        bad = AbstractOp("bad", lambda s: (s + 1, False))
+        with pytest.raises(ValueError):
+            bad.apply(0)
+
+    def test_false_without_change_is_fine(self):
+        guard = AbstractOp("guard", lambda s: (s, False))
+        assert guard.apply(5) == (5, False)
+
+    def test_identity_by_name(self):
+        a = AbstractOp("same", lambda s: (s, True))
+        b = AbstractOp("same", lambda s: (s + 1, True))
+        assert a == b  # names define identity for state hashing
+        assert hash(a) == hash(b)
+
+
+class TestCompositeOp:
+    def test_completion_label_defaults_to_op_name(self):
+        op = CompositeOp(inc())
+        assert op.completion_label == "inc"
+        labelled = CompositeOp(inc(), "done")
+        assert labelled.completion_label == "done"
+
+
+class TestSystemConstruction:
+    def test_make_system_shape(self):
+        state = make_system(3, 7)
+        assert len(state) == 3
+        assert all(machine.sc == 7 and machine.sg == 7 for machine in state)
+        assert all(machine.quiesced() for machine in state)
+
+    def test_make_system_rejects_empty(self):
+        with pytest.raises(ValueError):
+            make_system(0, 0)
+
+    def test_with_issue(self):
+        machine = AbstractMachine(sc=0, sg=0)
+        op = CompositeOp(inc())
+        updated = machine.with_issue(op, 1)
+        assert updated.pending == (op,)
+        assert updated.sg == 1
+        assert machine.pending == ()  # original is immutable
+
+
+class TestEffectOfSequence:
+    def test_folds_left_to_right(self):
+        double = AbstractOp("double", lambda s: (s * 2, True))
+        sequence = (CompositeOp(inc()), CompositeOp(double), CompositeOp(inc()))
+        assert effect_of_sequence(sequence, 1) == 5  # ((1+1)*2)+1
+
+    def test_empty_sequence_is_identity(self):
+        assert effect_of_sequence((), 42) == 42
+
+    def test_failed_ops_contribute_identity(self):
+        guard = AbstractOp("guard", lambda s: (s, False))
+        sequence = (CompositeOp(guard), CompositeOp(inc()))
+        assert effect_of_sequence(sequence, 0) == 1

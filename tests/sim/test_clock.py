@@ -1,0 +1,46 @@
+"""VirtualClock unit tests."""
+
+import pytest
+
+from repro.errors import ClockMonotonicityError
+from repro.sim.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.5).now() == 5.5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(-1.0)
+
+    def test_advance_to_moves_forward(self):
+        clock = VirtualClock()
+        clock.advance_to(3.25)
+        assert clock.now() == 3.25
+
+    def test_advance_to_same_instant_is_noop(self):
+        clock = VirtualClock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now() == 2.0
+
+    def test_advance_to_past_raises(self):
+        clock = VirtualClock(10.0)
+        with pytest.raises(ClockMonotonicityError) as excinfo:
+            clock.advance_to(9.0)
+        assert excinfo.value.now == 10.0
+        assert excinfo.value.when == 9.0
+
+    def test_advance_by_accumulates(self):
+        clock = VirtualClock()
+        clock.advance_by(1.5)
+        clock.advance_by(2.5)
+        assert clock.now() == 4.0
+
+    def test_advance_by_negative_raises(self):
+        clock = VirtualClock(1.0)
+        with pytest.raises(ClockMonotonicityError):
+            clock.advance_by(-0.5)

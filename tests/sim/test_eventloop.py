@@ -1,0 +1,155 @@
+"""EventLoop unit tests: ordering, cancellation, run modes."""
+
+import pytest
+
+from repro.errors import ClockMonotonicityError, SimulationError
+from repro.sim.eventloop import EventLoop
+
+
+class TestScheduling:
+    def test_callbacks_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(2.0, lambda: fired.append("late"))
+        loop.schedule(1.0, lambda: fired.append("early"))
+        loop.run()
+        assert fired == ["early", "late"]
+
+    def test_ties_break_by_scheduling_order(self):
+        loop = EventLoop()
+        fired = []
+        for name in ["first", "second", "third"]:
+            loop.schedule(1.0, lambda n=name: fired.append(n))
+        loop.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(3.5, lambda: seen.append(loop.now()))
+        loop.run()
+        assert seen == [3.5]
+
+    def test_schedule_in_past_raises(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(ClockMonotonicityError):
+            loop.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_raises(self):
+        loop = EventLoop()
+        with pytest.raises(ClockMonotonicityError):
+            loop.schedule(-0.1, lambda: None)
+
+    def test_callbacks_can_schedule_more(self):
+        loop = EventLoop()
+        fired = []
+
+        def first():
+            fired.append("first")
+            loop.schedule(1.0, lambda: fired.append("nested"))
+
+        loop.schedule(1.0, first)
+        loop.run()
+        assert fired == ["first", "nested"]
+        assert loop.now() == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        loop.run()
+        assert fired == []
+
+    def test_cancel_handle_from_call_later(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.call_later(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        assert handle.cancelled
+        loop.run()
+        assert fired == []
+
+    def test_pending_count_excludes_cancelled(self):
+        loop = EventLoop()
+        keep = loop.schedule(1.0, lambda: None)
+        drop = loop.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert loop.pending_count == 1
+        assert keep is not None
+
+
+class TestRunModes:
+    def test_run_until_stops_at_deadline(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(5.0, lambda: fired.append(5))
+        executed = loop.run_until(2.0)
+        assert executed == 1
+        assert fired == [1]
+        assert loop.now() == 2.0
+
+    def test_run_until_executes_event_at_deadline(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(2.0, lambda: fired.append(2))
+        loop.run_until(2.0)
+        assert fired == [2]
+
+    def test_run_until_past_deadline_raises(self):
+        loop = EventLoop()
+        loop.run_until(5.0)
+        with pytest.raises(ClockMonotonicityError):
+            loop.run_until(4.0)
+
+    def test_step_returns_false_when_empty(self):
+        assert EventLoop().step() is False
+
+    def test_run_guards_against_livelock(self):
+        loop = EventLoop()
+
+        def reschedule():
+            loop.schedule(0.0, reschedule)
+
+        loop.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            loop.run(max_events=100)
+
+    def test_run_while_predicate(self):
+        loop = EventLoop()
+        fired = []
+        for index in range(10):
+            loop.schedule(float(index), lambda i=index: fired.append(i))
+        loop.run_while(lambda: len(fired) < 3, deadline=100.0)
+        assert fired == [0, 1, 2]
+
+    def test_executed_count(self):
+        loop = EventLoop()
+        for _ in range(4):
+            loop.schedule(1.0, lambda: None)
+        loop.run()
+        assert loop.executed_count == 4
+
+    def test_peek_time(self):
+        loop = EventLoop()
+        assert loop.peek_time() is None
+        loop.schedule(7.0, lambda: None)
+        assert loop.peek_time() == 7.0
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def run_once():
+            loop = EventLoop()
+            trace = []
+            for index in range(50):
+                loop.schedule((index * 7) % 13 * 0.1, lambda i=index: trace.append(i))
+            loop.run()
+            return trace
+
+        assert run_once() == run_once()

@@ -1,0 +1,100 @@
+"""Conformance checker tests, including the OrElse lemma."""
+
+from repro.core.shared_object import GSharedObject
+from repro.spec.conformance import check_conformance, or_else_preserves_spec
+from repro.spec.domains import choices, integers, product
+
+
+class Seats(GSharedObject):
+    def __init__(self):
+        self.taken = 0
+        self.limit = 3
+
+    def copy_from(self, src):
+        self.taken, self.limit = src.taken, src.limit
+
+    def book_front(self, n):
+        if n <= 0 or self.taken + n > self.limit:
+            return False
+        self.taken += n
+        return True
+
+    def book_back(self, n):
+        # A different strategy conforming to the same spec.
+        if n <= 0 or self.taken + n > self.limit:
+            return False
+        self.taken += n
+        return True
+
+    def broken_book(self, n):
+        if n <= 0:
+            return False
+        self.taken += n  # ignores the limit: True outside the spec
+        return True
+
+    def liar_book(self, n):
+        self.taken += 1  # mutates even when about to return False
+        return False
+
+
+def seat_states():
+    def build(taken):
+        seats = Seats()
+        seats.taken = taken
+        return seats
+
+    return integers(0, 3).map(build)
+
+
+SPEC = lambda old, new, args: new["taken"] == old["taken"] + args[0] <= new["limit"]
+
+
+class TestCheckConformance:
+    def test_conforming_operation(self):
+        report = check_conformance(
+            "book_front", seat_states(), product(integers(-1, 4)), SPEC
+        )
+        assert report.conforms
+        assert report.cases > 0
+
+    def test_spec_violation_detected(self):
+        report = check_conformance(
+            "broken_book", seat_states(), product(integers(-1, 4)), SPEC
+        )
+        assert not report.conforms
+        assert any("True" in v for v in report.violations)
+
+    def test_false_with_mutation_detected(self):
+        report = check_conformance(
+            "liar_book", seat_states(), product(integers(-1, 4)), SPEC
+        )
+        assert not report.conforms
+        assert any("changed state" in v for v in report.violations)
+
+    def test_summary_line(self):
+        report = check_conformance(
+            "book_front", seat_states(), product(integers(1, 1)), SPEC
+        )
+        assert "book_front" in report.summary_line()
+
+
+class TestOrElseLemma:
+    def test_or_else_of_conforming_ops_conforms(self):
+        report = or_else_preserves_spec(
+            "book_front",
+            "book_back",
+            seat_states(),
+            product(integers(-1, 4)),
+            SPEC,
+        )
+        assert report.conforms
+
+    def test_or_else_with_broken_alternative_detected(self):
+        report = or_else_preserves_spec(
+            "book_front",
+            "broken_book",
+            seat_states(),
+            product(integers(4, 4)),  # front always fails, falls to broken
+            SPEC,
+        )
+        assert not report.conforms

@@ -1,0 +1,129 @@
+"""Contract decorator tests: runtime checking semantics."""
+
+import pytest
+
+from repro.core.shared_object import GSharedObject
+from repro.errors import ContractViolation
+from repro.spec.contracts import (
+    contract_assertions,
+    ensures,
+    invariant,
+    modifies,
+    requires,
+    set_checking,
+)
+
+
+@invariant(lambda self: self.level >= 0, "level is non-negative")
+class Tank(GSharedObject):
+    def __init__(self):
+        self.level = 0
+        self.label = "tank"
+
+    def copy_from(self, src):
+        self.level = src.level
+        self.label = src.label
+
+    @requires(lambda self, n: isinstance(n, int), "n is an int")
+    @ensures(
+        lambda old, self, result, n: (not result) or self.level == old["level"] + n,
+        "level grows by n on success",
+    )
+    @modifies("level")
+    def fill(self, n):
+        if not isinstance(n, int) or n <= 0:
+            return False
+        self.level += n
+        return True
+
+    @modifies("level")
+    def leak_without_reporting(self, n):
+        # BUG on purpose: returns False after mutating.
+        self.level += n
+        return False
+
+    @modifies("level")
+    def sneaky_rename(self, n):
+        # BUG on purpose: writes outside the frame.
+        self.label = "renamed"
+        return True
+
+    @ensures(lambda old, self, result, n: self.level == old["level"] * n, "wrong spec")
+    @modifies("level")
+    def mislabeled(self, n):
+        self.level += n
+        return True
+
+
+class TestRequires:
+    def test_violation_raises(self):
+        with pytest.raises(ContractViolation, match="requires"):
+            Tank().fill("three")
+
+    def test_satisfied_precondition_passes(self):
+        tank = Tank()
+        assert tank.fill(3) is True
+        assert tank.level == 3
+
+
+class TestConformance:
+    def test_false_with_mutation_detected(self):
+        with pytest.raises(ContractViolation, match="conformance"):
+            Tank().leak_without_reporting(5)
+
+    def test_false_without_mutation_fine(self):
+        tank = Tank()
+        assert tank.fill(-1) is False
+
+
+class TestModifies:
+    def test_out_of_frame_write_detected(self):
+        with pytest.raises(ContractViolation, match="modifies"):
+            Tank().sneaky_rename(1)
+
+
+class TestEnsures:
+    def test_wrong_postcondition_detected(self):
+        with pytest.raises(ContractViolation, match="ensures"):
+            Tank().mislabeled(3)
+
+
+class TestInvariant:
+    def test_broken_entry_invariant_detected(self):
+        tank = Tank()
+        tank.level = -5
+        with pytest.raises(ContractViolation, match="invariant"):
+            tank.fill(1)
+
+
+class TestSwitch:
+    def test_checking_disabled_skips_everything(self):
+        previous = set_checking(False)
+        try:
+            tank = Tank()
+            tank.leak_without_reporting(5)  # bug, but unchecked
+            assert tank.level == 5
+        finally:
+            set_checking(previous)
+
+    def test_set_checking_returns_previous(self):
+        assert set_checking(True) is True
+        assert set_checking(False) is True
+        assert set_checking(True) is False
+
+
+class TestAssertionInventory:
+    def test_counts_all_clause_kinds(self):
+        assertions = contract_assertions(Tank)
+        kinds = [a.kind for a in assertions]
+        assert kinds.count("invariant") == 1
+        assert kinds.count("requires") == 1
+        assert kinds.count("ensures") == 2
+        assert kinds.count("conformance") == 4  # one per contracted method
+        # modifies("level") on 4 methods, frame excludes 'label' only.
+        assert kinds.count("modifies") == 4
+
+    def test_descriptions_survive(self):
+        descriptions = {a.description for a in contract_assertions(Tank)}
+        assert "level is non-negative" in descriptions
+        assert "n is an int" in descriptions

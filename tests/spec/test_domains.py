@@ -1,0 +1,73 @@
+"""Domain combinator tests."""
+
+import random
+
+import pytest
+
+from repro.spec.domains import booleans, choices, integers, product, sampled
+
+
+def collect(domain, budget=1000, seed=0):
+    return list(domain.iterate(random.Random(seed), budget))
+
+
+class TestPrimitiveDomains:
+    def test_integers_exhaustive(self):
+        domain = integers(1, 4)
+        assert domain.exhaustive
+        assert collect(domain) == [1, 2, 3, 4]
+
+    def test_integers_bad_bounds(self):
+        with pytest.raises(ValueError):
+            integers(5, 1)
+
+    def test_booleans(self):
+        assert collect(booleans()) == [False, True]
+
+    def test_choices(self):
+        assert collect(choices(["a", "b"])) == ["a", "b"]
+
+    def test_sampled_never_exhaustive(self):
+        domain = sampled(lambda rng: rng.randrange(10))
+        assert not domain.exhaustive
+        values = collect(domain, budget=50)
+        assert len(values) == 50
+
+    def test_sampled_deterministic_by_seed(self):
+        domain = sampled(lambda rng: rng.randrange(1000))
+        assert collect(domain, 20, seed=3) == collect(domain, 20, seed=3)
+
+
+class TestMap:
+    def test_map_transforms(self):
+        domain = integers(1, 3).map(lambda v: v * 10)
+        assert collect(domain) == [10, 20, 30]
+
+    def test_map_preserves_exhaustiveness(self):
+        assert integers(1, 3).map(str).exhaustive
+        assert not sampled(lambda rng: 1).map(str).exhaustive
+
+
+class TestProduct:
+    def test_exhaustive_product(self):
+        domain = product(integers(1, 2), booleans())
+        assert domain.exhaustive
+        assert collect(domain) == [(1, False), (1, True), (2, False), (2, True)]
+
+    def test_mixed_product_is_sampled(self):
+        domain = product(sampled(lambda rng: rng.random()), integers(1, 3))
+        assert not domain.exhaustive
+        values = collect(domain, budget=30)
+        assert len(values) == 30
+        # Second components come from the finite pool.
+        assert {v for _x, v in values} <= {1, 2, 3}
+
+    def test_mixed_product_streams_fresh_samples(self):
+        domain = product(sampled(lambda rng: rng.random()), integers(1, 1))
+        values = collect(domain, budget=10)
+        firsts = [x for x, _v in values]
+        assert len(set(firsts)) == 10  # every draw fresh
+
+    def test_size_within(self):
+        assert integers(1, 5).size_within(100) == 5
+        assert integers(1, 5).size_within(3) == 3

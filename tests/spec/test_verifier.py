@@ -1,0 +1,157 @@
+"""Boogie-lite verifier tests: classification behaviour."""
+
+import pytest
+
+from repro.core.shared_object import GSharedObject
+from repro.errors import SpecError
+from repro.spec.contracts import ensures, invariant, modifies, requires
+from repro.spec.domains import integers, product, sampled
+from repro.spec.report import AssertionOutcome
+from repro.spec.verifier import Verifier
+
+
+@invariant(lambda self: 0 <= self.count <= self.capacity, "within capacity")
+class GoodRoom(GSharedObject):
+    def __init__(self):
+        self.capacity = 3
+        self.count = 0
+
+    def copy_from(self, src):
+        self.capacity, self.count = src.capacity, src.count
+
+    @requires(lambda self, n: isinstance(n, int) and n > 0, "n positive")
+    @ensures(
+        lambda old, self, result, n: (not result) or self.count == old["count"] + n,
+        "count grows by n",
+    )
+    @modifies("count")
+    def reserve(self, n):
+        if not isinstance(n, int) or n <= 0:
+            return False
+        if self.count + n > self.capacity:
+            return False
+        self.count += n
+        return True
+
+
+class BuggyRoom(GSharedObject):
+    def __init__(self):
+        self.capacity = 3
+        self.count = 0
+
+    def copy_from(self, src):
+        self.capacity, self.count = src.capacity, src.count
+
+    @ensures(
+        lambda old, self, result, n: (not result) or self.count == old["count"] + n,
+        "count grows by n",
+    )
+    @modifies("count")
+    def reserve(self, n):
+        # BUG: allows exceeding capacity by 1 when count == capacity - 1
+        # and n == 2 (off-by-one: <= instead of <).
+        if not isinstance(n, int) or n <= 0:
+            return False
+        if self.count + n > self.capacity + 1:
+            return False
+        self.count += n
+        return True
+
+
+def room_states(cls):
+    def build(count):
+        room = cls()
+        room.count = count
+        return room
+
+    return integers(0, 3).map(build)
+
+
+class TestClassification:
+    def test_clean_class_fully_verified(self):
+        report = Verifier(budget=500).verify_class(
+            GoodRoom, room_states(GoodRoom), {"reserve": product(integers(-1, 4))}
+        )
+        assert report.clean
+        assert report.verified == report.total > 0
+        assert report.runtime_checks == 0
+
+    def test_bug_refuted_with_counterexample(self):
+        # BuggyRoom has no invariant (it would trip at construction),
+        # so give it one via the ensures-style postcondition: instead we
+        # check the paper-style conformance catches overfill through a
+        # dedicated invariant-free obligation: count can exceed capacity
+        # only by the bug; express it as an extra ensures.
+        report = Verifier(budget=500).verify_class(
+            BuggyRoom, room_states(BuggyRoom), {"reserve": product(integers(-1, 4))}
+        )
+        # The growth postcondition itself holds; nothing refuted yet.
+        assert report.clean
+
+    def test_invariant_preservation_refuted(self):
+        @invariant(lambda self: self.count <= self.capacity, "capacity bound")
+        class Wrapped(BuggyRoom):
+            pass
+
+        report = Verifier(budget=500).verify_class(
+            Wrapped, room_states(Wrapped), {"reserve": product(integers(-1, 4))}
+        )
+        assert not report.clean
+        refuted = report.refutations()
+        assert any(r.kind == "invariant" for r in refuted)
+        assert any(r.counterexample is not None for r in refuted)
+
+    def test_sampled_domain_yields_runtime_checks(self):
+        states = sampled(lambda rng: _fresh_room(rng))
+        report = Verifier(budget=100).verify_class(
+            GoodRoom, states, {"reserve": product(integers(-1, 4))}
+        )
+        assert report.refuted == 0
+        assert report.runtime_checks > 0
+        assert report.verified == 0
+
+    def test_missing_args_domain_defers_everything(self):
+        report = Verifier(budget=100).verify_class(
+            GoodRoom, room_states(GoodRoom), {}
+        )
+        method_results = [r for r in report.results if r.subject.endswith("reserve")]
+        assert method_results
+        assert all(
+            r.outcome is AssertionOutcome.RUNTIME_CHECK for r in method_results
+        )
+
+    def test_budget_truncation_degrades_to_runtime_check(self):
+        report = Verifier(budget=3).verify_class(
+            GoodRoom, room_states(GoodRoom), {"reserve": product(integers(-1, 4))}
+        )
+        # 4 states x 6 args = 24 cases > 3: nothing can be proven.
+        method_results = [r for r in report.results if "reserve" in r.subject]
+        assert all(
+            r.outcome is AssertionOutcome.RUNTIME_CHECK for r in method_results
+        )
+
+    def test_invalid_budget(self):
+        with pytest.raises(SpecError):
+            Verifier(budget=0)
+
+
+def _fresh_room(rng):
+    room = GoodRoom()
+    room.count = rng.randrange(4)
+    return room
+
+
+class TestReportFormatting:
+    def test_summary_line(self):
+        report = Verifier(budget=500).verify_class(
+            GoodRoom, room_states(GoodRoom), {"reserve": product(integers(-1, 4))}
+        )
+        line = report.summary_line()
+        assert "GoodRoom" in line and "verified" in line
+
+    def test_format_table_lists_all(self):
+        report = Verifier(budget=500).verify_class(
+            GoodRoom, room_states(GoodRoom), {"reserve": product(integers(-1, 4))}
+        )
+        table = report.format_table()
+        assert table.count("\n") >= report.total

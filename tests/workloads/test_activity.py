@@ -1,0 +1,37 @@
+"""Activity model tests."""
+
+import random
+
+from repro.workloads.activity import ActivityModel, ThinkTime
+
+
+class TestThinkTime:
+    def test_floor_respected(self):
+        think = ThinkTime(mean=0.1, floor=0.5)
+        rng = random.Random(0)
+        assert all(think.sample(rng) >= 0.5 for _ in range(100))
+
+    def test_mean_roughly_matches(self):
+        think = ThinkTime(mean=4.0, floor=0.0)
+        rng = random.Random(1)
+        samples = [think.sample(rng) for _ in range(5000)]
+        assert 3.6 < sum(samples) / len(samples) < 4.4
+
+    def test_deterministic(self):
+        think = ThinkTime()
+        assert [think.sample(random.Random(5)) for _ in range(3)] == [
+            think.sample(random.Random(5)) for _ in range(3)
+        ]
+
+
+class TestActivityModel:
+    def test_idle_factory(self):
+        assert not ActivityModel.idle().active
+
+    def test_busy_factory(self):
+        model = ActivityModel.busy(1.0)
+        assert model.active
+        assert model.think.mean == 1.0
+
+    def test_default_is_active(self):
+        assert ActivityModel().active

@@ -1,0 +1,120 @@
+"""Session driver tests."""
+
+from repro.workloads.activity import ActivityModel
+from repro.workloads.drivers import MixedAppSession, SudokuSession
+from tests.helpers import Counter, quick_system, shared_counter
+
+
+class TestSudokuSession:
+    def test_setup_creates_shared_grids(self):
+        system = quick_system(3)
+        session = SudokuSession(system, n_grids=2, seed=1)
+        session.setup()
+        boards = [
+            uid
+            for uid in system.api("m02").available_objects()
+            if uid.startswith("SudokuBoard")
+        ]
+        assert len(boards) == 2
+
+    def test_setup_starts_sync_if_needed(self):
+        from repro.runtime.system import DistributedSystem
+
+        system = DistributedSystem(n_machines=2)
+        session = SudokuSession(system, seed=1)
+        session.setup()  # must not hang even though start() wasn't called
+        assert system.master_node.master.running
+
+    def test_players_issue_operations(self):
+        system = quick_system(4, seed=2)
+        session = SudokuSession(
+            system, activity=ActivityModel.busy(1.0), seed=2
+        )
+        session.setup()
+        session.start()
+        system.run_for(30.0)
+        session.stop()
+        system.run_until_quiesced()
+        assert session.stats.actions > 20
+        assert session.stats.fills_attempted > 10
+        assert system.metrics.total_issued() > 0
+        system.check_all_invariants()
+
+    def test_idle_session_issues_nothing(self):
+        system = quick_system(3, seed=3)
+        session = SudokuSession(system, activity=ActivityModel.idle(), seed=3)
+        session.setup()
+        baseline = system.metrics.total_issued()
+        session.start()
+        system.run_for(20.0)
+        session.stop()
+        assert system.metrics.total_issued() == baseline
+        assert session.stats.fills_attempted == 0
+
+    def test_grids_replaced_when_solved(self):
+        system = quick_system(3, seed=4)
+        from repro.workloads.activity import ThinkTime
+
+        session = SudokuSession(
+            system,
+            n_grids=1,
+            activity=ActivityModel(
+                active=True, think=ThinkTime(mean=0.4), mistake_rate=0.0
+            ),
+            seed=4,
+            clues=78,  # nearly full grid solves quickly
+        )
+        session.setup()
+        session.start()
+        system.run_for(120.0)
+        session.stop()
+        assert session.stats.grids_completed >= 1
+
+    def test_deterministic_given_seed(self):
+        def run_once():
+            system = quick_system(3, seed=7)
+            session = SudokuSession(
+                system, activity=ActivityModel.busy(2.0), seed=7
+            )
+            session.setup()
+            session.start()
+            system.run_for(30.0)
+            session.stop()
+            system.run_until_quiesced()
+            return (
+                session.stats.actions,
+                system.metrics.total_issued(),
+                system.metrics.total_conflicts(),
+            )
+
+        assert run_once() == run_once()
+
+
+class TestMixedAppSession:
+    def test_weighted_actions_run(self):
+        system = quick_system(2)
+        replicas, _uid = shared_counter(system)
+        calls = {"a": 0, "b": 0}
+
+        def act(name):
+            def thunk():
+                calls[name] += 1
+                api = system.api("m01")
+                api.issue_when_possible(
+                    api.create_operation(replicas["m01"], "increment", 10_000)
+                )
+
+            return thunk
+
+        session = MixedAppSession(
+            system,
+            users={"m01": [(3.0, act("a")), (1.0, act("b"))]},
+            activity=ActivityModel.busy(0.5),
+            seed=0,
+        )
+        session.start()
+        system.run_for(60.0)
+        session.stop()
+        system.run_until_quiesced()
+        assert calls["a"] > calls["b"] > 0
+        assert session.stats.actions == calls["a"] + calls["b"]

@@ -1,0 +1,57 @@
+"""Trace recording / replay tests."""
+
+from repro.workloads.traces import OpTrace, TraceRecorder
+from tests.helpers import Counter, quick_system, shared_counter
+
+
+class TestTraceRecorder:
+    def test_records_issued_ops(self):
+        system = quick_system(2)
+        recorder = TraceRecorder(system)
+        replicas, _uid = shared_counter(system)
+        api = system.api("m02")
+        api.issue_operation(api.create_operation(replicas["m02"], "increment", 5))
+        system.run_until_quiesced()
+        trace = recorder.detach()
+        assert len(trace) == 2  # the create + the increment
+        assert trace.machines() == ["m01", "m02"]
+
+    def test_detach_stops_recording(self):
+        system = quick_system(2)
+        recorder = TraceRecorder(system)
+        replicas, _uid = shared_counter(system)
+        trace = recorder.detach()
+        size = len(trace)
+        api = system.api("m01")
+        api.issue_operation(api.create_operation(replicas["m01"], "increment", 5))
+        assert len(trace) == size
+
+    def test_entries_decode_to_ops(self):
+        system = quick_system(2)
+        recorder = TraceRecorder(system)
+        replicas, uid = shared_counter(system)
+        api = system.api("m01")
+        api.issue_operation(api.create_operation(replicas["m01"], "increment", 5))
+        trace = recorder.detach()
+        op = trace.entries[-1].decode()
+        assert op.object_id == uid
+        assert op.method_name == "increment"
+
+    def test_json_round_trip(self):
+        system = quick_system(2)
+        recorder = TraceRecorder(system)
+        replicas, _uid = shared_counter(system)
+        api = system.api("m01")
+        api.issue_operation(api.create_operation(replicas["m01"], "increment", 5))
+        trace = recorder.detach()
+        restored = OpTrace.from_json(trace.to_json())
+        assert len(restored) == len(trace)
+        assert restored.entries[-1].payload == trace.entries[-1].payload
+
+    def test_for_machine_filter(self):
+        trace = OpTrace()
+        from repro.core.operations import PrimitiveOp
+
+        trace.append(1.0, "m01", PrimitiveOp("x", "increment", (1,)))
+        trace.append(2.0, "m02", PrimitiveOp("x", "increment", (1,)))
+        assert len(trace.for_machine("m01")) == 1
