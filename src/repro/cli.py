@@ -18,6 +18,7 @@ import time
 
 from repro.evalkit.experiments import (
     appsizes,
+    durability,
     fig5,
     fig6,
     fig7,
@@ -85,6 +86,12 @@ EXPERIMENTS = {
         ),
         "Sections 7/9: serial scaling wall vs the parallel-flush extension",
     ),
+    "durability": (
+        lambda quick: durability.format_report(
+            durability.run(wal_lengths=[4, 16] if quick else [8, 32, 128])
+        ),
+        "Storage subsystem: crash-recovery cost vs WAL length and snapshots",
+    ),
 }
 
 
@@ -109,7 +116,33 @@ def main(argv: list[str] | None = None) -> int:
         default="RESULTS.md",
         help="output path for the 'report' command (default RESULTS.md)",
     )
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        help="run the durability experiment against real files under "
+        "this directory (default: the zero-IO in-memory backend)",
+    )
+    parser.add_argument(
+        "--fsync",
+        default="interval",
+        choices=["always", "interval", "never"],
+        help="fsync policy for the durability experiment's write-ahead "
+        "log (default: interval)",
+    )
     args = parser.parse_args(argv)
+
+    if args.data_dir is not None or args.fsync != "interval":
+        # Durability knobs reparameterize that one experiment.
+        EXPERIMENTS["durability"] = (
+            lambda quick: durability.format_report(
+                durability.run(
+                    wal_lengths=[4, 16] if quick else [8, 32, 128],
+                    data_dir=args.data_dir,
+                    fsync_policy=args.fsync,
+                )
+            ),
+            EXPERIMENTS["durability"][1],
+        )
 
     if args.experiment == "report":
         from pathlib import Path

@@ -152,6 +152,25 @@ class SerializationError(NetworkError):
 
 
 # ---------------------------------------------------------------------------
+# Durability / storage errors
+# ---------------------------------------------------------------------------
+
+
+class StorageError(GuesstimateError):
+    """Problems in the durability subsystem (WAL, snapshots, recovery)."""
+
+
+class WalCorruptionError(StorageError):
+    """The write-ahead log holds damage that cannot be safely dropped.
+
+    Damage limited to the final records of the log (a torn append, a
+    bit-flipped tail) is recovered from silently by truncation; this
+    error means an *earlier* record is unreadable, i.e. committed
+    history has been lost.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Simulation-kernel errors
 # ---------------------------------------------------------------------------
 

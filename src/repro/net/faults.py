@@ -68,6 +68,21 @@ class PartitionPlan:
 
 
 @dataclass(frozen=True)
+class CommitCrashPlan:
+    """Kill ``machine_id`` at a commit point: the machine applies a
+    round, appends it to its write-ahead log, and dies before sending
+    the ApplyAck — the canonical torn moment durability must survive.
+
+    ``round_id`` of ``None`` fires on the machine's next commit;
+    otherwise the crash waits for exactly that round.  Each plan fires
+    once.
+    """
+
+    machine_id: str
+    round_id: int | None = None
+
+
+@dataclass(frozen=True)
 class CrashPlan:
     """Machine ``machine_id`` is unresponsive during [start, end).
 
@@ -99,6 +114,15 @@ class FaultInjector(ABC):
 
     def is_crashed(self, now: float, machine_id: str) -> bool:
         """True if ``machine_id`` is unresponsive at ``now``."""
+        return False
+
+    def crash_at_commit(self, machine_id: str, round_id: int) -> bool:
+        """True if ``machine_id`` must die at this commit point.
+
+        The synchronizer consults this after logging a committed round
+        to the durable store and *before* acknowledging it; a True
+        answer hard-kills the node there (no ack, no cleanup).
+        """
         return False
 
 
@@ -143,7 +167,9 @@ class ScheduledFaults(FaultInjector):
     drops: list[DropPlan] = field(default_factory=list)
     crashes: list[CrashPlan] = field(default_factory=list)
     partitions: list[PartitionPlan] = field(default_factory=list)
+    commit_crashes: list[CommitCrashPlan] = field(default_factory=list)
     _drop_counts: dict[int, int] = field(default_factory=dict, repr=False)
+    _commit_crashes_fired: set[int] = field(default_factory=set, repr=False)
 
     def should_drop(self, now, channel, sender, recipient, rng, payload=None) -> bool:
         for partition in self.partitions:
@@ -178,6 +204,18 @@ class ScheduledFaults(FaultInjector):
                 return True
             if now >= plan.end and not plan.recovers:
                 return True
+        return False
+
+    def crash_at_commit(self, machine_id: str, round_id: int) -> bool:
+        for index, plan in enumerate(self.commit_crashes):
+            if index in self._commit_crashes_fired:
+                continue
+            if plan.machine_id != machine_id:
+                continue
+            if plan.round_id is not None and plan.round_id != round_id:
+                continue
+            self._commit_crashes_fired.add(index)
+            return True
         return False
 
     def drops_used(self) -> int:

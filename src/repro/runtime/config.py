@@ -67,6 +67,35 @@ class RuntimeConfig:
     #: disables failover (the paper's actual implementation).
     failover_timeout: float | None = None
 
+    # -- durability (write-ahead log + snapshots + crash recovery) --------
+
+    #: Durability backend: ``off`` (the paper's in-memory implementation,
+    #: zero IO), ``memory`` (log + recovery semantics without touching
+    #: disk — what simulator crash tests use), or ``disk`` (real WAL and
+    #: snapshot files under ``data_dir``).
+    durability: str = "off"
+
+    #: Root directory for ``disk`` durability; each machine logs under
+    #: ``<data_dir>/<machine_id>/``.
+    data_dir: str | None = None
+
+    #: WAL fsync policy: ``always`` (fsync every commit record),
+    #: ``interval`` (every ``fsync_interval`` records and on close), or
+    #: ``never`` (OS-buffered only; the tail-scan drops whatever a crash
+    #: loses).
+    fsync_policy: str = "interval"
+
+    #: Records between fsyncs under the ``interval`` policy.
+    fsync_interval: int = 8
+
+    #: WAL segment rollover size in bytes.
+    wal_segment_bytes: int = 256_000
+
+    #: Committed rounds between snapshots (0 = never snapshot).  Each
+    #: snapshot compacts the WAL segments it covers, bounding recovery
+    #: replay length.
+    snapshot_interval: int = 0
+
     def flush_cpu(self, n_ops: int) -> float:
         return self.flush_cpu_base + self.flush_cpu_per_op * n_ops
 

@@ -123,9 +123,17 @@ class SyncComplete:
 
 @dataclass(frozen=True)
 class Hello:
-    """A machine entering the system announces itself."""
+    """A machine entering the system announces itself.
+
+    ``recovered_count`` is set by a machine that rebuilt committed
+    state from its durable log (snapshot + WAL replay): the global |C|
+    it already holds.  The master then welcomes it with just the
+    committed backlog past that point instead of a full state snapshot.
+    ``None`` means no durable state — the ordinary join.
+    """
 
     machine_id: str
+    recovered_count: int | None = None
 
 
 @dataclass(frozen=True)
@@ -135,12 +143,22 @@ class Welcome:
     ``snapshot`` maps unique object id → encoded state (type name +
     state dict); ``completed_count`` is |C| at the snapshot point, used
     to align committed-sequence comparisons.
+
+    When the joiner announced durable recovered state (``Hello`` with
+    ``recovered_count``) that the master can serve, ``backlog_from`` is
+    that count and ``backlog`` carries the committed operations from
+    there to ``completed_count`` — each entry a
+    ``(machine_id, op_number, encoded op, result, committed_at)``
+    tuple — and ``snapshot`` is empty: the joiner replays the delta on
+    top of its recovered state instead of discarding it.
     """
 
     machine_id: str
     master_id: str
     snapshot: dict = field(hash=False)
     completed_count: int = 0
+    backlog_from: int | None = None
+    backlog: tuple = field(default=(), hash=False)
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.operations import OpKey
+from repro.storage.wal import StorageStats
 
 
 @dataclass
@@ -55,6 +56,13 @@ class NodeMetrics:
     executions: dict[OpKey, int] = field(default_factory=dict)
     commit_latency_total: float = 0.0  # issue -> completion, local ops only
     commit_latency_count: int = 0
+    #: durability counters, shared with the node's storage backend
+    #: (records/bytes appended, fsyncs, snapshots, recovery telemetry)
+    storage: StorageStats = field(default_factory=StorageStats)
+    #: crash recoveries that restored state from snapshot + WAL replay
+    crash_recoveries: int = 0
+    #: completed-sequence entries rebuilt by the last WAL replay
+    recovery_replay_entries: int = 0
 
     def record_execution(self, key: OpKey) -> None:
         self.executions[key] = self.executions.get(key, 0) + 1
@@ -112,3 +120,15 @@ class SystemMetrics:
 
     def recovered_rounds(self) -> list[SyncRecord]:
         return [record for record in self.sync_records if record.recovered]
+
+    def total_wal_records(self) -> int:
+        return sum(m.storage.records_appended for m in self.node_metrics.values())
+
+    def total_wal_bytes(self) -> int:
+        return sum(m.storage.bytes_appended for m in self.node_metrics.values())
+
+    def total_fsyncs(self) -> int:
+        return sum(m.storage.fsyncs for m in self.node_metrics.values())
+
+    def total_crash_recoveries(self) -> int:
+        return sum(m.crash_recoveries for m in self.node_metrics.values())

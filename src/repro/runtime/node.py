@@ -12,10 +12,11 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.core.guesstimate import Guesstimate, Host
-from repro.core.machine import MachineModel, PendingEntry
+from repro.core.machine import CompletedEntry, MachineModel, PendingEntry
+from repro.core.operations import OpKey
 from repro.core.readlock import ReadLockTable
-from repro.core.serialization import decode_state
-from repro.errors import NodeCrashedError
+from repro.core.serialization import decode_op, decode_state
+from repro.errors import NodeCrashedError, RuntimeFailure
 from repro.net.mesh import Envelope, Mesh, MeshPair
 from repro.runtime import messages as msg
 from repro.runtime.config import RuntimeConfig
@@ -23,6 +24,7 @@ from repro.runtime.metrics import NodeMetrics, SystemMetrics
 from repro.runtime.synchronizer import MasterControl, Synchronizer
 from repro.runtime.tracing import Tracer
 from repro.sim.scheduler import Scheduler
+from repro.storage.store import CommitRecord, RecoveredState, build_storage
 
 
 class GuesstimateNode(Host):
@@ -56,6 +58,12 @@ class GuesstimateNode(Host):
         self.api.read_locks = self.read_locks
         self.synchronizer = Synchronizer(self)
         self.master: MasterControl | None = MasterControl(self) if is_master else None
+        self.storage = build_storage(config, machine_id)
+        self.metrics.storage = self.storage.stats
+        #: global |C| this node holds from durable recovery, announced in
+        #: Hello so the master can welcome it with a committed-op backlog
+        #: instead of a full snapshot; None = no recovered state.
+        self._recovered_count: int | None = None
 
         self.state = GuesstimateNode.STATE_STOPPED
         self.completed_offset = 0  # |C| at our last (re)join; aligns comparisons
@@ -87,6 +95,23 @@ class GuesstimateNode(Host):
     def trace(self, kind: str, **detail) -> None:
         self.tracer.emit(self.scheduler.now(), self.machine_id, kind, **detail)
 
+    # -- durability --------------------------------------------------------------
+
+    def log_committed_round(
+        self, round_id: int, entries: list[tuple], completed_global: int
+    ) -> None:
+        """Append one committed round to the durable store (pre-ack) and
+        take a periodic snapshot if the configured interval elapsed."""
+        if not entries:
+            return  # empty heartbeat rounds change nothing worth replaying
+        self.storage.append_commit(
+            CommitRecord(round_id, tuple(entries), completed_global)
+        )
+        if self.storage.maybe_snapshot(
+            self.model.committed.snapshot_states, completed_global
+        ):
+            self.trace(Tracer.STORAGE, action="snapshot", completed=completed_global)
+
     # -- lifecycle ----------------------------------------------------------------
 
     def start(self, founding: bool = True) -> None:
@@ -111,13 +136,16 @@ class GuesstimateNode(Host):
         """Broadcast Hello, retrying until welcomed (Hello can be lost)."""
         if self.state != GuesstimateNode.STATE_JOINING:
             return
-        self.signals_mesh.broadcast(self.machine_id, msg.Hello(self.machine_id))
+        self.signals_mesh.broadcast(
+            self.machine_id, msg.Hello(self.machine_id, self._recovered_count)
+        )
         self.scheduler.call_later(self.config.stall_timeout, self._announce)
 
     def leave(self) -> None:
         """Gracefully exit the system."""
         self.signals_mesh.broadcast(self.machine_id, msg.Goodbye(self.machine_id))
         self.meshes.leave(self.machine_id)
+        self.storage.close()
         self.state = GuesstimateNode.STATE_STOPPED
 
     def halt(self) -> None:
@@ -125,12 +153,15 @@ class GuesstimateNode(Host):
 
         Unlike a network crash (fault injector), a halted node stops
         doing local work too — the scenario the master-failover
-        extension exists for.
+        extension exists for.  The durable store is released (its
+        on-disk state is whatever the fsync policy made stable);
+        :meth:`recover_and_rejoin` rebuilds from it.
         """
         if self.meshes.signals.is_member(self.machine_id):
             self.meshes.leave(self.machine_id)
         if self.master is not None:
             self.master.stop()
+        self.storage.close()
         self.state = GuesstimateNode.STATE_STOPPED
         self.trace(Tracer.MEMBERSHIP, state="halted")
 
@@ -186,9 +217,13 @@ class GuesstimateNode(Host):
         """Shut down the application instance and re-enter the system.
 
         Triggered by the master's Restart signal after a failed
-        recovery.  All local state is discarded; the machine re-enters
-        through the Hello/Welcome snapshot path and resumes in a
-        consistent state.
+        recovery (and by :meth:`recover_and_rejoin` after a hard
+        crash).  With durability off this discards all local state and
+        re-enters through the Hello/Welcome snapshot path.  With a
+        durable store, committed state is first rebuilt from
+        ``snapshot + WAL replay``; the node then announces how much of
+        the global completed sequence it already holds and the master
+        welcomes it with just the committed backlog it missed.
         """
         self.metrics.restarts += 1
         self.trace(Tracer.RECOVERY, action="restart")
@@ -196,8 +231,27 @@ class GuesstimateNode(Host):
         # Operation numbering must survive the restart: reusing keys
         # would collide with this machine's already-committed history.
         op_counter = self.model._op_counter
-        self.model = MachineModel(self.machine_id)
-        self.model._op_counter = op_counter
+        recovered = self.storage.recover()
+        if recovered is not None:
+            self.model = self._rebuild_from_storage(recovered)
+            self.completed_offset = recovered.base_offset
+            self._recovered_count = (
+                recovered.base_offset + self.model.completed_count
+            )
+            self.metrics.crash_recoveries += 1
+            self.metrics.recovery_replay_entries = sum(
+                len(commit.entries) for commit in recovered.commits
+            )
+            self.trace(
+                Tracer.STORAGE,
+                action="recover",
+                replayed_rounds=recovered.replay_length,
+                completed=self._recovered_count,
+            )
+        else:
+            self.model = MachineModel(self.machine_id)
+            self._recovered_count = None
+        self.model._op_counter = max(op_counter, self.model._op_counter)
         self.api = Guesstimate(self.model, host=self)
         self.api.read_locks = self.read_locks
         self._window = None
@@ -207,8 +261,62 @@ class GuesstimateNode(Host):
         self.state = GuesstimateNode.STATE_JOINING
         self._announce()
 
+    def _rebuild_from_storage(self, recovered: RecoveredState) -> MachineModel:
+        """Crash recovery: snapshot states + WAL-suffix replay → model.
+
+        Rebuilds ``sc`` and the held suffix of ``C``.  The pending list
+        ``P`` died with the process — only globally-ordered committed
+        operations are logged — so the guesstimate equals the committed
+        state and the ``[P](sc) = sg`` invariant holds trivially.
+        """
+        model = MachineModel(self.machine_id)
+        for unique_id, (type_name, state) in recovered.states.items():
+            model.committed.adopt(
+                unique_id, decode_state({"type": type_name, "state": state})
+            )
+        max_own_op = 0
+        for commit in recovered.commits:
+            for machine_id, op_number, payload, result, committed_at in commit.entries:
+                op = decode_op(payload)
+                op.execute(model.committed)  # deterministic replay
+                model.record_completed(
+                    CompletedEntry(OpKey(machine_id, op_number), op, result, committed_at)
+                )
+                if machine_id == self.machine_id:
+                    max_own_op = max(max_own_op, op_number)
+        model.guess.refresh_from(model.committed)
+        model._op_counter = max_own_op
+        return model
+
+    def recover_and_rejoin(self) -> None:
+        """Bring a hard-killed (halted) process back up.
+
+        Re-joins the meshes and re-enters through :meth:`restart`.  The
+        in-memory model is forgotten first — a real crashed process
+        keeps nothing — so everything the node resumes with provably
+        came from the durable store (or, failing that, the master's
+        Welcome snapshot).
+        """
+        if self.state != GuesstimateNode.STATE_STOPPED:
+            raise RuntimeFailure(
+                "recover_and_rejoin is only valid on a halted node"
+            )
+        self.meshes.join(self.machine_id, self._on_signal, self._on_op)
+        self.model = MachineModel(self.machine_id)
+        self.restart()
+        if self.config.failover_timeout is not None and not self.is_master:
+            self._arm_failover_check()
+
     def load_welcome(self, welcome: msg.Welcome) -> None:
-        """Initialize state from the master's snapshot and go active."""
+        """Initialize state from the master's Welcome and go active.
+
+        Two shapes: the ordinary full-snapshot Welcome (committed state
+        replaced wholesale), and the delta Welcome a crash-recovered
+        node earns by announcing its durable position — the master
+        ships only the committed operations the node missed, which are
+        replayed on top of the recovered state so the local completed
+        sequence survives the crash.
+        """
         if self.state != GuesstimateNode.STATE_JOINING:
             if self.state == GuesstimateNode.STATE_ACTIVE:
                 # Duplicate Welcome: our earlier ack was lost; re-ack so
@@ -219,6 +327,38 @@ class GuesstimateNode(Host):
                     msg.WelcomeAck(self.machine_id),
                 )
             return
+        if (
+            welcome.backlog_from is not None
+            and self._recovered_count is not None
+            and welcome.backlog_from == self._recovered_count
+        ):
+            self._load_welcome_backlog(welcome)
+        else:
+            self._load_welcome_snapshot(welcome)
+        self._recovered_count = None
+        # Operations issued while offline are still pending: re-apply
+        # them to the refreshed guesstimate ([P](sc) = sg) so they can
+        # flush in the next round.
+        for entry in self.model.pending:
+            entry.op.execute(self.model.guess)
+            entry.executions += 1
+            self.metrics.record_execution(entry.key)
+        self.state = GuesstimateNode.STATE_ACTIVE
+        self.signals_mesh.send(
+            self.machine_id, welcome.master_id, msg.WelcomeAck(self.machine_id)
+        )
+        self.trace(
+            Tracer.MEMBERSHIP,
+            state="active",
+            snapshot=len(welcome.snapshot),
+            backlog=len(welcome.backlog),
+        )
+        self._drain_deferred()
+        if self.on_welcome is not None:
+            self.on_welcome()
+
+    def _load_welcome_snapshot(self, welcome: msg.Welcome) -> None:
+        """The ordinary join: adopt the master's full state snapshot."""
         for unique_id, (type_name, state) in welcome.snapshot.items():
             obj = decode_state({"type": type_name, "state": state})
             if self.model.committed.has(unique_id):
@@ -229,22 +369,38 @@ class GuesstimateNode(Host):
         # this machine holds the global suffix starting at the offset.
         self.model.completed.clear()
         self.model.guess.refresh_from(self.model.committed)
-        # Operations issued while offline are still pending: re-apply
-        # them to the refreshed guesstimate ([P](sc) = sg) so they can
-        # flush in the next round.
-        for entry in self.model.pending:
-            entry.op.execute(self.model.guess)
-            entry.executions += 1
-            self.metrics.record_execution(entry.key)
         self.completed_offset = welcome.completed_count
-        self.state = GuesstimateNode.STATE_ACTIVE
-        self.signals_mesh.send(
-            self.machine_id, welcome.master_id, msg.WelcomeAck(self.machine_id)
+        # The durable log is superseded by the snapshot we just took.
+        self.storage.rebase(dict(welcome.snapshot), welcome.completed_count)
+
+    def _load_welcome_backlog(self, welcome: msg.Welcome) -> None:
+        """Crash-recovery catch-up: replay only the missed commits.
+
+        The recovered committed state plus this backlog is, by the
+        global ordering, byte-identical to every survivor's ``sc`` —
+        and unlike the snapshot path the node keeps its completed
+        sequence, extended by the missed suffix.
+        """
+        logged: list[tuple] = []
+        for machine_id, op_number, payload, result, committed_at in welcome.backlog:
+            op = decode_op(payload)
+            op.execute(self.model.committed)
+            self.model.record_completed(
+                CompletedEntry(OpKey(machine_id, op_number), op, result, committed_at)
+            )
+            logged.append((machine_id, op_number, payload, result, committed_at))
+        completed_global = self.completed_offset + self.model.completed_count
+        if logged:
+            # Catch-up batches are logged like a round (round_id -1
+            # marks them) so recovery replays them in order too.
+            self.storage.append_commit(
+                CommitRecord(-1, tuple(logged), completed_global)
+            )
+        self.model.guess.refresh_from(self.model.committed)
+        self.trace(
+            Tracer.STORAGE, action="catch_up", backlog=len(welcome.backlog),
+            completed=completed_global,
         )
-        self.trace(Tracer.MEMBERSHIP, state="active", snapshot=len(welcome.snapshot))
-        self._drain_deferred()
-        if self.on_welcome is not None:
-            self.on_welcome()
 
     # -- Host protocol (what the facade needs) ---------------------------------------
 

@@ -283,11 +283,21 @@ class Synchronizer:
             decoded.append((key, op))
             object_ids |= op.object_ids()
         remote_touched: set[str] = set()
+        logged: list[tuple] = []
         with node.read_locks.writing(sorted(object_ids)):
             for key, op in decoded:
                 result = op.execute(node.model.committed)
                 node.model.record_completed(
                     CompletedEntry(key, op, result, node.scheduler.now())
+                )
+                logged.append(
+                    (
+                        key.machine_id,
+                        key.op_number,
+                        round_state.received[key],
+                        result,
+                        node.scheduler.now(),
+                    )
                 )
                 node.trace(Tracer.COMMIT, key=str(key), ok=result)
                 if result and key.machine_id != node.machine_id:
@@ -304,8 +314,26 @@ class Synchronizer:
                         if entry.issue_result:
                             node.metrics.conflicts += 1
         round_state.applied = True
+        # Write-ahead ordering: the committed round reaches the durable
+        # log before this machine acknowledges it, so an acked round is
+        # always recoverable after a crash.
+        completed_global = node.completed_offset + node.model.completed_count
+        node.log_committed_round(round_state.round_id, logged, completed_global)
+        if node.signals_mesh.faults.crash_at_commit(
+            node.machine_id, round_state.round_id
+        ):
+            # Crash-at-commit-point fault: die after the log append,
+            # before the ApplyAck — the master will remove us; recovery
+            # restarts from snapshot + WAL.
+            node.trace(
+                Tracer.RECOVERY, action="crash_at_commit", round=round_state.round_id
+            )
+            node.halt()
+            return
 
         def ack_and_update() -> None:
+            if node.state == node.STATE_STOPPED:  # crashed before the ack fired
+                return
             node.broadcast_signal(
                 msg.ApplyAck(round_state.round_id, node.machine_id)
             )
@@ -409,6 +437,9 @@ class MasterControl:
         self.join_queue: list[str] = []
         self.awaiting_ack: set[str] = set()
         self.awaiting_restart: set[str] = set()
+        #: joiners that announced durable recovered state: id -> global
+        #: |C| they already hold (served a backlog Welcome if possible)
+        self.recovered_counts: dict[str, int] = {}
         self._progress_seq = 0
         self._next_round_timer: object | None = None
         self._stopped = False
@@ -557,10 +588,20 @@ class MasterControl:
 
     def _on_hello(self, hello: msg.Hello) -> None:
         self.awaiting_restart.discard(hello.machine_id)
-        if (
-            hello.machine_id not in self.join_queue
-            and hello.machine_id not in self.participants
-        ):
+        if hello.recovered_count is not None:
+            self.recovered_counts[hello.machine_id] = hello.recovered_count
+        else:
+            self.recovered_counts.pop(hello.machine_id, None)
+        if hello.machine_id in self.participants:
+            # A standing participant saying Hello has rebooted out from
+            # under us (silent crash, quick recovery): its old standing
+            # is stale, so fold it back in through the join path.
+            round_ = self.current
+            if round_ is not None and hello.machine_id in set(round_.order):
+                self._remove_from_round(hello.machine_id, restart=False)
+            if hello.machine_id in self.participants:
+                self.participants.remove(hello.machine_id)
+        if hello.machine_id not in self.join_queue:
             self.join_queue.append(hello.machine_id)
         # A join between rounds can be processed immediately.
         if self.current is None:
@@ -569,6 +610,7 @@ class MasterControl:
     def _on_welcome_ack(self, ack: msg.WelcomeAck) -> None:
         if ack.machine_id in self.awaiting_ack:
             self.awaiting_ack.discard(ack.machine_id)
+            self.recovered_counts.pop(ack.machine_id, None)
             if ack.machine_id not in self.participants:
                 self.participants.append(ack.machine_id)
             self.node.trace(Tracer.MEMBERSHIP, joined=ack.machine_id)
@@ -592,13 +634,42 @@ class MasterControl:
         while self.join_queue:
             self.awaiting_ack.add(self.join_queue.pop(0))
         for machine_id in sorted(self.awaiting_ack):
-            welcome = msg.Welcome(
-                machine_id=machine_id,
-                master_id=self.node.machine_id,
-                snapshot=self.node.model.committed.snapshot_states(),
-                completed_count=self.node.model.completed_count,
-            )
+            welcome = self._build_welcome(machine_id)
             self.node.signals_mesh.send(self.node.machine_id, machine_id, welcome)
+
+    def _build_welcome(self, machine_id: str) -> msg.Welcome:
+        """Full-snapshot Welcome, or a committed-op backlog when the
+        joiner announced durable recovered state this master can extend
+        (its recovered |C| falls inside our held history)."""
+        node = self.node
+        recovered_count = self.recovered_counts.get(machine_id)
+        offset = node.completed_offset
+        total = offset + node.model.completed_count
+        if recovered_count is not None and offset <= recovered_count <= total:
+            backlog = tuple(
+                (
+                    entry.key.machine_id,
+                    entry.key.op_number,
+                    encode_op(entry.op),
+                    entry.result,
+                    entry.committed_at,
+                )
+                for entry in node.model.completed[recovered_count - offset :]
+            )
+            return msg.Welcome(
+                machine_id=machine_id,
+                master_id=node.machine_id,
+                snapshot={},
+                completed_count=total,
+                backlog_from=recovered_count,
+                backlog=backlog,
+            )
+        return msg.Welcome(
+            machine_id=machine_id,
+            master_id=node.machine_id,
+            snapshot=node.model.committed.snapshot_states(),
+            completed_count=node.model.completed_count,
+        )
 
     def _nudge_restarts(self) -> None:
         """Re-send Restart to machines that have not re-entered yet."""

@@ -41,6 +41,7 @@ class Tracer:
     FLUSH = "flush"
     RECOVERY = "recovery"
     MEMBERSHIP = "membership"
+    STORAGE = "storage"  # WAL snapshots, crash-recovery replays
 
     def __init__(self, enabled: bool = True, cap: int = 1_000_000):
         self.enabled = enabled

@@ -33,6 +33,7 @@ class TestCli:
             "specreport",
             "appsizes",
             "scaling",
+            "durability",
         }
 
     def test_report_command_writes_files(self, tmp_path, capsys, monkeypatch):

@@ -1,0 +1,317 @@
+"""End-to-end crash recovery: WAL + snapshot + delta-Welcome rejoin.
+
+The acceptance scenario: a node hard-killed at a commit point (after the
+write-ahead append, before its ApplyAck) restarts from ``snapshot +
+WAL``, rejoins through the recovery-aware Hello/Welcome exchange, and
+reaches a committed state byte-identical to the survivors' ``sc`` while
+keeping an identical completed sequence ``C`` — something the plain
+snapshot join cannot do (it discards local history).
+"""
+
+import os
+
+from repro.net.faults import CommitCrashPlan, ScheduledFaults
+from tests.helpers import quick_system, shared_counter
+
+
+def aligned_completed(node):
+    return [
+        (entry.key.machine_id, entry.key.op_number, entry.result)
+        for entry in node.model.completed
+    ]
+
+
+def issue_increment(system, machine_id, replicas, delay):
+    api = system.api(machine_id)
+
+    def issue():
+        api.issue_operation(
+            api.create_operation(replicas[machine_id], "increment", 1000)
+        )
+
+    system.loop.call_later(delay, issue)
+
+
+def crash_then_advance(system, faults, replicas, victim="m03"):
+    """Arm a commit crash for ``victim``, commit through it, then let the
+    survivors advance a few more rounds while the victim is down."""
+    faults.commit_crashes.append(CommitCrashPlan(victim))
+    issue_increment(system, "m01", replicas, delay=0.1)
+    system.run_for(8.0)  # crash + stall + removal + survivor progress
+    assert system.node(victim).state == "stopped"
+    assert victim not in system.master_node.master.participants
+    for delay in (0.1, 0.6, 1.1):
+        issue_increment(system, "m01", replicas, delay)
+    system.run_for(6.0)
+    system.run_until_quiesced()
+
+
+class TestCrashRecoveryMemory:
+    """Simulator-default crash tests run on the zero-IO memory backend."""
+
+    def build(self, **config_kwargs):
+        faults = ScheduledFaults()
+        system = quick_system(
+            3,
+            faults=faults,
+            stall_timeout=2.0,
+            durability="memory",
+            **config_kwargs,
+        )
+        replicas, uid = shared_counter(system)
+        return system, faults, replicas, uid
+
+    def test_recovered_node_matches_survivors_exactly(self):
+        system, faults, replicas, uid = self.build()
+        crash_then_advance(system, faults, replicas)
+        survivor_value = system.node("m01").model.committed.get(uid).value
+        assert survivor_value == 4  # the crash round + three follow-ups
+
+        system.node("m03").recover_and_rejoin()
+        system.run_for(5.0)
+        system.run_until_quiesced()
+
+        m03 = system.node("m03")
+        assert m03.state == "active"
+        assert m03.metrics.crash_recoveries == 1
+        # sc is byte-identical to the survivors'.
+        assert (
+            m03.model.committed.snapshot_states()
+            == system.node("m01").model.committed.snapshot_states()
+        )
+        assert m03.model.committed.get(uid).value == survivor_value
+        # C survived the crash: same offset, same full sequence — the
+        # delta Welcome replayed exactly the missed suffix.
+        assert m03.completed_offset == 0
+        assert aligned_completed(m03) == aligned_completed(system.node("m01"))
+        assert len(m03.model.completed) > 0
+        system.check_all_invariants()
+
+    def test_recovery_includes_the_crash_round(self):
+        """The round being committed at the moment of the crash was
+        write-ahead logged, so it must survive into the recovered C."""
+        system, faults, replicas, uid = self.build()
+        before_crash = len(system.node("m03").model.completed)
+        crash_then_advance(system, faults, replicas)
+
+        system.node("m03").recover_and_rejoin()
+        system.run_for(5.0)
+        m03 = system.node("m03")
+        assert m03.state == "active"
+        # Replay telemetry: the WAL handed rounds back to the model.
+        assert m03.metrics.storage.recoveries == 1
+        assert m03.metrics.storage.last_replay_length > 0
+        assert m03.metrics.recovery_replay_entries >= before_crash + 1
+
+    def test_snapshot_interval_bounds_replay(self):
+        system, faults, replicas, uid = self.build(snapshot_interval=2)
+        crash_then_advance(system, faults, replicas)
+
+        system.node("m03").recover_and_rejoin()
+        system.run_for(5.0)
+        m03 = system.node("m03")
+        assert m03.state == "active"
+        assert m03.metrics.storage.snapshots_written > 0
+        # Replay covered only the post-snapshot suffix.
+        assert (
+            m03.metrics.storage.last_replay_length
+            <= 2 + 1  # interval + the crash round itself
+        )
+        system.run_until_quiesced()
+        system.check_all_invariants()
+
+    def test_operation_numbers_survive_recovery(self):
+        """Op keys are global identities: a recovered machine must keep
+        numbering past its durably-logged history."""
+        system, faults, replicas, uid = self.build()
+        issue_increment(system, "m03", replicas, delay=0.1)
+        system.run_for(3.0)
+        system.run_until_quiesced()
+        crash_then_advance(system, faults, replicas)
+
+        system.node("m03").recover_and_rejoin()
+        system.run_for(5.0)
+        m03 = system.node("m03")
+        assert m03.state == "active"
+        api3 = m03.api
+        replica = api3.join_instance(uid)
+        api3.issue_operation(api3.create_operation(replica, "increment", 1000))
+        system.run_until_quiesced()
+        keys = [
+            entry.key
+            for entry in system.node("m01").model.completed
+            if entry.key.machine_id == "m03"
+        ]
+        assert len(keys) == len(set(keys)) == 2
+        system.check_all_invariants()
+
+    def test_convergence_invariant_after_first_rejoin_round(self):
+        """Satellite: [P](sc) = sg holds right after a crash-recovered
+        node finishes its first post-rejoin synchronization round."""
+        system, faults, replicas, uid = self.build()
+        crash_then_advance(system, faults, replicas)
+
+        m03 = system.node("m03")
+        m03.recover_and_rejoin()
+        system.run_for(5.0)
+        assert m03.state == "active"
+        # Issue on the recovered node so P is nonempty; the invariant
+        # must hold at issue time (op applied to sg)...
+        api3 = m03.api
+        replica = api3.join_instance(uid)
+        api3.issue_operation(api3.create_operation(replica, "increment", 1000))
+        assert len(m03.model.pending) == 1
+        assert m03.model.check_convergence_invariant()
+        # ...and again once the first post-rejoin round commits it.
+        system.run_until_quiesced()
+        assert m03.metrics.ops_committed_ok >= 1
+        assert m03.model.pending == []
+        assert m03.model.check_convergence_invariant()
+        assert m03.model.committed.get(uid).value == system.node(
+            "m01"
+        ).model.committed.get(uid).value
+        system.check_all_invariants()
+
+    def test_double_crash_recovers_twice(self):
+        system, faults, replicas, uid = self.build()
+        crash_then_advance(system, faults, replicas)
+        system.node("m03").recover_and_rejoin()
+        system.run_for(5.0)
+        assert system.node("m03").state == "active"
+
+        crash_then_advance(system, faults, replicas)
+        system.node("m03").recover_and_rejoin()
+        system.run_for(5.0)
+        system.run_until_quiesced()
+        m03 = system.node("m03")
+        assert m03.state == "active"
+        assert m03.metrics.crash_recoveries == 2
+        assert aligned_completed(m03) == aligned_completed(system.node("m01"))
+        system.check_all_invariants()
+
+
+class TestCrashRecoveryDisk:
+    """The same scenario against real files: WAL segments, snapshots,
+    and deliberately damaged logs."""
+
+    def build(self, tmp_path, **config_kwargs):
+        faults = ScheduledFaults()
+        system = quick_system(
+            3,
+            faults=faults,
+            stall_timeout=2.0,
+            durability="disk",
+            data_dir=str(tmp_path),
+            fsync_policy="always",
+            **config_kwargs,
+        )
+        replicas, uid = shared_counter(system)
+        return system, faults, replicas, uid
+
+    def _wal_segments(self, tmp_path, machine_id):
+        directory = tmp_path / machine_id
+        return sorted(
+            directory / name
+            for name in os.listdir(directory)
+            if name.startswith("wal-")
+        )
+
+    def test_disk_recovery_round_trip(self, tmp_path):
+        system, faults, replicas, uid = self.build(tmp_path)
+        crash_then_advance(system, faults, replicas)
+        assert self._wal_segments(tmp_path, "m03")  # the log is real
+
+        system.node("m03").recover_and_rejoin()
+        system.run_for(5.0)
+        system.run_until_quiesced()
+        m03 = system.node("m03")
+        assert m03.state == "active"
+        assert m03.metrics.storage.fsyncs > 0
+        assert (
+            m03.model.committed.snapshot_states()
+            == system.node("m01").model.committed.snapshot_states()
+        )
+        assert aligned_completed(m03) == aligned_completed(system.node("m01"))
+        system.check_all_invariants()
+
+    def test_disk_recovery_with_snapshots(self, tmp_path):
+        system, faults, replicas, uid = self.build(tmp_path, snapshot_interval=2)
+        crash_then_advance(system, faults, replicas)
+        assert (tmp_path / "m03" / "snapshot.json").exists()
+
+        system.node("m03").recover_and_rejoin()
+        system.run_for(5.0)
+        system.run_until_quiesced()
+        m03 = system.node("m03")
+        assert m03.state == "active"
+        assert m03.metrics.storage.snapshots_written > 0
+        # Snapshots truncate local history: m03 holds C's suffix from
+        # its last snapshot point, aligned by completed_offset.
+        assert m03.completed_offset > 0
+        reference = aligned_completed(system.node("m01"))
+        assert aligned_completed(m03) == reference[m03.completed_offset :]
+        system.check_all_invariants()
+
+    def test_torn_final_record_recovers_cleanly(self, tmp_path):
+        """Acceptance: a truncated final WAL record (torn write) loses
+        only the damaged tail — the node still recovers and converges."""
+        system, faults, replicas, uid = self.build(tmp_path)
+        crash_then_advance(system, faults, replicas)
+
+        last = self._wal_segments(tmp_path, "m03")[-1]
+        blob = last.read_bytes()
+        last.write_bytes(blob[:-9])  # tear the final record mid-line
+
+        m03 = system.node("m03")
+        m03.recover_and_rejoin()
+        system.run_for(5.0)
+        system.run_until_quiesced()
+        assert m03.state == "active"
+        assert m03.metrics.storage.truncated_tail_records >= 1
+        # The dropped round came back through the master's backlog.
+        assert (
+            m03.model.committed.snapshot_states()
+            == system.node("m01").model.committed.snapshot_states()
+        )
+        assert aligned_completed(m03) == aligned_completed(system.node("m01"))
+        system.check_all_invariants()
+
+    def test_bit_flipped_final_record_recovers_cleanly(self, tmp_path):
+        system, faults, replicas, uid = self.build(tmp_path)
+        crash_then_advance(system, faults, replicas)
+
+        last = self._wal_segments(tmp_path, "m03")[-1]
+        blob = bytearray(last.read_bytes())
+        blob[-4] ^= 0x10  # corrupt the final record's payload
+        last.write_bytes(bytes(blob))
+
+        m03 = system.node("m03")
+        m03.recover_and_rejoin()
+        system.run_for(5.0)
+        system.run_until_quiesced()
+        assert m03.state == "active"
+        assert m03.metrics.storage.truncated_tail_records >= 1
+        assert aligned_completed(m03) == aligned_completed(system.node("m01"))
+        system.check_all_invariants()
+
+    def test_empty_data_dir_falls_back_to_snapshot_join(self, tmp_path):
+        """Losing the entire durable store is survivable: the node comes
+        back with nothing and takes the ordinary full-snapshot Welcome."""
+        system, faults, replicas, uid = self.build(tmp_path)
+        crash_then_advance(system, faults, replicas)
+
+        for path in self._wal_segments(tmp_path, "m03"):
+            os.remove(path)
+
+        m03 = system.node("m03")
+        m03.recover_and_rejoin()
+        system.run_for(5.0)
+        system.run_until_quiesced()
+        assert m03.state == "active"
+        assert m03.metrics.crash_recoveries == 0  # nothing to recover from
+        assert m03.completed_offset > 0  # snapshot join: suffix holder
+        assert (
+            m03.model.committed.snapshot_states()
+            == system.node("m01").model.committed.snapshot_states()
+        )
+        system.check_all_invariants()

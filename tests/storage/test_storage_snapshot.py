@@ -1,0 +1,82 @@
+"""Unit tests for atomic snapshots."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.snapshot import SnapshotData, SnapshotStore
+
+STATES = {
+    "counter": ("Counter", {"value": 7}),
+    "register": ("Register", {"value": "hello"}),
+}
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        store.save(STATES, completed_count=12, wal_index=34)
+
+        loaded = store.load()
+        assert loaded == SnapshotData(STATES, completed_count=12, wal_index=34)
+        assert isinstance(loaded.states["counter"], tuple)
+
+    def test_missing_snapshot_is_none(self, tmp_path):
+        assert SnapshotStore(str(tmp_path)).load() is None
+
+    def test_save_replaces_previous(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        store.save(STATES, completed_count=1, wal_index=1)
+        store.save(STATES, completed_count=2, wal_index=9)
+
+        assert store.load().completed_count == 2
+        # Only one snapshot file ever exists.
+        snapshots = [n for n in os.listdir(tmp_path) if n == "snapshot.json"]
+        assert len(snapshots) == 1
+
+    def test_stats_counters(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        store.save(STATES, completed_count=1, wal_index=1)
+        store.save(STATES, completed_count=2, wal_index=2)
+        assert store.stats.snapshots_written == 2
+        assert store.stats.snapshot_bytes > 0
+        assert store.stats.fsyncs == 2
+
+
+class TestCrashSafety:
+    def test_leftover_tmp_file_is_swept(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        store.save(STATES, completed_count=3, wal_index=3)
+        # Simulate a crash between tmp-write and rename.
+        stray = tmp_path / "snapshot.tmp.99999.1"
+        stray.write_bytes(b"half-written garbage")
+
+        loaded = store.load()
+        assert loaded.completed_count == 3
+        assert not stray.exists()
+
+    def test_corrupt_body_detected(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        store.save(STATES, completed_count=3, wal_index=3)
+        blob = json.loads((tmp_path / "snapshot.json").read_text())
+        blob["body"] = blob["body"].replace("7", "8", 1)
+        (tmp_path / "snapshot.json").write_text(json.dumps(blob))
+
+        with pytest.raises(StorageError, match="CRC mismatch"):
+            store.load()
+
+    def test_malformed_file_detected(self, tmp_path):
+        (tmp_path / "snapshot.json").write_bytes(b"not json \xff")
+        with pytest.raises(StorageError, match="malformed"):
+            SnapshotStore(str(tmp_path)).load()
+
+    def test_truncated_file_detected(self, tmp_path):
+        store = SnapshotStore(str(tmp_path))
+        store.save(STATES, completed_count=3, wal_index=3)
+        blob = (tmp_path / "snapshot.json").read_bytes()
+        (tmp_path / "snapshot.json").write_bytes(blob[: len(blob) // 2])
+
+        with pytest.raises(StorageError):
+            store.load()
