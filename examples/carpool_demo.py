@@ -55,18 +55,17 @@ def main() -> None:
     # Atomic across applications: ada goes to the party only with a ride.
     print("\nAtomic across apps — ada joins the party only with a ride:")
     planner_replica = api_a.join_instance(planner_obj.unique_id)
-    api_a.issue_operation(
-        api_a.create_operation(planner_replica, "create_event", "party", 3)
-    )
+    api_a.invoke(planner_replica, "create_event", "party", 3)
     system.run_until_quiesced()
-    atomic = api_a.create_atomic(
-        [
-            api_a.create_operation(planner_replica, "join", "ada", "party"),
-            api_a.create_operation(ada.pool, "get_ride", "ada", "party", None),
-        ]
-    )
     done = []
-    api_a.issue_operation(atomic, lambda ok: done.append(ok))
+    api_a.invoke(
+        planner_replica,
+        "join",
+        "ada",
+        "party",
+        atomic_with=api_a.create_operation(ada.pool, "get_ride", "ada", "party", None),
+        completion=lambda ok: done.append(ok),
+    )
     system.run_until_quiesced()
     with api_a.reading(ada.pool) as pool:
         ride = pool.ride_of("ada", "party")
@@ -79,22 +78,21 @@ def main() -> None:
     with api_b.reading(bert2.pool) as pool:
         free = pool.free_seats("party")
     for index in range(free):
-        api_b.issue_operation(
-            api_b.create_operation(bert2.pool, "get_ride", f"filler{index}",
-                                   "party", None)
-        )
+        api_b.invoke(bert2.pool, "get_ride", f"filler{index}", "party", None)
     system.run_until_quiesced()
     print(f"\nall seats taken (free={bert2.free_seats('party')}); "
           "dana tries join+ride atomically:")
     planner_b = api_b.join_instance(planner_obj.unique_id)
-    atomic = api_b.create_atomic(
-        [
-            api_b.create_operation(planner_b, "join", "dana", "party"),
-            api_b.create_operation(bert2.pool, "get_ride", "dana", "party", None),
-        ]
+    ticket = api_b.invoke(
+        planner_b,
+        "join",
+        "dana",
+        "party",
+        atomic_with=api_b.create_operation(
+            bert2.pool, "get_ride", "dana", "party", None
+        ),
     )
-    issued = api_b.issue_operation(atomic)
-    print(f"  rejected already on the guesstimate: issued={issued}")
+    print(f"  rejected already on the guesstimate: status={ticket.status}")
     with api_b.reading(planner_b) as planner:
         print(f"  dana in attendees: {'dana' in planner.attendees('party')}"
               " (all-or-nothing held)")

@@ -11,9 +11,8 @@ onto the welcomed state and commit, and everyone converges.
 Run:  python examples/offline_collaboration.py
 """
 
-from repro import RuntimeConfig
+from repro import DistributedSystem, RuntimeConfig
 from repro.apps.message_board import BoardClient, MessageBoard
-from repro.runtime.system import DistributedSystem
 
 
 def main() -> None:

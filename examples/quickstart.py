@@ -6,8 +6,8 @@ Walks through the whole programming model in one sitting:
 1. build a simulated two-machine system;
 2. create a shared Sudoku board on machine A (``create_instance``);
 3. join it from machine B (``join_instance``);
-4. issue fills from both sides (``create_operation`` +
-   ``issue_operation`` with completion routines);
+4. issue fills from both sides (one-step ``invoke`` with completion
+   routines; tickets track each fill to commit);
 5. watch a *conflict*: both players target the same cell, both succeed
    on their local guesstimates, and the global commit order decides —
    the loser's completion routine fires with False.

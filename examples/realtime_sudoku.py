@@ -19,10 +19,10 @@ import random
 import threading
 import time
 
+from repro import RuntimeConfig
 from repro.apps.sudoku import SudokuClient, generate_puzzle
 from repro.net.latency import LognormalLatency
 from repro.net.mesh import MeshPair
-from repro.runtime.config import RuntimeConfig
 from repro.runtime.metrics import SystemMetrics
 from repro.runtime.node import GuesstimateNode
 from repro.runtime.tracing import Tracer

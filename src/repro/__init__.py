@@ -17,8 +17,8 @@ Quick taste::
     system.run_until_quiesced()
 
     bob_board = bob.join_instance(board.unique_id)
-    op = bob.create_operation(bob_board, "update", 1, 1, 5)
-    bob.issue_operation(op, lambda ok: print("committed:", ok))
+    ticket = bob.invoke(bob_board, "update", 1, 1, 5,
+                        completion=lambda ok: print("committed:", ok))
     system.run_until_quiesced()
 """
 
@@ -27,7 +27,7 @@ from repro.core.operations import AtomicOp, OrElseOp, PrimitiveOp, SharedOp
 from repro.core.serialization import shared_type
 from repro.core.shared_object import GSharedObject
 from repro.errors import GuesstimateError
-from repro.runtime.config import RuntimeConfig
+from repro.runtime.config import RuntimeConfig, SyncConfig
 from repro.runtime.system import DistributedSystem
 
 __version__ = "1.0.0"
@@ -43,6 +43,7 @@ __all__ = [
     "PrimitiveOp",
     "RuntimeConfig",
     "SharedOp",
+    "SyncConfig",
     "__version__",
     "shared_type",
 ]

@@ -121,8 +121,7 @@ class AccountClient:
 
     def register(self, username: str, password: str) -> IssueTicket:
         """Issue a blocking registration; watch/wait on the ticket."""
-        op = self.api.create_operation(self.directory, "register", username, password)
-        return self.api.issue_when_possible(op)
+        return self.api.invoke(self.directory, "register", username, password)
 
     def signin(self, username: str, password: str) -> IssueTicket:
         """Issue a blocking sign-in (Figure 4's button_signin_Click).
@@ -131,28 +130,35 @@ class AccountClient:
         "release the thread and allow access" arm — or leaves it unset
         on failure — the "deny access" arm.
         """
-        op = self.api.create_operation(
-            self.directory, "signin", username, password, self.machine_id
-        )
 
         def completion(ok: bool) -> None:
             if ok:
                 self.my_name = username
 
-        return self.api.issue_when_possible(op, completion)
+        return self.api.invoke(
+            self.directory,
+            "signin",
+            username,
+            password,
+            self.machine_id,
+            completion=completion,
+        )
 
     def signout(self) -> IssueTicket | None:
         if self.my_name is None:
             return None
-        op = self.api.create_operation(
-            self.directory, "signout", self.my_name, self.machine_id
-        )
 
         def completion(ok: bool) -> None:
             if ok:
                 self.my_name = None
 
-        return self.api.issue_when_possible(op, completion)
+        return self.api.invoke(
+            self.directory,
+            "signout",
+            self.my_name,
+            self.machine_id,
+            completion=completion,
+        )
 
     # -- reads ------------------------------------------------------------------------
 

@@ -142,14 +142,10 @@ class AuctionClient:
         self.outbid_notices: list[str] = []
 
     def list_item(self, name: str, reserve: int) -> IssueTicket:
-        op = self.api.create_operation(
-            self.house, "list_item", name, self.user, reserve
-        )
-        return self.api.issue_when_possible(op)
+        return self.api.invoke(self.house, "list_item", name, self.user, reserve)
 
     def bid(self, name: str, amount: int) -> IssueTicket:
         """Place a bid; the completion reports winning or being beaten."""
-        op = self.api.create_operation(self.house, "place_bid", name, self.user, amount)
 
         def completion(ok: bool) -> None:
             if ok:
@@ -160,11 +156,12 @@ class AuctionClient:
                     f"bid of {amount} on {name} lost at commit; bid again"
                 )
 
-        return self.api.issue_when_possible(op, completion)
+        return self.api.invoke(
+            self.house, "place_bid", name, self.user, amount, completion=completion
+        )
 
     def close(self, name: str) -> IssueTicket:
-        op = self.api.create_operation(self.house, "close_auction", name, self.user)
-        return self.api.issue_when_possible(op)
+        return self.api.invoke(self.house, "close_auction", name, self.user)
 
     def current_price(self, name: str) -> int | None:
         with self.api.reading(self.house) as house:

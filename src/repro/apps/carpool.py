@@ -170,16 +170,12 @@ class CarPoolClient:
         self.notifications: list[str] = []
 
     def offer_vehicle(self, vid: str, event: str, seats: int) -> IssueTicket:
-        op = self.api.create_operation(
+        return self.api.invoke(
             self.pool, "offer_vehicle", vid, event, self.user, seats
         )
-        return self.api.issue_when_possible(op)
 
     def get_ride(self, event: str, preferred: str | None = None) -> IssueTicket:
         """The GetRide flow with its completion (section 5 pattern)."""
-        op = self.api.create_operation(
-            self.pool, "get_ride", self.user, event, preferred
-        )
 
         def completion(ok: bool) -> None:
             if ok:
@@ -190,16 +186,18 @@ class CarPoolClient:
             else:
                 self.notifications.append(f"no ride available to {event}")
 
-        return self.api.issue_when_possible(op, completion)
+        return self.api.invoke(
+            self.pool, "get_ride", self.user, event, preferred, completion=completion
+        )
 
     def cancel_ride(self, event: str) -> IssueTicket:
-        op = self.api.create_operation(self.pool, "cancel_ride", self.user, event)
-
         def completion(ok: bool) -> None:
             if ok:
                 self.my_rides.pop(event, None)
 
-        return self.api.issue_when_possible(op, completion)
+        return self.api.invoke(
+            self.pool, "cancel_ride", self.user, event, completion=completion
+        )
 
     def free_seats(self, event: str) -> int:
         with self.api.reading(self.pool) as pool:

@@ -240,28 +240,27 @@ class PlannerClient:
     # -- simple operations --------------------------------------------------------------
 
     def create_event(self, name: str, capacity: int) -> IssueTicket:
-        op = self.api.create_operation(self.planner, "create_event", name, capacity)
-        return self.api.issue_when_possible(op)
+        return self.api.invoke(self.planner, "create_event", name, capacity)
 
     def join(self, name: str) -> IssueTicket:
-        op = self.api.create_operation(self.planner, "join", self.user, name)
-        return self.api.issue_when_possible(op, self._joined(name))
+        return self.api.invoke(
+            self.planner, "join", self.user, name, completion=self._joined(name)
+        )
 
     def leave(self, name: str) -> IssueTicket:
-        op = self.api.create_operation(self.planner, "leave", self.user, name)
-
         def completion(ok: bool) -> None:
             if ok:
                 self.my_events.discard(name)
             else:
                 self.notifications.append(f"could not leave {name}")
 
-        return self.api.issue_when_possible(op, completion)
+        return self.api.invoke(
+            self.planner, "leave", self.user, name, completion=completion
+        )
 
     def join_or_wait(self, name: str) -> IssueTicket:
         """Join, or take a waitlist spot when full (completion sorts
         out which of the two actually happened at commit time)."""
-        op = self.api.create_operation(self.planner, "join_or_wait", self.user, name)
 
         def completion(ok: bool) -> None:
             if not ok:
@@ -275,16 +274,18 @@ class PlannerClient:
             else:
                 self.my_waits.add(name)
 
-        return self.api.issue_when_possible(op, completion)
+        return self.api.invoke(
+            self.planner, "join_or_wait", self.user, name, completion=completion
+        )
 
     def cancel_wait(self, name: str) -> IssueTicket:
-        op = self.api.create_operation(self.planner, "cancel_wait", self.user, name)
-
         def completion(ok: bool) -> None:
             if ok:
                 self.my_waits.discard(name)
 
-        return self.api.issue_when_possible(op, completion)
+        return self.api.invoke(
+            self.planner, "cancel_wait", self.user, name, completion=completion
+        )
 
     def refresh_membership(self) -> None:
         """Reconcile λ with the shared state (e.g. after a promotion
@@ -337,12 +338,6 @@ class PlannerClient:
         """Join all the named events or none (the sign-up-for-two case)."""
         if not names:
             raise ValueError("need at least one event")
-        atomic = self.api.create_atomic(
-            [
-                self.api.create_operation(self.planner, "join", self.user, name)
-                for name in names
-            ]
-        )
 
         def completion(ok: bool) -> None:
             if ok:
@@ -350,7 +345,17 @@ class PlannerClient:
             else:
                 self.notifications.append(f"could not join all of {names}")
 
-        return self.api.issue_when_possible(atomic, completion)
+        return self.api.invoke(
+            self.planner,
+            "join",
+            self.user,
+            names[0],
+            atomic_with=[
+                self.api.create_operation(self.planner, "join", self.user, name)
+                for name in names[1:]
+            ],
+            completion=completion,
+        )
 
     def swap(self, leave_name: str, join_name: str) -> IssueTicket:
         """Atomically leave one event and join another.
@@ -360,16 +365,6 @@ class PlannerClient:
         section 5 — if the join fails at commit, the leave must not
         happen either.
         """
-        atomic = self.api.create_atomic(
-            [
-                self.api.create_operation(
-                    self.planner, "leave", self.user, leave_name
-                ),
-                self.api.create_operation(
-                    self.planner, "join", self.user, join_name
-                ),
-            ]
-        )
 
         def completion(ok: bool) -> None:
             if ok:
@@ -380,7 +375,16 @@ class PlannerClient:
                     f"kept {leave_name}; could not swap into {join_name}"
                 )
 
-        return self.api.issue_when_possible(atomic, completion)
+        return self.api.invoke(
+            self.planner,
+            "leave",
+            self.user,
+            leave_name,
+            atomic_with=self.api.create_operation(
+                self.planner, "join", self.user, join_name
+            ),
+            completion=completion,
+        )
 
     # -- reads ---------------------------------------------------------------------------
 

@@ -119,25 +119,23 @@ class BoardClient:
         self.failed: int = 0
 
     def create_topic(self, name: str) -> IssueTicket:
-        op = self.api.create_operation(self.board, "create_topic", name)
-        return self.api.issue_when_possible(op)
+        return self.api.invoke(self.board, "create_topic", name)
 
     def post(self, topic: str, text: str) -> IssueTicket:
-        op = self.api.create_operation(self.board, "post", topic, self.user, text)
-
         def completion(ok: bool) -> None:
             if ok:
                 self.sent += 1
             else:
                 self.failed += 1
 
-        return self.api.issue_when_possible(op, completion)
+        return self.api.invoke(
+            self.board, "post", topic, self.user, text, completion=completion
+        )
 
     def delete_my_post(self, topic: str, index: int) -> IssueTicket:
-        op = self.api.create_operation(
+        return self.api.invoke(
             self.board, "delete_post", topic, index, self.user
         )
-        return self.api.issue_when_possible(op)
 
     def read_topic(self, topic: str) -> list[tuple[str, str]]:
         with self.api.reading(self.board) as board:

@@ -145,27 +145,24 @@ class MicroBlogClient:
         self.rejected = 0
 
     def register(self) -> IssueTicket:
-        op = self.api.create_operation(self.blog, "register", self.handle)
-        return self.api.issue_when_possible(op)
+        return self.api.invoke(self.blog, "register", self.handle)
 
     def post(self, text: str) -> IssueTicket:
-        op = self.api.create_operation(self.blog, "post", self.handle, text)
-
         def completion(ok: bool) -> None:
             if ok:
                 self.posted += 1
             else:
                 self.rejected += 1
 
-        return self.api.issue_when_possible(op, completion)
+        return self.api.invoke(
+            self.blog, "post", self.handle, text, completion=completion
+        )
 
     def follow(self, other: str) -> IssueTicket:
-        op = self.api.create_operation(self.blog, "follow", self.handle, other)
-        return self.api.issue_when_possible(op)
+        return self.api.invoke(self.blog, "follow", self.handle, other)
 
     def unfollow(self, other: str) -> IssueTicket:
-        op = self.api.create_operation(self.blog, "unfollow", self.handle, other)
-        return self.api.issue_when_possible(op)
+        return self.api.invoke(self.blog, "unfollow", self.handle, other)
 
     def my_timeline(self, limit: int = 20) -> list[tuple[str, str]]:
         with self.api.reading(self.blog) as blog:

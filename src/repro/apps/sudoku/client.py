@@ -85,7 +85,6 @@ class SudokuClient:
         with a completion that recolors the square, and mark YELLOW
         right away if the issue succeeded.
         """
-        op = self.api.create_operation(self.board, "update", row, col, value)
         record = FillRecord(row, col, value, ticket=None)  # type: ignore[arg-type]
 
         def completion(ok: bool) -> None:
@@ -97,7 +96,9 @@ class SudokuClient:
                 self.marks[(row, col)] = CellMark.FAILED
                 self.conflicts_seen += 1
 
-        record.ticket = self.api.issue_when_possible(op, completion)
+        record.ticket = self.api.invoke(
+            self.board, "update", row, col, value, completion=completion
+        )
         if record.ticket.status != IssueTicket.REJECTED:
             self.marks[(row, col)] = CellMark.TENTATIVE
             record.mark = CellMark.TENTATIVE
@@ -106,8 +107,7 @@ class SudokuClient:
 
     def erase(self, row: int, col: int) -> IssueTicket:
         """Issue a clear of one of this player's guesses."""
-        op = self.api.create_operation(self.board, "clear", row, col)
-        return self.api.issue_when_possible(op)
+        return self.api.invoke(self.board, "clear", row, col)
 
     # -- live refresh (the paper's wished-for callback API) ----------------------------
 

@@ -27,7 +27,17 @@ from repro.evalkit.experiments import (
     responsiveness,
     scaling,
     specreport,
+    syncscale,
 )
+
+
+def _run_syncscale(quick: bool) -> str:
+    result = syncscale.run(
+        machine_counts=[2, 4, 8] if quick else [2, 4, 8, 16],
+        duration=15.0 if quick else 30.0,
+    )
+    path = syncscale.write_bench_json(result)
+    return f"{syncscale.format_report(result)}\n\n  wrote {path}"
 
 #: name -> (runner taking quick: bool, description)
 EXPERIMENTS = {
@@ -85,6 +95,11 @@ EXPERIMENTS = {
             )
         ),
         "Sections 7/9: serial scaling wall vs the parallel-flush extension",
+    ),
+    "syncscale": (
+        _run_syncscale,
+        "Sync pipeline: round latency and commit throughput, "
+        "sequential vs concurrent+batched collection (BENCH_sync.json)",
     ),
     "durability": (
         lambda quick: durability.format_report(

@@ -19,6 +19,11 @@ Paper (C#)                             Here
 ``Guesstimate.EndRead(obj)``           :meth:`Guesstimate.end_read`
 =====================================  =====================================
 
+Beyond the paper's surface, every issuing call returns an
+:class:`IssueTicket` (truthy iff the issue succeeded, resolved at
+commit), and :meth:`Guesstimate.invoke` collapses the
+``create_operation`` + ``issue_operation`` two-step into one call.
+
 The facade is bound to a *host* (normally a runtime node) that provides
 time, the issue windows, and notification hooks; a trivial
 :class:`LocalHost` makes the facade usable standalone, which is how the
@@ -107,10 +112,17 @@ class LocalHost(Host):
 class IssueTicket:
     """Tracks one issued operation from issue to commit.
 
-    ``issue_when_possible`` returns a ticket immediately even when the
-    issue had to be deferred past a blocked window.  The blocking
-    design pattern (paper section 5, Figure 4) is ``wait()``: it parks
-    the calling thread until the commit-time completion fires.
+    Every issuing call (:meth:`Guesstimate.issue_operation`,
+    :meth:`Guesstimate.issue_when_possible`,
+    :meth:`Guesstimate.invoke`) returns one of these immediately —
+    even when the issue had to be deferred past a blocked window.  The
+    blocking design pattern (paper section 5, Figure 4) is ``wait()``:
+    it parks the calling thread until the commit-time completion fires.
+
+    A ticket is truthy once the operation succeeded on the
+    guesstimated state and was queued for commit, so
+    ``if api.issue_operation(op):`` reads exactly like the old
+    boolean-returning API.
     """
 
     PENDING = "pending"
@@ -140,6 +152,11 @@ class IssueTicket:
         self.commit_result = result
         self._event.set()
 
+    def __bool__(self) -> bool:
+        """True once the issue succeeded (compatible with the legacy
+        boolean return of ``issue_operation``)."""
+        return self.issue_result is True
+
     @property
     def done(self) -> bool:
         """True once the operation was rejected or committed."""
@@ -148,6 +165,12 @@ class IssueTicket:
     def wait(self, timeout: float | None = None) -> bool:
         """Block until rejected/committed (real-time transport only)."""
         return self._event.wait(timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IssueTicket(status={self.status!r}, key={self.key}, "
+            f"commit_result={self.commit_result})"
+        )
 
 
 class Guesstimate:
@@ -245,14 +268,16 @@ class Guesstimate:
 
     def issue_operation(
         self, op: SharedOp, completion: CompletionFn | None = None
-    ) -> bool:
+    ) -> IssueTicket:
         """Issue ``op``: execute on the guesstimated state, queue for commit.
 
-        Returns True if the operation succeeded on the guesstimated
-        state and was queued (it will commit later on all machines, at
-        which point ``completion`` runs with the commit-time result).
-        Returns False if it failed on the guesstimated state, in which
-        case it is dropped entirely.
+        Returns an :class:`IssueTicket`.  The ticket is truthy (status
+        ``ISSUED``) if the operation succeeded on the guesstimated
+        state and was queued — it will commit later on all machines, at
+        which point ``completion`` runs with the commit-time result and
+        the ticket resolves to ``COMMITTED``.  A falsy ticket (status
+        ``REJECTED``) means the operation failed on the guesstimated
+        state and was dropped entirely.
 
         Raises :class:`IssueBlockedError` inside a flush/update window;
         use :meth:`issue_when_possible` to defer instead.
@@ -260,20 +285,9 @@ class Guesstimate:
         window = self.host.active_window()
         if window is not None:
             raise IssueBlockedError(window)
-        ok = op.execute(self.model.guess)
-        if not ok:
-            self.host.notify_rejected(op)
-            return False
-        entry = PendingEntry(
-            key=self.model.next_op_key(),
-            op=op,
-            completion=completion,
-            issue_result=True,
-            issued_at=self.host.now(),
-        )
-        self.model.enqueue_pending(entry)
-        self.host.notify_issued(entry)
-        return True
+        ticket = IssueTicket()
+        self._attempt_issue(op, completion, ticket)
+        return ticket
 
     def issue_when_possible(
         self, op: SharedOp, completion: CompletionFn | None = None
@@ -285,33 +299,74 @@ class Guesstimate:
         """
         ticket = IssueTicket()
 
-        def completion_with_ticket(result: bool) -> None:
-            ticket._mark_committed(result)
-            if completion is not None:
-                completion(result)
-
         def attempt() -> None:
-            ok = op.execute(self.model.guess)
-            if not ok:
-                ticket._mark_rejected()
-                self.host.notify_rejected(op)
-                return
-            entry = PendingEntry(
-                key=self.model.next_op_key(),
-                op=op,
-                completion=completion_with_ticket,
-                issue_result=True,
-                issued_at=self.host.now(),
-            )
-            self.model.enqueue_pending(entry)
-            ticket._mark_issued(entry.key)
-            self.host.notify_issued(entry)
+            self._attempt_issue(op, completion, ticket)
 
         if self.host.active_window() is None:
             attempt()
         else:
             self.host.defer(attempt)
         return ticket
+
+    def invoke(
+        self,
+        obj: GSharedObject | str,
+        method_name: str,
+        *args: Any,
+        completion: CompletionFn | None = None,
+        atomic_with: SharedOp | Sequence[SharedOp] | None = None,
+    ) -> IssueTicket:
+        """One-step issue: build the operation and issue it immediately.
+
+        Collapses the ``create_operation`` + ``issue_operation``
+        two-step for the common case::
+
+            ticket = api.invoke(counter, "increment", 10)
+
+        ``atomic_with`` bundles the new operation with previously built
+        operation(s) into an all-or-nothing Atomic block (the new
+        operation first).  Issuing is window-tolerant like
+        :meth:`issue_when_possible` — inside a flush/update window the
+        issue is deferred until the window closes, never raised.
+        """
+        op: SharedOp = self.create_operation(obj, method_name, *args)
+        if atomic_with is not None:
+            extras = (
+                [atomic_with]
+                if isinstance(atomic_with, SharedOp)
+                else list(atomic_with)
+            )
+            op = self.create_atomic([op, *extras])
+        return self.issue_when_possible(op, completion)
+
+    def _attempt_issue(
+        self,
+        op: SharedOp,
+        completion: CompletionFn | None,
+        ticket: IssueTicket,
+    ) -> None:
+        """Shared issue path (rule R2); resolves ``ticket`` as it goes."""
+
+        def completion_with_ticket(result: bool) -> None:
+            ticket._mark_committed(result)
+            if completion is not None:
+                completion(result)
+
+        ok = op.execute(self.model.guess)
+        if not ok:
+            ticket._mark_rejected()
+            self.host.notify_rejected(op)
+            return
+        entry = PendingEntry(
+            key=self.model.next_op_key(),
+            op=op,
+            completion=completion_with_ticket,
+            issue_result=True,
+            issued_at=self.host.now(),
+        )
+        self.model.enqueue_pending(entry)
+        ticket._mark_issued(entry.key)
+        self.host.notify_issued(entry)
 
     # -- remote-update callbacks (paper sections 6/9 future work) ----------------
 

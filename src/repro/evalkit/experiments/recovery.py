@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.evalkit.harness import SessionConfig, SessionOutcome, run_sudoku_session
 from repro.net.faults import CrashPlan, DropPlan, ScheduledFaults
+from repro.runtime.config import RuntimeConfig, SyncConfig
 
 
 @dataclass
@@ -52,7 +53,15 @@ def run(duration: float = 3600.0, users: int = 8, seed: int = 13) -> RecoveryRes
             CrashPlan("m07", start=duration * 0.8, end=duration * 0.8 + 20.0),
         ],
     )
-    config = SessionConfig(users=users, duration=duration, seed=seed, faults=faults)
+    config = SessionConfig(
+        users=users,
+        duration=duration,
+        seed=seed,
+        faults=faults,
+        # The lost-YourTurn fault only exists under serial token
+        # passing, so pin the paper's sequential collection mode.
+        runtime=RuntimeConfig(sync=SyncConfig(collection="sequential")),
+    )
     outcome = run_sudoku_session(config)
     system = outcome.system
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.evalkit.stats import linear_fit, mean_excluding
-from repro.runtime.config import RuntimeConfig
+from repro.runtime.config import RuntimeConfig, SyncConfig
 from repro.runtime.system import DistributedSystem
 
 
@@ -33,7 +33,13 @@ class ScalingResult:
 
 
 def _mean_sync(users: int, parallel: bool, duration: float, seed: int) -> float:
-    config = RuntimeConfig(sync_interval=1.0, parallel_flush=parallel)
+    # Pin the collection mode explicitly: this experiment *compares*
+    # the two, so the ambient GUESSTIMATE_COLLECTION default must not
+    # flip the serial arm.
+    config = RuntimeConfig(
+        sync_interval=1.0,
+        sync=SyncConfig(collection="concurrent" if parallel else "sequential"),
+    )
     system = DistributedSystem(n_machines=users, seed=seed, config=config)
     system.start(first_sync_delay=0.1)
     system.run_for(duration)

@@ -10,7 +10,7 @@ for protocol control messages and ``operations`` for shipped operations.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import NotInMeshError
@@ -42,6 +42,14 @@ class MeshStats:
     deliveries: int = 0
     dropped: int = 0
     undeliverable: int = 0  # recipient crashed or absent at delivery time
+    #: scheduled sends by payload type name (one count per recipient) —
+    #: lets the sync benchmark report message-frame counts, e.g. how
+    #: many OpBatch frames replaced how many OpMessages.
+    payload_counts: dict = field(default_factory=dict)
+
+    def count_payload(self, payload: object) -> None:
+        name = type(payload).__name__
+        self.payload_counts[name] = self.payload_counts.get(name, 0) + 1
 
 
 class Mesh:
@@ -129,6 +137,7 @@ class Mesh:
     def _schedule_delivery(
         self, sender: str, recipient: str, payload: object, now: float
     ) -> None:
+        self.stats.count_payload(payload)
         if self.faults.should_drop(now, self.name, sender, recipient, self.rng, payload):
             self.stats.dropped += 1
             return

@@ -10,7 +10,69 @@ keeps 100 users under ~3 seconds (Figure 6), and a full fault recovery
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
+
+#: Environment variable consulted for the *default* collection mode.
+#: CI runs the whole suite once per mode by exporting it; explicit
+#: ``SyncConfig(collection=...)`` always wins over the environment.
+COLLECTION_ENV_VAR = "GUESSTIMATE_COLLECTION"
+
+COLLECTION_MODES = ("sequential", "concurrent")
+
+
+def _default_collection() -> str:
+    mode = os.environ.get(COLLECTION_ENV_VAR, "sequential").strip().lower()
+    return mode if mode in COLLECTION_MODES else "sequential"
+
+
+@dataclass(frozen=True)
+class SyncConfig:
+    """Shape of the synchronization pipeline (stage-1 collection mode,
+    operation batching, and round pipelining).
+
+    * ``collection`` — how the master collects pending operations:
+      ``"sequential"`` reproduces the paper's token-passing round (the
+      master grants ``YourTurn`` to one machine at a time), while
+      ``"concurrent"`` broadcasts a single collect signal and every
+      participant flushes at once; arrivals are ordered
+      deterministically by ``(machine_id, seq)`` so both modes commit
+      the identical global sequence.  ``None`` (the default) resolves
+      to the ``GUESSTIMATE_COLLECTION`` environment variable, falling
+      back to ``"sequential"`` — which is how CI runs the full suite
+      across both modes.
+    * ``batch_max_ops`` — flushed operations ride in size-capped
+      :class:`~repro.runtime.messages.OpBatch` frames instead of one
+      message per operation; this caps the entries per frame.
+    * ``pipeline_depth`` — maximum synchronization rounds in flight at
+      the master: with depth ``d > 1`` the master begins collecting
+      round ``k+1`` as soon as round ``k`` enters its apply stage,
+      overlapping collection with the previous round's commit+ack
+      latency.  Slaves always apply rounds in round-id order, so the
+      committed sequence is unaffected.  Depth 1 disables pipelining.
+    """
+
+    collection: str | None = None
+    batch_max_ops: int = 64
+    pipeline_depth: int = 1
+
+    def __post_init__(self):
+        if self.collection is not None and self.collection not in COLLECTION_MODES:
+            raise ValueError(
+                f"collection must be one of {COLLECTION_MODES}, "
+                f"got {self.collection!r}"
+            )
+        if self.batch_max_ops < 1:
+            raise ValueError("batch_max_ops must be >= 1")
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+
+    @property
+    def collection_mode(self) -> str:
+        """The effective collection mode (environment-resolved)."""
+        if self.collection is not None:
+            return self.collection
+        return _default_collection()
 
 
 @dataclass(frozen=True)
@@ -59,7 +121,15 @@ class RuntimeConfig:
     #: the number of operations and the network delay but not on the
     #: number of users").  Off by default: the paper kept stage 1
     #: serial "purely for ease of monitoring and debugging".
+    #: Legacy alias: ``parallel_flush=True`` is equivalent to
+    #: ``sync=SyncConfig(collection="concurrent")`` and kept for
+    #: backward compatibility; prefer ``sync``.
     parallel_flush: bool = False
+
+    #: Synchronization pipeline shape: stage-1 collection mode
+    #: (sequential token passing vs concurrent flush), OpBatch size
+    #: cap, and master-side round pipelining depth.
+    sync: SyncConfig = field(default_factory=SyncConfig)
 
     #: Master failover: if no master signal arrives for this long, the
     #: lexicographically-smallest surviving slave promotes itself (the
@@ -109,3 +179,16 @@ class RuntimeConfig:
     def removal_threshold(self) -> float:
         """Time after which a stalled machine gets removed (2 timeouts)."""
         return 2 * self.stall_timeout
+
+    @property
+    def collection_mode(self) -> str:
+        """The effective stage-1 collection mode.
+
+        ``parallel_flush=True`` (the legacy flag) forces
+        ``"concurrent"``; otherwise :class:`SyncConfig` decides
+        (explicit value, else the ``GUESSTIMATE_COLLECTION``
+        environment default).
+        """
+        if self.parallel_flush:
+            return "concurrent"
+        return self.sync.collection_mode

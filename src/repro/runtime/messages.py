@@ -20,6 +20,8 @@ Operations channel (data plane):
 
 * :class:`OpMessage` — one flushed operation, the paper's
   "(machineID, operation number, operation)" triple.
+* :class:`OpBatch` — a size-capped frame of flushed operations from
+  one machine (the batched wire format of the pipelined synchronizer).
 """
 
 from __future__ import annotations
@@ -208,9 +210,34 @@ class Restart:
 
 @dataclass(frozen=True)
 class OpMessage:
-    """One operation in flight: the paper's (machineID, opnumber, op) triple."""
+    """One operation in flight: the paper's (machineID, opnumber, op) triple.
+
+    Retained for single-op traffic and protocol fidelity; bulk flushes
+    ride in :class:`OpBatch` frames instead.
+    """
 
     round_id: int
     machine_id: str
     op_number: int
     payload: dict = field(hash=False)
+
+
+@dataclass(frozen=True)
+class OpBatch:
+    """A size-capped frame of flushed operations from one machine.
+
+    ``ops`` is a tuple of ``(op_number, encoded op)`` pairs, all
+    originated by ``machine_id`` — semantically equivalent to one
+    :class:`OpMessage` per pair, but amortizing per-message overhead
+    (the batching lever of the pipelined synchronizer).  ``seq`` /
+    ``total`` number the frames of one flush so receivers and the
+    deterministic ``(machine_id, seq)`` arrival order are stable; the
+    consolidated list is still applied in global
+    ``(machineID, opnumber)`` order.
+    """
+
+    round_id: int
+    machine_id: str
+    seq: int
+    total: int
+    ops: tuple = field(hash=False)  # tuple[(op_number, payload dict), ...]

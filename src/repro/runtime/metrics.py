@@ -29,6 +29,10 @@ class SyncRecord:
     ops_committed: int = 0
     resends: int = 0
     removals: int = 0
+    #: stage-1 collection mode the round ran under
+    collection: str = "sequential"
+    #: True if collection began while an earlier round was still in flight
+    pipelined: bool = False
 
     @property
     def duration(self) -> float:
@@ -53,6 +57,8 @@ class NodeMetrics:
     deferred_issues: int = 0
     deferral_delay_total: float = 0.0
     restarts: int = 0
+    #: OpBatch frames broadcast by this machine's flushes and resends
+    op_batches_sent: int = 0
     executions: dict[OpKey, int] = field(default_factory=dict)
     commit_latency_total: float = 0.0  # issue -> completion, local ops only
     commit_latency_count: int = 0
@@ -120,6 +126,27 @@ class SystemMetrics:
 
     def recovered_rounds(self) -> list[SyncRecord]:
         return [record for record in self.sync_records if record.recovered]
+
+    def mean_sync_duration(self) -> float:
+        durations = self.sync_durations()
+        if not durations:
+            return 0.0
+        return sum(durations) / len(durations)
+
+    def commit_throughput(self) -> float:
+        """Committed operations per virtual second across all recorded
+        rounds (first round start to last round finish)."""
+        if not self.sync_records:
+            return 0.0
+        start = min(r.started_at for r in self.sync_records)
+        end = max(r.finished_at for r in self.sync_records)
+        committed = sum(r.ops_committed for r in self.sync_records)
+        if end <= start:
+            return 0.0
+        return committed / (end - start)
+
+    def total_op_batches(self) -> int:
+        return sum(m.op_batches_sent for m in self.node_metrics.values())
 
     def total_wal_records(self) -> int:
         return sum(m.storage.records_appended for m in self.node_metrics.values())

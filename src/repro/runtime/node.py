@@ -498,7 +498,7 @@ class GuesstimateNode(Host):
     def _on_op(self, envelope: Envelope) -> None:
         if self.state == GuesstimateNode.STATE_STOPPED:
             return
-        if isinstance(envelope.payload, msg.OpMessage):
+        if isinstance(envelope.payload, (msg.OpMessage, msg.OpBatch)):
             self.synchronizer.handle_op(envelope.payload)
 
     # -- master failover (section-9 extension) ----------------------------------------

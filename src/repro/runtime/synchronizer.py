@@ -4,12 +4,29 @@ Every node runs a :class:`Synchronizer`; the designated master node
 additionally runs a :class:`MasterControl` that initiates rounds,
 grants flush turns, watches for stalls and drives recovery.
 
-Stage 1 — **AddUpdatesToMesh** (serial).  The master grants each
-machine its turn; on its turn a machine flushes every pending operation
-as one :class:`~repro.runtime.messages.OpMessage` per operation (the
-paper's (machineID, opnumber, op) triples) followed by a
+Stage 1 — **AddUpdatesToMesh**.  Two collection modes
+(:class:`~repro.runtime.config.SyncConfig.collection`):
+
+* ``sequential`` — the paper's protocol: the master grants each
+  machine its turn (:class:`~repro.runtime.messages.YourTurn`) and
+  round latency grows linearly with the participant count;
+* ``concurrent`` — the master broadcasts one collect signal
+  (``StartSync(parallel=True)``) and every participant flushes at
+  once; arrivals are ordered deterministically by
+  ``(machine_id, seq)``, so the committed sequence is identical.
+
+In either mode a flush ships the pending list as size-capped
+:class:`~repro.runtime.messages.OpBatch` frames (``batch_max_ops``
+entries each) followed by a
 :class:`~repro.runtime.messages.FlushDone`.  No operations may be
 issued inside the flush window.
+
+**Round pipelining** (``SyncConfig.pipeline_depth > 1``): the master
+begins collecting round *k+1* while round *k*'s ``BeginApply``/acks
+are still in flight, keeping at most ``pipeline_depth`` rounds open.
+Every node applies rounds strictly in round-id order (a later round's
+consolidated list waits until every earlier known round has been
+applied), so pipelining changes latency, never the committed sequence.
 
 Stage 2 — **ApplyUpdatesFromMesh**.  The master broadcasts
 :class:`~repro.runtime.messages.BeginApply` with the authoritative
@@ -133,22 +150,35 @@ class Synchronizer:
         elif isinstance(payload, msg.ParticipantRemoved):
             self._on_participant_removed(payload)
         elif isinstance(payload, msg.Restart):
-            if payload.machine_id == node.machine_id:
+            # A Restart that crosses paths with our own in-flight Hello
+            # is stale: we already restarted and are waiting for the
+            # Welcome, so restarting again would only repeat recovery.
+            if (
+                payload.machine_id == node.machine_id
+                and node.state != node.STATE_JOINING
+            ):
                 node.restart()
         elif isinstance(payload, msg.Welcome):
             if payload.machine_id == node.machine_id:
                 node.load_welcome(payload)
 
-    def handle_op(self, payload: msg.OpMessage) -> None:
-        """Dispatch one operations-channel message."""
-        key = OpKey(payload.machine_id, payload.op_number)
+    def handle_op(self, payload: msg.OpMessage | msg.OpBatch) -> None:
+        """Dispatch one operations-channel message (single op or batch)."""
+        if isinstance(payload, msg.OpBatch):
+            items = [
+                (OpKey(payload.machine_id, op_number), op_payload)
+                for op_number, op_payload in payload.ops
+            ]
+        else:
+            items = [(OpKey(payload.machine_id, payload.op_number), payload.payload)]
         round_state = self.rounds.get(payload.round_id)
         if round_state is None:
-            self.op_buffer.setdefault(payload.round_id, {})[key] = payload.payload
+            buffered = self.op_buffer.setdefault(payload.round_id, {})
+            buffered.update(items)
             return
-        if key.machine_id in round_state.dropped:
+        if payload.machine_id in round_state.dropped:
             return
-        round_state.received[key] = payload.payload
+        round_state.received.update(items)
         self._try_apply(round_state)
 
     # -- stage 1: AddUpdatesToMesh ---------------------------------------------
@@ -182,23 +212,23 @@ class Synchronizer:
             entries = entries[: node.config.max_ops_per_flush]
             node.model.pending = overflow + node.model.pending
         stash = self.last_flush.setdefault(round_state.round_id, {})
+        encoded: list[tuple[int, dict]] = []
         for entry in entries:
             payload = encode_op(entry.op)
             stash[entry.key] = payload
             self.in_flight[entry.key] = entry
             round_state.received[entry.key] = payload  # self-delivery
-            node.ops_mesh.broadcast(
-                node.machine_id,
-                msg.OpMessage(
-                    round_state.round_id,
-                    entry.key.machine_id,
-                    entry.key.op_number,
-                    payload,
-                ),
-            )
+            encoded.append((entry.key.op_number, payload))
+        batches = self._broadcast_batches(round_state.round_id, encoded)
         round_state.flushed = True
         round_state.flush_count = len(entries)
-        node.trace(Tracer.FLUSH, round=round_state.round_id, count=len(entries))
+        node.metrics.op_batches_sent += batches
+        node.trace(
+            Tracer.FLUSH,
+            round=round_state.round_id,
+            count=len(entries),
+            batches=batches,
+        )
 
         def end_flush() -> None:
             node.exit_window("flush")
@@ -207,6 +237,28 @@ class Synchronizer:
             )
 
         node.scheduler.call_later(node.config.flush_cpu(len(entries)), end_flush)
+
+    def _broadcast_batches(
+        self, round_id: int, encoded: list[tuple[int, dict]]
+    ) -> int:
+        """Broadcast ``(op_number, payload)`` pairs as OpBatch frames.
+
+        Returns the number of frames sent.  An empty flush sends no
+        data frames at all — FlushDone alone carries the zero count.
+        """
+        if not encoded:
+            return 0
+        node = self.node
+        cap = node.config.sync.batch_max_ops
+        chunks = [encoded[i : i + cap] for i in range(0, len(encoded), cap)]
+        for seq, chunk in enumerate(chunks):
+            node.ops_mesh.broadcast(
+                node.machine_id,
+                msg.OpBatch(
+                    round_id, node.machine_id, seq, len(chunks), tuple(chunk)
+                ),
+            )
+        return len(chunks)
 
     # -- stage 2: ApplyUpdatesFromMesh -------------------------------------------
 
@@ -253,16 +305,52 @@ class Synchronizer:
         if not stash:
             return
         have = {OpKey(machine, number) for machine, number in request.have}
-        for key, payload in stash.items():
-            if key not in have:
-                self.node.ops_mesh.send(
+        missing = sorted(
+            ((key.op_number, payload) for key, payload in stash.items() if key not in have),
+            key=lambda pair: pair[0],
+        )
+        if not missing:
+            return
+        # Resends ride the same batched framing as the original flush.
+        cap = self.node.config.sync.batch_max_ops
+        chunks = [missing[i : i + cap] for i in range(0, len(missing), cap)]
+        for seq, chunk in enumerate(chunks):
+            self.node.ops_mesh.send(
+                self.node.machine_id,
+                request.machine_id,
+                msg.OpBatch(
+                    request.round_id,
                     self.node.machine_id,
-                    request.machine_id,
-                    msg.OpMessage(request.round_id, key.machine_id, key.op_number, payload),
-                )
+                    seq,
+                    len(chunks),
+                    tuple(chunk),
+                ),
+            )
+
+    def _earlier_round_open(self, round_state: RoundState) -> bool:
+        """True while an earlier known round has not been applied yet.
+
+        With pipelining, round *k+1*'s consolidated list can be fully
+        collected before round *k* finishes — committing it early would
+        reorder C, so apply strictly in round-id order.
+        """
+        return any(
+            round_id < round_state.round_id
+            and not (state.applied or state.done)
+            for round_id, state in self.rounds.items()
+        )
+
+    def _nudge_later_rounds(self, round_id: int) -> None:
+        """Re-check rounds blocked behind ``round_id`` (in order)."""
+        for later_id in sorted(self.rounds):
+            if later_id > round_id:
+                self._try_apply(self.rounds[later_id])
+                break  # _apply recurses if further rounds are ready
 
     def _try_apply(self, round_state: RoundState) -> None:
         if round_state.applied or round_state.done or not round_state.complete():
+            return
+        if self._earlier_round_open(round_state):
             return
         if round_state.missing_timer is not None:
             round_state.missing_timer.cancel()  # type: ignore[attr-defined]
@@ -340,6 +428,8 @@ class Synchronizer:
             self._update_guess(round_state, remote_touched)
 
         node.scheduler.call_later(node.config.apply_cpu(len(decoded)), ack_and_update)
+        # A pipelined later round may already be fully collected.
+        self._nudge_later_rounds(round_state.round_id)
 
     def _update_guess(
         self, round_state: RoundState, remote_touched: set[str] = frozenset()
@@ -381,6 +471,8 @@ class Synchronizer:
                 round_state.missing_timer.cancel()  # type: ignore[attr-defined]
         self.last_flush.pop(done.round_id, None)
         self.op_buffer.pop(done.round_id, None)
+        # Dropping an unapplied round can unblock a pipelined successor.
+        self._nudge_later_rounds(done.round_id)
 
     def _on_participant_removed(self, removed: msg.ParticipantRemoved) -> None:
         round_state = self.rounds.get(removed.round_id)
@@ -390,6 +482,7 @@ class Synchronizer:
             # We were removed while alive (our signals were lost); stop
             # participating — a Restart follows.
             round_state.done = True
+            self._nudge_later_rounds(round_state.round_id)
             return
         round_state.dropped.add(removed.machine_id)
         if removed.drop_ops:
@@ -427,13 +520,22 @@ class Synchronizer:
 
 
 class MasterControl:
-    """Master-side round management, membership and stall recovery."""
+    """Master-side round management, membership and stall recovery.
+
+    Rounds live in ``inflight`` keyed by round id.  Without pipelining
+    (``SyncConfig.pipeline_depth == 1``) at most one round is open at a
+    time, reproducing the paper's strictly phased protocol.  With depth
+    *d* the master opens collection for round *k+1* as soon as round
+    *k* reaches its apply stage, keeping at most *d* rounds in flight;
+    at most one round is ever in the flush stage, and rounds always
+    finish (``SyncComplete``) in round-id order.
+    """
 
     def __init__(self, node: "GuesstimateNode"):
         self.node = node
         self.participants: list[str] = [node.machine_id]
         self.round_counter = 0
-        self.current: _MasterRound | None = None
+        self.inflight: dict[int, _MasterRound] = {}
         self.join_queue: list[str] = []
         self.awaiting_ack: set[str] = set()
         self.awaiting_restart: set[str] = set()
@@ -445,6 +547,27 @@ class MasterControl:
         self._stopped = False
         self.running = False  # set once start() schedules the first round
 
+    # -- round bookkeeping -----------------------------------------------------------
+
+    @property
+    def current(self) -> "_MasterRound | None":
+        """The oldest in-flight round (None when the pipeline is idle)."""
+        if not self.inflight:
+            return None
+        return self.inflight[min(self.inflight)]
+
+    @property
+    def collecting(self) -> "_MasterRound | None":
+        """The round currently in its flush stage, if any (at most one)."""
+        for round_ in self.inflight.values():
+            if round_.stage == "flush":
+                return round_
+        return None
+
+    @property
+    def pipeline_depth(self) -> int:
+        return self.node.config.sync.pipeline_depth
+
     # -- round lifecycle -----------------------------------------------------------
 
     def start(self, delay: float | None = None) -> None:
@@ -453,6 +576,8 @@ class MasterControl:
             return
         self.running = True
         interval = self.node.config.sync_interval if delay is None else delay
+        if self._next_round_timer is not None:
+            self._next_round_timer.cancel()  # type: ignore[attr-defined]
         self._next_round_timer = self.node.scheduler.call_later(
             interval, self.start_round
         )
@@ -462,10 +587,33 @@ class MasterControl:
         if self._next_round_timer is not None:
             self._next_round_timer.cancel()  # type: ignore[attr-defined]
 
-    def start_round(self) -> None:
-        if self._stopped or self.current is not None:
+    def _schedule_next_round(self) -> None:
+        """Arm the next-round timer if the pipeline has room.
+
+        Joins are only processed on an idle pipeline (the paper
+        welcomes between rounds), so while joiners wait the pipeline is
+        drained rather than extended.
+        """
+        if self._stopped or not self.running:
             return
-        self._process_membership()
+        if self._next_round_timer is not None:
+            return
+        if self.collecting is not None or len(self.inflight) >= self.pipeline_depth:
+            return
+        if self.inflight and (self.join_queue or self.awaiting_ack):
+            return  # drain so the joiners can be welcomed
+        self._next_round_timer = self.node.scheduler.call_later(
+            self.node.config.sync_interval, self.start_round
+        )
+
+    def start_round(self) -> None:
+        self._next_round_timer = None
+        if self._stopped:
+            return
+        if self.collecting is not None or len(self.inflight) >= self.pipeline_depth:
+            return  # raced; the blocking round reschedules as it advances
+        if not self.inflight:
+            self._process_membership()
         if len(self.participants) < 1:  # pragma: no cover - master always present
             self.start()
             return
@@ -473,29 +621,31 @@ class MasterControl:
         order = tuple(self.participants)
         from repro.runtime.metrics import SyncRecord
 
-        parallel = self.node.config.parallel_flush
-        self.current = _MasterRound(
+        mode = self.node.config.collection_mode
+        concurrent = mode == "concurrent"
+        round_ = _MasterRound(
             round_id=self.round_counter,
             order=order,
-            parallel=parallel,
+            parallel=concurrent,
             record=SyncRecord(
                 round_id=self.round_counter,
                 started_at=self.node.scheduler.now(),
                 participants=len(order),
+                collection=mode,
+                pipelined=bool(self.inflight),
             ),
         )
+        self.inflight[self.round_counter] = round_
         self.node.trace(Tracer.SYNC_START, round=self.round_counter, users=len(order))
         self.node.broadcast_signal(
-            msg.StartSync(self.round_counter, order, parallel)
+            msg.StartSync(self.round_counter, order, concurrent)
         )
-        if not parallel:
-            self._grant_turn()
+        if not concurrent:
+            self._grant_turn(round_)
         self._arm_watchdog()
 
-    def _grant_turn(self) -> None:
+    def _grant_turn(self, round_: "_MasterRound") -> None:
         """Grant the flush turn to the next machine in order."""
-        round_ = self.current
-        assert round_ is not None
         while round_.turn_index < len(round_.order):
             machine_id = round_.order[round_.turn_index]
             if machine_id in round_.removed:
@@ -507,11 +657,9 @@ class MasterControl:
             else:
                 self.node.signals_mesh.send(self.node.machine_id, machine_id, turn)
             return
-        self._begin_apply()
+        self._begin_apply(round_)
 
-    def _begin_apply(self) -> None:
-        round_ = self.current
-        assert round_ is not None
+    def _begin_apply(self, round_: "_MasterRound") -> None:
         round_.stage = "apply"
         counts = tuple(sorted(round_.counts.items()))
         round_.record.ops_committed = sum(round_.counts.values())
@@ -519,6 +667,9 @@ class MasterControl:
             msg.BeginApply(round_.round_id, round_.order, counts)
         )
         self._progress()
+        # Pipelining: collection of the next round may overlap this
+        # round's apply/ack latency.
+        self._schedule_next_round()
 
     # -- signal handling (master consumes these) -------------------------------------
 
@@ -535,8 +686,8 @@ class MasterControl:
             self._on_goodbye(payload)
 
     def _on_flush_done(self, done: msg.FlushDone) -> None:
-        round_ = self.current
-        if round_ is None or done.round_id != round_.round_id:
+        round_ = self.inflight.get(done.round_id)
+        if round_ is None:
             return
         if done.machine_id in round_.counts or done.machine_id in round_.removed:
             return
@@ -547,42 +698,46 @@ class MasterControl:
         if round_.parallel:
             expected = set(round_.order) - round_.removed
             if expected <= set(round_.counts):
-                self._begin_apply()
+                self._begin_apply(round_)
         elif (
             round_.turn_index < len(round_.order)
             and round_.order[round_.turn_index] == done.machine_id
         ):
             round_.turn_index += 1
-            self._grant_turn()
+            self._grant_turn(round_)
 
     def _on_apply_ack(self, ack: msg.ApplyAck) -> None:
-        round_ = self.current
-        if round_ is None or ack.round_id != round_.round_id:
+        round_ = self.inflight.get(ack.round_id)
+        if round_ is None:
             return
         round_.acks.add(ack.machine_id)
         self._progress()
         self._maybe_finish()
 
     def _maybe_finish(self) -> None:
-        round_ = self.current
-        if round_ is None:
+        """Finish every fully-acked round, strictly in round-id order."""
+        finished = False
+        while self.inflight:
+            round_ = self.inflight[min(self.inflight)]
+            expected = set(round_.order) - round_.removed
+            if round_.stage != "apply" or not expected <= round_.acks:
+                break
+            round_.record.finished_at = self.node.scheduler.now()
+            self.node.metrics_system.sync_records.append(round_.record)
+            self.node.trace(
+                Tracer.SYNC_DONE,
+                round=round_.round_id,
+                duration=round(round_.record.duration, 4),
+            )
+            self.node.broadcast_signal(msg.SyncComplete(round_.round_id))
+            del self.inflight[round_.round_id]
+            finished = True
+        if not finished:
             return
-        expected = set(round_.order) - round_.removed
-        if round_.stage != "apply" or not expected <= round_.acks:
-            return
-        round_.record.finished_at = self.node.scheduler.now()
-        self.node.metrics_system.sync_records.append(round_.record)
-        self.node.trace(
-            Tracer.SYNC_DONE,
-            round=round_.round_id,
-            duration=round(round_.record.duration, 4),
-        )
-        self.node.broadcast_signal(msg.SyncComplete(round_.round_id))
-        self.current = None
         self._nudge_restarts()
-        if self.awaiting_ack:
+        if self.awaiting_ack and not self.inflight:
             self._process_membership()  # re-welcome unacked joiners
-        self.start()
+        self._schedule_next_round()
 
     # -- membership ---------------------------------------------------------------------
 
@@ -596,15 +751,11 @@ class MasterControl:
             # A standing participant saying Hello has rebooted out from
             # under us (silent crash, quick recovery): its old standing
             # is stale, so fold it back in through the join path.
-            round_ = self.current
-            if round_ is not None and hello.machine_id in set(round_.order):
-                self._remove_from_round(hello.machine_id, restart=False)
-            if hello.machine_id in self.participants:
-                self.participants.remove(hello.machine_id)
+            self._remove_machine(hello.machine_id, restart=False)
         if hello.machine_id not in self.join_queue:
             self.join_queue.append(hello.machine_id)
         # A join between rounds can be processed immediately.
-        if self.current is None:
+        if not self.inflight:
             self._process_membership()
 
     def _on_welcome_ack(self, ack: msg.WelcomeAck) -> None:
@@ -619,10 +770,9 @@ class MasterControl:
         if goodbye.machine_id in self.participants:
             self.participants.remove(goodbye.machine_id)
             self.node.trace(Tracer.MEMBERSHIP, left=goodbye.machine_id)
-        round_ = self.current
-        if round_ is not None and goodbye.machine_id in set(round_.order):
-            # Treat a mid-round departure like a stage-appropriate removal.
-            self._remove_from_round(goodbye.machine_id, restart=False)
+        # Treat a mid-round departure like a stage-appropriate removal
+        # in every in-flight round.
+        self._remove_machine(goodbye.machine_id, restart=False)
 
     def _process_membership(self) -> None:
         """Welcome queued joiners (between rounds, as the paper does).
@@ -686,8 +836,7 @@ class MasterControl:
         self._arm_watchdog()
 
     def _arm_watchdog(self) -> None:
-        round_ = self.current
-        if round_ is None or self._stopped:
+        if not self.inflight or self._stopped:
             return
         seq = self._progress_seq
         self.node.scheduler.call_later(
@@ -695,33 +844,35 @@ class MasterControl:
         )
 
     def _watchdog(self, seq: int) -> None:
-        round_ = self.current
-        if round_ is None or self._stopped or seq != self._progress_seq:
+        if self._stopped or seq != self._progress_seq or not self.inflight:
             return
-        if round_.stage == "flush":
-            if round_.parallel:
-                expected = set(round_.order) - round_.removed
-                for stalled in sorted(expected - set(round_.counts)):
-                    if self.current is not round_:
-                        break
-                    self._handle_stall(stalled, stage="flush")
+        for round_id in sorted(self.inflight):
+            round_ = self.inflight.get(round_id)
+            if round_ is None:
+                continue  # finished while we handled an earlier round
+            if round_.stage == "flush":
+                if round_.parallel:
+                    expected = set(round_.order) - round_.removed
+                    for stalled in sorted(expected - set(round_.counts)):
+                        if round_.stage != "flush":
+                            break  # a removal completed the flush stage
+                        self._handle_stall(round_, stalled, stage="flush")
+                elif round_.turn_index < len(round_.order):
+                    stalled = round_.order[round_.turn_index]
+                    self._handle_stall(round_, stalled, stage="flush")
             else:
-                stalled = round_.order[round_.turn_index]
-                self._handle_stall(stalled, stage="flush")
-        else:
-            expected = set(round_.order) - round_.removed
-            for stalled in sorted(expected - round_.acks):
-                if self.current is not round_:
-                    break  # the round finished while we were removing
-                self._handle_stall(stalled, stage="apply")
-            self._maybe_finish()
-        if self.current is not None:
+                expected = set(round_.order) - round_.removed
+                for stalled in sorted(expected - round_.acks):
+                    if round_id not in self.inflight:
+                        break  # the round finished while we were removing
+                    self._handle_stall(round_, stalled, stage="apply")
+        self._maybe_finish()
+        if self.inflight:
             self._progress()  # restart the clock after acting
 
-    def _handle_stall(self, machine_id: str, stage: str) -> None:
-        round_ = self.current
-        if round_ is None:
-            return
+    def _handle_stall(
+        self, round_: "_MasterRound", machine_id: str, stage: str
+    ) -> None:
         strikes = round_.strikes.get(machine_id, 0) + 1
         round_.strikes[machine_id] = strikes
         self.node.trace(
@@ -741,42 +892,53 @@ class MasterControl:
                 self.node.signals_mesh.send(self.node.machine_id, machine_id, begin)
         else:
             round_.record.removals += 1
-            self._remove_from_round(machine_id, restart=True)
+            self._remove_machine(machine_id, restart=True)
 
-    def _remove_from_round(self, machine_id: str, restart: bool) -> None:
-        round_ = self.current
-        assert round_ is not None
-        if machine_id in round_.removed:
-            return
-        round_.removed.add(machine_id)
+    def _remove_machine(self, machine_id: str, restart: bool) -> None:
+        """Remove a machine from the participant list and from *every*
+        in-flight round (a removed machine must re-join; it cannot keep
+        participating in later pipelined rounds)."""
         if machine_id in self.participants:
             self.participants.remove(machine_id)
-        drop_ops = machine_id not in round_.counts
-        round_.counts.pop(machine_id, None)
-        self.node.broadcast_signal(
-            msg.ParticipantRemoved(round_.round_id, machine_id, drop_ops)
-        )
         if restart:
             self.awaiting_restart.add(machine_id)
             if self.node.signals_mesh.is_member(machine_id):
                 self.node.signals_mesh.send(
                     self.node.machine_id, machine_id, msg.Restart(machine_id)
                 )
+        for round_id in sorted(self.inflight):
+            round_ = self.inflight.get(round_id)
+            if round_ is not None:
+                self._remove_from_round(round_, machine_id)
+        self._maybe_finish()
+
+    def _remove_from_round(
+        self, round_: "_MasterRound", machine_id: str
+    ) -> None:
+        if machine_id in round_.removed or machine_id not in set(round_.order):
+            return
+        round_.removed.add(machine_id)
+        drop_ops = machine_id not in round_.counts
+        round_.counts.pop(machine_id, None)
+        self.node.broadcast_signal(
+            msg.ParticipantRemoved(round_.round_id, machine_id, drop_ops)
+        )
         if round_.stage == "flush":
             if round_.parallel:
                 expected = set(round_.order) - round_.removed
                 if expected <= set(round_.counts):
-                    self._begin_apply()
-            elif round_.order[round_.turn_index] == machine_id:
+                    self._begin_apply(round_)
+            elif (
+                round_.turn_index < len(round_.order)
+                and round_.order[round_.turn_index] == machine_id
+            ):
                 round_.turn_index += 1
-                self._grant_turn()
-        else:
-            self._maybe_finish()
+                self._grant_turn(round_)
 
 
 @dataclass
 class _MasterRound:
-    """Master-side bookkeeping for the in-flight round."""
+    """Master-side bookkeeping for one in-flight round."""
 
     round_id: int
     order: tuple[str, ...]

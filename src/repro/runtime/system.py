@@ -146,10 +146,21 @@ class DistributedSystem:
     # -- correctness probes ------------------------------------------------------------
 
     def quiesced(self) -> bool:
-        """No pending work anywhere and no round in flight."""
+        """No pending work anywhere and no operations in flight.
+
+        Empty in-flight rounds do not count as work: with pipelining the
+        master can cycle op-less control rounds back to back without the
+        pipeline ever going idle, yet every issued operation has long
+        since committed everywhere.  A round carrying operations (its
+        collected counts are nonzero) still blocks quiescence; rounds
+        whose ops are mid-flush are caught by the per-node checks below.
+        """
         master = self.master_node.master
-        if master is None or master.current is not None:  # pragma: no cover
+        if master is None:  # pragma: no cover
             return False
+        for round_ in master.inflight.values():
+            if round_.stage != "flush" and sum(round_.counts.values()) > 0:
+                return False
         if master.join_queue or master.awaiting_ack:
             return False
         if any(

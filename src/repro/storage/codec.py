@@ -161,3 +161,11 @@ register_wire_type(msg.Goodbye)
 register_wire_type(msg.ParticipantRemoved)
 register_wire_type(msg.Restart)
 register_wire_type(msg.OpMessage)
+
+
+def _batch_ops(value: list) -> tuple[tuple, ...]:
+    """OpBatch.ops: JSON lists back to ((op_number, payload), ...)."""
+    return tuple((op_number, payload) for op_number, payload in value)
+
+
+register_wire_type(msg.OpBatch, ops=_batch_ops)

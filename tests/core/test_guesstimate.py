@@ -104,7 +104,10 @@ class TestIssue:
         api = make_api()
         counter = api.create_instance(Counter)
         op = api.create_operation(counter, "increment", 5)
-        assert api.issue_operation(op) is True
+        ticket = api.issue_operation(op)
+        assert isinstance(ticket, IssueTicket)
+        assert ticket  # truthy once issued
+        assert ticket.status == IssueTicket.ISSUED
         assert counter.value == 1
         assert len(api.model.pending) == 2  # create + increment
 
@@ -112,7 +115,11 @@ class TestIssue:
         api = make_api()
         counter = api.create_instance(Counter, init_state={"value": 5})
         op = api.create_operation(counter, "increment", 5)
-        assert api.issue_operation(op) is False
+        ticket = api.issue_operation(op)
+        assert isinstance(ticket, IssueTicket)
+        assert not ticket
+        assert ticket.status == IssueTicket.REJECTED
+        assert ticket.done
         assert len(api.model.pending) == 1  # only the create
 
     def test_issue_notifies_host(self):
@@ -208,6 +215,95 @@ class TestIssueWhenPossible:
         assert ticket.commit_result is True
         assert seen == [True]
         assert ticket.done
+
+
+class TestInvoke:
+    def test_invoke_builds_and_issues_in_one_step(self):
+        api = make_api()
+        counter = api.create_instance(Counter)
+        ticket = api.invoke(counter, "increment", 5)
+        assert isinstance(ticket, IssueTicket)
+        assert ticket.status == IssueTicket.ISSUED
+        assert counter.value == 1
+        assert api.model.pending[-1].op.kind == "primitive"
+
+    def test_invoke_accepts_uid_string(self):
+        api = make_api()
+        counter = api.create_instance(Counter)
+        ticket = api.invoke(counter.unique_id, "increment", 5)
+        assert ticket.status == IssueTicket.ISSUED
+
+    def test_invoke_rejected_on_guess_failure(self):
+        api = make_api()
+        counter = api.create_instance(Counter, init_state={"value": 5})
+        ticket = api.invoke(counter, "increment", 5)
+        assert ticket.status == IssueTicket.REJECTED
+        assert ticket.done
+
+    def test_invoke_unknown_method_raises(self):
+        api = make_api()
+        counter = api.create_instance(Counter)
+        with pytest.raises(UnknownMethodError):
+            api.invoke(counter, "no_such_method")
+
+    def test_invoke_atomic_with_single_op(self):
+        api = make_api()
+        counter = api.create_instance(Counter)
+        extra = api.create_operation(counter, "increment", 5)
+        ticket = api.invoke(counter, "increment", 5, atomic_with=extra)
+        assert ticket.status == IssueTicket.ISSUED
+        issued = api.model.pending[-1].op
+        assert issued.kind == "atomic"
+        # The freshly built op leads the block, extras follow.
+        assert issued.children[1] is extra
+        assert counter.value == 2
+
+    def test_invoke_atomic_with_sequence(self):
+        api = make_api()
+        counter = api.create_instance(Counter)
+        extras = [
+            api.create_operation(counter, "increment", 5),
+            api.create_operation(counter, "increment", 5),
+        ]
+        ticket = api.invoke(counter, "increment", 5, atomic_with=extras)
+        assert ticket.status == IssueTicket.ISSUED
+        assert len(api.model.pending[-1].op.children) == 3
+        assert counter.value == 3
+
+    def test_invoke_defers_inside_window(self):
+        class ToggleWindow(Host):
+            def __init__(self):
+                self.window = None
+                self.deferred = []
+
+            def now(self):
+                return 0.0
+
+            def active_window(self):
+                return self.window
+
+            def defer(self, fn):
+                self.deferred.append(fn)
+
+        host = ToggleWindow()
+        api = Guesstimate(MachineModel("m01"), host)
+        counter = api.create_instance(Counter)
+        host.window = "flush"
+        ticket = api.invoke(counter, "increment", 5)
+        assert ticket.status == IssueTicket.PENDING
+        host.window = None
+        for fn in host.deferred:
+            fn()
+        assert ticket.status == IssueTicket.ISSUED
+
+    def test_invoke_completion_rides_to_commit(self):
+        api = make_api()
+        counter = api.create_instance(Counter)
+        seen = []
+        ticket = api.invoke(counter, "increment", 5, completion=seen.append)
+        api.model.pending[-1].completion(True)
+        assert seen == [True]
+        assert ticket.status == IssueTicket.COMMITTED
 
 
 class TestReads:

@@ -33,6 +33,7 @@ class TestCli:
             "specreport",
             "appsizes",
             "scaling",
+            "syncscale",
             "durability",
         }
 

@@ -96,6 +96,14 @@ MESSAGE_STRATEGIES = {
     "OpMessage": st.builds(
         messages.OpMessage, round_ids, machine_ids, op_numbers, payloads
     ),
+    "OpBatch": st.builds(
+        messages.OpBatch,
+        round_ids,
+        machine_ids,
+        st.integers(0, 100),
+        st.integers(1, 100),
+        st.lists(st.tuples(op_numbers, payloads), max_size=5).map(tuple),
+    ),
 }
 
 any_message = st.one_of(*MESSAGE_STRATEGIES.values())

@@ -5,14 +5,21 @@ import pytest
 
 from repro.errors import NodeCrashedError
 from repro.net.faults import CrashPlan, ScheduledFaults
-from repro.runtime.config import RuntimeConfig
+from repro.runtime.config import RuntimeConfig, SyncConfig
 from repro.runtime.system import DistributedSystem
 from tests.helpers import Counter, quick_system, shared_counter
 
 
 class TestParallelFlush:
     def make(self, n, parallel):
-        config = RuntimeConfig(sync_interval=0.5, parallel_flush=parallel)
+        # Pinned mode: this class compares serial vs concurrent flush,
+        # so the ambient GUESSTIMATE_COLLECTION default must not apply.
+        config = RuntimeConfig(
+            sync_interval=0.5,
+            sync=SyncConfig(
+                collection="concurrent" if parallel else "sequential"
+            ),
+        )
         system = DistributedSystem(n_machines=n, seed=3, config=config)
         system.start(first_sync_delay=0.1)
         return system

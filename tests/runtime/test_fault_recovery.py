@@ -1,16 +1,21 @@
 """Fault recovery: lost signals, crashed machines, restarts."""
 
 from repro.net.faults import CrashPlan, DropPlan, ScheduledFaults
+from repro.runtime.config import SyncConfig
 from tests.helpers import Counter, quick_system, shared_counter
 
 
-def faulty_system(drops=(), crashes=(), n=3, stall_timeout=2.0):
+def faulty_system(drops=(), crashes=(), n=3, stall_timeout=2.0, **kwargs):
     faults = ScheduledFaults(drops=list(drops), crashes=list(crashes))
-    return quick_system(n, faults=faults, stall_timeout=stall_timeout), faults
+    return (
+        quick_system(n, faults=faults, stall_timeout=stall_timeout, **kwargs),
+        faults,
+    )
 
 
 class TestLostSignalRecovery:
     def test_lost_your_turn_healed_by_resend(self):
+        # YourTurn grants only exist under sequential token passing.
         system, _faults = faulty_system(
             drops=[
                 DropPlan(
@@ -21,7 +26,8 @@ class TestLostSignalRecovery:
                     recipient="m02",
                     max_drops=1,
                 )
-            ]
+            ],
+            sync=SyncConfig(collection="sequential"),
         )
         system.run_for(15.0)
         recovered = [r for r in system.metrics.sync_records if r.resends]

@@ -11,11 +11,15 @@ from tests.helpers import Counter, quick_system, shared_counter
 
 
 def run_traced_session(parallel=False, users=3):
-    from repro.runtime.config import RuntimeConfig
+    from repro.runtime.config import RuntimeConfig, SyncConfig
     from repro.runtime.system import DistributedSystem
 
+    # Pin the collection mode: these tests assert mode-specific stage
+    # ordering and must not follow the GUESSTIMATE_COLLECTION default.
     config = RuntimeConfig(
-        sync_interval=0.5, tracing=True, parallel_flush=parallel
+        sync_interval=0.5,
+        tracing=True,
+        sync=SyncConfig(collection="concurrent" if parallel else "sequential"),
     )
     system = DistributedSystem(n_machines=users, seed=8, config=config)
     system.start(first_sync_delay=0.1)

@@ -1,0 +1,249 @@
+"""End-to-end tests for the pipelined batch synchronizer + ticket API.
+
+Every scenario here runs under BOTH collection modes (sequential
+token-passing and concurrent flush) — the redesign's contract is that
+collection mode changes latency, never semantics: tickets resolve the
+same way, the committed sequence is identical, and all paper
+invariants hold.
+"""
+
+import pytest
+
+from repro.core.guesstimate import IssueTicket
+from repro.runtime.config import SyncConfig
+from tests.helpers import Counter, Register, quick_system, shared_counter
+
+BOTH_MODES = pytest.mark.parametrize("mode", ["sequential", "concurrent"])
+
+
+def mode_system(mode, n=3, seed=0, **kwargs):
+    sync = kwargs.pop("sync", None) or SyncConfig(collection=mode)
+    return quick_system(n=n, seed=seed, sync=sync, **kwargs)
+
+
+class TestTicketResolution:
+    @BOTH_MODES
+    def test_committed_op_resolves_ticket(self, mode):
+        system = mode_system(mode)
+        replicas, _uid = shared_counter(system)
+        api = system.api("m02")
+        ticket = api.invoke(replicas["m02"], "increment", 10)
+        assert ticket.status == IssueTicket.ISSUED
+        assert ticket and not ticket.done
+        system.run_until_quiesced()
+        assert ticket.status == IssueTicket.COMMITTED
+        assert ticket.commit_result is True
+        assert ticket.done
+        system.check_all_invariants()
+
+    @BOTH_MODES
+    def test_locally_rejected_op_resolves_immediately(self, mode):
+        system = mode_system(mode)
+        replicas, _uid = shared_counter(system)
+        # limit 0 fails on the guesstimated state right away.
+        ticket = system.api("m02").invoke(replicas["m02"], "increment", 0)
+        assert ticket.status == IssueTicket.REJECTED
+        assert not ticket
+        assert ticket.done and ticket.commit_result is None
+
+    @BOTH_MODES
+    def test_conflicting_op_commits_false_for_loser(self, mode):
+        system = mode_system(mode)
+        apis = system.apis()
+        register = apis[0].create_instance(Register)
+        system.run_until_quiesced()
+        rep_a = apis[0].join_instance(register.unique_id)
+        rep_b = apis[1].join_instance(register.unique_id)
+        # Both CAS from 0; each succeeds on its own guesstimate, but the
+        # global order lets only one through.
+        ticket_a = apis[0].invoke(rep_a, "set_if", 0, 111)
+        ticket_b = apis[1].invoke(rep_b, "set_if", 0, 222)
+        assert ticket_a and ticket_b  # both issued locally
+        system.run_until_quiesced()
+        results = sorted([ticket_a.commit_result, ticket_b.commit_result])
+        assert results == [False, True]
+        assert ticket_a.done and ticket_b.done
+        assert rep_a.value == rep_b.value
+        system.check_all_invariants()
+
+    @BOTH_MODES
+    def test_atomic_ticket_all_or_nothing(self, mode):
+        system = mode_system(mode)
+        replicas, _uid = shared_counter(system)
+        api = system.api("m03")
+        extra = api.create_operation(replicas["m03"], "increment", 10)
+        ticket = api.invoke(
+            replicas["m03"], "increment", 10, atomic_with=extra
+        )
+        system.run_until_quiesced()
+        assert ticket.status == IssueTicket.COMMITTED
+        assert ticket.commit_result is True
+        assert all(rep.value == 2 for rep in replicas.values())
+        system.check_all_invariants()
+
+    @BOTH_MODES
+    def test_atomic_conflict_rolls_back_whole_block(self, mode):
+        system = mode_system(mode)
+        apis = system.apis()
+        register = apis[0].create_instance(Register)
+        system.run_until_quiesced()
+        rep_a = apis[0].join_instance(register.unique_id)
+        rep_b = apis[1].join_instance(register.unique_id)
+        winner = apis[0].invoke(rep_a, "set_if", 0, 111)
+        # Loser's atomic pairs a CAS that will fail at commit with an
+        # always-true write — neither may land.
+        extra = apis[1].create_operation(rep_b, "always_set", 999)
+        loser = apis[1].invoke(rep_b, "set_if", 0, 222, atomic_with=extra)
+        assert winner and loser
+        system.run_until_quiesced()
+        assert winner.commit_result is True
+        assert loser.commit_result is False
+        assert all(api.join_instance(register.unique_id).value == 111
+                   for api in apis)
+        system.check_all_invariants()
+
+    @BOTH_MODES
+    def test_or_else_ticket_takes_fallback(self, mode):
+        system = mode_system(mode)
+        apis = system.apis()
+        register = apis[0].create_instance(Register)
+        system.run_until_quiesced()
+        rep = apis[1].join_instance(register.unique_id)
+        api = apis[1]
+        primary = api.create_operation(rep, "set_if", 5, 50)  # fails: value 0
+        fallback = api.create_operation(rep, "set_if", 0, 40)
+        ticket = api.issue_when_possible(api.create_or_else(primary, fallback))
+        assert isinstance(ticket, IssueTicket)
+        assert ticket.status == IssueTicket.ISSUED
+        assert rep.value == 40  # fallback ran on the guesstimate
+        system.run_until_quiesced()
+        assert ticket.commit_result is True
+        assert all(api.join_instance(register.unique_id).value == 40
+                   for api in apis)
+        system.check_all_invariants()
+
+    @BOTH_MODES
+    def test_completion_fires_exactly_once_per_op(self, mode):
+        system = mode_system(mode)
+        replicas, _uid = shared_counter(system)
+        seen: list[bool] = []
+        tickets = [
+            system.api("m01").invoke(
+                replicas["m01"], "increment", 100, completion=seen.append
+            )
+            for _ in range(5)
+        ]
+        system.run_until_quiesced()
+        assert seen == [True] * 5
+        assert all(t.status == IssueTicket.COMMITTED for t in tickets)
+
+
+class TestOpBatching:
+    @BOTH_MODES
+    def test_burst_splits_into_capped_batches(self, mode):
+        system = mode_system(
+            mode, sync=SyncConfig(collection=mode, batch_max_ops=2)
+        )
+        replicas, _uid = shared_counter(system)
+        tickets = [
+            system.api("m02").invoke(replicas["m02"], "increment", 100)
+            for _ in range(9)
+        ]
+        system.run_until_quiesced()
+        assert all(t.commit_result is True for t in tickets)
+        assert all(rep.value == 9 for rep in replicas.values())
+        # 9 pending entries with cap 2 cannot ride in fewer than 5 frames.
+        assert system.metrics.node_metrics["m02"].op_batches_sent >= 5
+        payloads = system.meshes.operations.stats.payload_counts
+        assert payloads.get("OpBatch", 0) >= 5
+        assert payloads.get("OpMessage", 0) == 0  # batching owns the mesh
+        system.check_all_invariants()
+
+    @BOTH_MODES
+    def test_empty_flush_sends_no_batches(self, mode):
+        system = mode_system(mode)
+        system.run_for(3.0)  # several idle rounds
+        payloads = system.meshes.operations.stats.payload_counts
+        assert payloads.get("OpBatch", 0) == 0
+        assert len(system.metrics.sync_records) >= 2
+
+
+class TestPipelining:
+    def _busy_system(self, depth, seed=7):
+        from repro.net.latency import lan_profile
+
+        # A saturated regime: the sync interval is shorter than a
+        # round's apply/ack latency, so with depth > 1 the master can
+        # open round k+1 while round k's acks are still in flight.
+        system = mode_system(
+            "concurrent",
+            seed=seed,
+            sync_interval=0.05,
+            latency=lan_profile(scale=5.0),
+            sync=SyncConfig(collection="concurrent", pipeline_depth=depth),
+        )
+        replicas, uid = shared_counter(system)
+        # Keep every machine issuing so consecutive rounds have traffic.
+        def tick(machine_id):
+            system.api(machine_id).invoke(
+                replicas[machine_id], "increment", 10**6
+            )
+            if system.loop.now() < 12.0:
+                system.loop.call_later(0.15, lambda: tick(machine_id))
+        for machine_id in system.machine_ids():
+            tick(machine_id)
+        system.run_for(12.0)
+        system.run_until_quiesced()
+        return system, replicas, uid
+
+    def test_depth_two_overlaps_rounds(self):
+        system, replicas, _uid = self._busy_system(depth=2)
+        records = system.metrics.sync_records
+        assert any(r.pipelined for r in records)
+        assert all(r.collection == "concurrent" for r in records)
+        # Pipelining must not reorder commits: rounds finish in id order.
+        finished = [r.round_id for r in records]
+        assert finished == sorted(finished)
+        values = {rep.value for rep in replicas.values()}
+        assert len(values) == 1
+        system.check_all_invariants()
+
+    def test_depth_one_never_pipelines(self):
+        system, _replicas, _uid = self._busy_system(depth=1)
+        assert not any(r.pipelined for r in system.metrics.sync_records)
+        system.check_all_invariants()
+
+    def test_pipelined_tickets_resolve_in_issue_order(self):
+        system, replicas, _uid = self._busy_system(depth=3, seed=11)
+        order: list[int] = []
+        tickets = [
+            system.api("m01").invoke(
+                replicas["m01"], "increment", 10**6,
+                completion=lambda _ok, i=i: order.append(i),
+            )
+            for i in range(6)
+        ]
+        system.run_until_quiesced()
+        assert all(t.commit_result is True for t in tickets)
+        assert order == sorted(order)
+        system.check_all_invariants()
+
+
+class TestModeConfigResolution:
+    def test_sync_records_tag_collection_mode(self):
+        for mode in ("sequential", "concurrent"):
+            system = mode_system(mode, n=2, seed=3)
+            system.run_for(2.0)
+            records = system.metrics.sync_records
+            assert records and all(r.collection == mode for r in records)
+
+    def test_env_var_sets_default_mode(self, monkeypatch):
+        from repro.runtime.config import COLLECTION_ENV_VAR, RuntimeConfig
+
+        monkeypatch.setenv(COLLECTION_ENV_VAR, "concurrent")
+        assert RuntimeConfig().collection_mode == "concurrent"
+        monkeypatch.setenv(COLLECTION_ENV_VAR, "sequential")
+        assert RuntimeConfig().collection_mode == "sequential"
+        # An explicit SyncConfig always beats the environment.
+        pinned = RuntimeConfig(sync=SyncConfig(collection="concurrent"))
+        assert pinned.collection_mode == "concurrent"

@@ -57,3 +57,16 @@ class TestReadmeSnippets:
         readme = (REPO_ROOT / "README.md").read_text()
         for flag in re.findall(r"RuntimeConfig\((\w+)=", readme):
             assert hasattr(RuntimeConfig(), flag)
+
+
+class TestExampleScripts:
+    def test_quickstart_example_runs(self, capsys):
+        """The first script a new user runs must work end to end."""
+        import runpy
+
+        runpy.run_path(
+            str(REPO_ROOT / "examples" / "quickstart.py"),
+            run_name="__main__",
+        )
+        out = capsys.readouterr().out
+        assert "invariants OK" in out
