@@ -8,6 +8,10 @@ Installed as ``guesstimate-bench``::
 
 ``--quick`` trims durations so the full suite finishes in well under a
 minute; the full runs match the paper's hour-long session.
+
+The companion ``simfuzz`` entry point (:mod:`repro.simtest.cli`) drives
+the deterministic simulation fuzzer — randomized fault scenarios with
+seed replay and trace shrinking; see ``docs/TESTING.md``.
 """
 
 from __future__ import annotations

@@ -58,6 +58,10 @@ class MachineModel:
     completed: list[CompletedEntry] = field(default_factory=list)
     pending: list[PendingEntry] = field(default_factory=list)
     _op_counter: int = 0
+    #: highest committed op number seen per machine — survives C being
+    #: truncated to a suffix, so the master can tell a rejoining machine
+    #: the numbering floor it must not reuse (Welcome.op_floor)
+    op_high_water: dict[str, int] = field(default_factory=dict, compare=False)
 
     # -- operation numbering ---------------------------------------------------
 
@@ -87,6 +91,8 @@ class MachineModel:
 
     def record_completed(self, entry: CompletedEntry) -> None:
         self.completed.append(entry)
+        if entry.key.op_number > self.op_high_water.get(entry.key.machine_id, 0):
+            self.op_high_water[entry.key.machine_id] = entry.key.op_number
 
     @property
     def completed_count(self) -> int:

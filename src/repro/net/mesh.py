@@ -16,9 +16,15 @@ from typing import Callable
 from repro.errors import NotInMeshError
 from repro.net.faults import FaultInjector, NoFaults
 from repro.net.latency import ConstantLatency, LatencyModel
+from repro.sim.rand import seeded_stream
 from repro.sim.scheduler import Scheduler
 
 Handler = Callable[["Envelope"], None]
+
+#: Observer callback: ``(event, info)`` where event is one of
+#: ``"deliver"``, ``"drop"`` or ``"undeliverable"``.  The simulation
+#: fuzzer's trace recorder hooks these to log every mesh decision.
+MeshObserver = Callable[[str, dict], None]
 
 
 @dataclass(frozen=True)
@@ -67,9 +73,17 @@ class Mesh:
         self.scheduler = scheduler
         self.latency = latency if latency is not None else ConstantLatency(0.0)
         self.faults = faults if faults is not None else NoFaults()
-        self.rng = rng if rng is not None else random.Random(0)
+        # The fallback stream is derived from the mesh name so two
+        # meshes never share a default sequence and replay from a seed
+        # stays bit-identical (see repro.sim.rand).
+        self.rng = rng if rng is not None else seeded_stream(f"mesh:{name}")
         self.stats = MeshStats()
+        self.observers: list[MeshObserver] = []
         self._members: dict[str, Handler] = {}
+
+    def _notify(self, event: str, **info) -> None:
+        for observer in self.observers:
+            observer(event, info)
 
     # -- membership ----------------------------------------------------------
 
@@ -140,6 +154,14 @@ class Mesh:
         self.stats.count_payload(payload)
         if self.faults.should_drop(now, self.name, sender, recipient, self.rng, payload):
             self.stats.dropped += 1
+            self._notify(
+                "drop",
+                channel=self.name,
+                sender=sender,
+                recipient=recipient,
+                payload=type(payload).__name__,
+                at=now,
+            )
             return
         delay = self.latency.sample(self.rng)
 
@@ -148,8 +170,24 @@ class Mesh:
             delivered_at = self.scheduler.now()
             if handler is None or self.faults.is_crashed(delivered_at, recipient):
                 self.stats.undeliverable += 1
+                self._notify(
+                    "undeliverable",
+                    channel=self.name,
+                    sender=sender,
+                    recipient=recipient,
+                    payload=type(payload).__name__,
+                    at=delivered_at,
+                )
                 return
             self.stats.deliveries += 1
+            self._notify(
+                "deliver",
+                channel=self.name,
+                sender=sender,
+                recipient=recipient,
+                payload=type(payload).__name__,
+                at=delivered_at,
+            )
             handler(
                 Envelope(
                     channel=self.name,

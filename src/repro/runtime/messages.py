@@ -161,6 +161,10 @@ class Welcome:
     completed_count: int = 0
     backlog_from: int | None = None
     backlog: tuple = field(default=(), hash=False)
+    #: highest op number the joiner has ever had committed — it must
+    #: resume numbering above this or reuse keys (a crash can wipe the
+    #: joiner's counter while its last flush commits cluster-side)
+    op_floor: int = 0
 
 
 @dataclass(frozen=True)

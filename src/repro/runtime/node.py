@@ -319,13 +319,10 @@ class GuesstimateNode(Host):
         """
         if self.state != GuesstimateNode.STATE_JOINING:
             if self.state == GuesstimateNode.STATE_ACTIVE:
-                # Duplicate Welcome: our earlier ack was lost; re-ack so
-                # the master stops re-welcoming us.
-                self.signals_mesh.send(
-                    self.machine_id,
-                    welcome.master_id,
-                    msg.WelcomeAck(self.machine_id),
-                )
+                # Duplicate or superseding Welcome: our earlier ack was
+                # lost, or it raced a round at the master and we must
+                # catch up on commits our snapshot predates.
+                self._load_superseding_welcome(welcome)
             return
         if (
             welcome.backlog_from is not None
@@ -336,6 +333,9 @@ class GuesstimateNode(Host):
         else:
             self._load_welcome_snapshot(welcome)
         self._recovered_count = None
+        # A crash can wipe the op counter while the cluster commits our
+        # last flush; resume numbering above everything ever committed.
+        self.model._op_counter = max(self.model._op_counter, welcome.op_floor)
         # Operations issued while offline are still pending: re-apply
         # them to the refreshed guesstimate ([P](sc) = sg) so they can
         # flush in the next round.
@@ -356,6 +356,59 @@ class GuesstimateNode(Host):
         self._drain_deferred()
         if self.on_welcome is not None:
             self.on_welcome()
+
+    def _load_superseding_welcome(self, welcome: msg.Welcome) -> None:
+        """A re-Welcome received while already active.
+
+        If the master's count is ahead of ours, our WelcomeAck raced a
+        round we were not part of: the master refused to admit us and
+        re-welcomed with the commits we missed.  Catch up — by backlog
+        replay when the Welcome extends our position, else by adopting
+        the fresh snapshot — and re-ack; a Welcome at or behind our own
+        position is a plain duplicate and only needs the re-ack.
+        """
+        local_total = self.completed_offset + self.model.completed_count
+        if welcome.completed_count > local_total:
+            if (
+                welcome.backlog_from is not None
+                and welcome.backlog_from <= local_total
+            ):
+                skip = local_total - welcome.backlog_from
+                logged: list[tuple] = []
+                for entry in welcome.backlog[skip:]:
+                    machine_id, op_number, payload, result, committed_at = entry
+                    op = decode_op(payload)
+                    op.execute(self.model.committed)
+                    self.model.record_completed(
+                        CompletedEntry(
+                            OpKey(machine_id, op_number), op, result, committed_at
+                        )
+                    )
+                    logged.append(entry)
+                if logged:
+                    self.storage.append_commit(
+                        CommitRecord(
+                            -1,
+                            tuple(logged),
+                            self.completed_offset + self.model.completed_count,
+                        )
+                    )
+            else:
+                self._load_welcome_snapshot(welcome)
+            self.model.guess.refresh_from(self.model.committed)
+            for entry in self.model.pending:
+                entry.op.execute(self.model.guess)
+                entry.executions += 1
+                self.metrics.record_execution(entry.key)
+            self.trace(
+                Tracer.MEMBERSHIP,
+                action="catch_up_welcome",
+                completed=welcome.completed_count,
+            )
+        self.model._op_counter = max(self.model._op_counter, welcome.op_floor)
+        self.signals_mesh.send(
+            self.machine_id, welcome.master_id, msg.WelcomeAck(self.machine_id)
+        )
 
     def _load_welcome_snapshot(self, welcome: msg.Welcome) -> None:
         """The ordinary join: adopt the master's full state snapshot."""

@@ -62,6 +62,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.node import GuesstimateNode
 
 
+def consolidated_order(node: "GuesstimateNode", round_state: "RoundState") -> list[OpKey]:
+    """The global apply order: lexicographic (machineID, opnumber).
+
+    Every machine must use this exact order or the committed sequences
+    diverge — which is why the simulation fuzzer's self-test mutates
+    this one function and asserts the invariant probes catch it.
+    """
+    assert round_state.counts is not None
+    return sorted(
+        key for key in round_state.received if key.machine_id in round_state.counts
+    )
+
+
 @dataclass
 class RoundState:
     """One node's view of a synchronization round."""
@@ -110,12 +123,29 @@ class Synchronizer:
         self.last_master_signal: float = node.scheduler.now()
         self.last_order: tuple[str, ...] = ()
         self.last_round_seen: int = 0
+        #: highest round id we have seen SyncComplete for — stale
+        #: signals for rounds at or below this must not resurrect them
+        self.last_done_round: int = 0
 
     # -- message dispatch -----------------------------------------------------
 
     def handle_signal(self, payload: object) -> None:
         """Dispatch one signals-channel message."""
         node = self.node
+        if node.state == node.STATE_JOINING:
+            # A joining machine is outside every round until the
+            # master's Welcome admits it (the paper welcomes between
+            # rounds).  Applying round signals on top of recovered
+            # state here would race the Welcome the master builds from
+            # our announced position and duplicate committed ops.
+            if isinstance(payload, (msg.StartSync, msg.BeginApply, msg.SyncComplete)):
+                self.last_master_signal = node.scheduler.now()  # master liveness
+            if (
+                isinstance(payload, msg.Welcome)
+                and payload.machine_id == node.machine_id
+            ):
+                node.load_welcome(payload)
+            return
         if isinstance(
             payload,
             (
@@ -164,6 +194,8 @@ class Synchronizer:
 
     def handle_op(self, payload: msg.OpMessage | msg.OpBatch) -> None:
         """Dispatch one operations-channel message (single op or batch)."""
+        if self.node.state == self.node.STATE_JOINING:
+            return  # not in any round until welcomed
         if isinstance(payload, msg.OpBatch):
             items = [
                 (OpKey(payload.machine_id, op_number), op_payload)
@@ -171,6 +203,8 @@ class Synchronizer:
             ]
         else:
             items = [(OpKey(payload.machine_id, payload.op_number), payload.payload)]
+        if payload.round_id <= self.last_done_round:
+            return  # late frames for a round that already completed
         round_state = self.rounds.get(payload.round_id)
         if round_state is None:
             buffered = self.op_buffer.setdefault(payload.round_id, {})
@@ -301,31 +335,42 @@ class Synchronizer:
     def _on_resend_request(self, request: msg.ResendOpsRequest) -> None:
         if request.machine_id == self.node.machine_id:
             return
-        stash = self.last_flush.get(request.round_id)
-        if not stash:
+        # Serve from everything we hold for the round: our own flush
+        # stash plus every frame we received.  The requester may be
+        # missing ops whose issuer has since crashed or been removed —
+        # any surviving holder must be able to close the gap.
+        available: dict[OpKey, dict] = {}
+        round_state = self.rounds.get(request.round_id)
+        if round_state is not None:
+            available.update(round_state.received)
+        available.update(self.last_flush.get(request.round_id, {}))
+        if not available:
             return
         have = {OpKey(machine, number) for machine, number in request.have}
-        missing = sorted(
-            ((key.op_number, payload) for key, payload in stash.items() if key not in have),
-            key=lambda pair: pair[0],
-        )
-        if not missing:
-            return
-        # Resends ride the same batched framing as the original flush.
+        by_issuer: dict[str, list[tuple[int, dict]]] = {}
+        for key, payload in available.items():
+            if key not in have:
+                by_issuer.setdefault(key.machine_id, []).append(
+                    (key.op_number, payload)
+                )
+        # Resends ride the same batched framing as the original flush;
+        # a frame carries one issuer's ops, so group by issuer.
         cap = self.node.config.sync.batch_max_ops
-        chunks = [missing[i : i + cap] for i in range(0, len(missing), cap)]
-        for seq, chunk in enumerate(chunks):
-            self.node.ops_mesh.send(
-                self.node.machine_id,
-                request.machine_id,
-                msg.OpBatch(
-                    request.round_id,
+        for issuer in sorted(by_issuer):
+            missing = sorted(by_issuer[issuer])
+            chunks = [missing[i : i + cap] for i in range(0, len(missing), cap)]
+            for seq, chunk in enumerate(chunks):
+                self.node.ops_mesh.send(
                     self.node.machine_id,
-                    seq,
-                    len(chunks),
-                    tuple(chunk),
-                ),
-            )
+                    request.machine_id,
+                    msg.OpBatch(
+                        request.round_id,
+                        issuer,
+                        seq,
+                        len(chunks),
+                        tuple(chunk),
+                    ),
+                )
 
     def _earlier_round_open(self, round_state: RoundState) -> bool:
         """True while an earlier known round has not been applied yet.
@@ -361,9 +406,7 @@ class Synchronizer:
         """Apply the consolidated list in lexicographic (machine, number) order."""
         node = self.node
         assert round_state.counts is not None
-        keys = sorted(
-            key for key in round_state.received if key.machine_id in round_state.counts
-        )
+        keys = consolidated_order(node, round_state)
         object_ids: set[str] = set()
         decoded = []
         for key in keys:
@@ -464,6 +507,7 @@ class Synchronizer:
     # -- stage 3 and recovery -------------------------------------------------------
 
     def _on_sync_complete(self, done: msg.SyncComplete) -> None:
+        self.last_done_round = max(self.last_done_round, done.round_id)
         round_state = self.rounds.pop(done.round_id, None)
         if round_state is not None:
             round_state.done = True
@@ -484,21 +528,34 @@ class Synchronizer:
             round_state.done = True
             self._nudge_later_rounds(round_state.round_id)
             return
-        round_state.dropped.add(removed.machine_id)
         if removed.drop_ops:
+            # Removed before its flush was published: its ops are not
+            # part of the round anywhere.
+            round_state.dropped.add(removed.machine_id)
             round_state.received = {
                 key: payload
                 for key, payload in round_state.received.items()
                 if key.machine_id != removed.machine_id
             }
-        if round_state.counts is not None:
-            round_state.counts.pop(removed.machine_id, None)
+            if round_state.counts is not None:
+                round_state.counts.pop(removed.machine_id, None)
+                self._try_apply(round_state)
+        else:
+            # Its flush is in the published counts, so its ops stay in
+            # the consolidated list on every machine — dropping them
+            # locally would diverge from nodes that already applied.
+            # The removal only means it will not acknowledge.
             self._try_apply(round_state)
 
     # -- helpers -----------------------------------------------------------------
 
     def _ensure_round(self, round_id: int, order: tuple[str, ...]) -> RoundState | None:
         if self.node.machine_id not in order:
+            return None
+        if round_id <= self.last_done_round:
+            # A resent signal arrived after the round's SyncComplete
+            # popped it; recreating it would make an empty zombie round
+            # that blocks every later round's in-order apply.
             return None
         if round_id not in self.rounds:
             state = RoundState(round_id, order)
@@ -759,12 +816,21 @@ class MasterControl:
             self._process_membership()
 
     def _on_welcome_ack(self, ack: msg.WelcomeAck) -> None:
-        if ack.machine_id in self.awaiting_ack:
-            self.awaiting_ack.discard(ack.machine_id)
-            self.recovered_counts.pop(ack.machine_id, None)
-            if ack.machine_id not in self.participants:
-                self.participants.append(ack.machine_id)
-            self.node.trace(Tracer.MEMBERSHIP, joined=ack.machine_id)
+        if ack.machine_id not in self.awaiting_ack:
+            return
+        if self.inflight:
+            # The ack raced rounds this machine is not part of: its
+            # Welcome predates their commits, so admitting it now would
+            # leave a permanent hole in its committed sequence.  Keep it
+            # queued; _maybe_finish re-welcomes it with a fresh snapshot
+            # once the pipeline drains (loading is idempotent and the
+            # joiner catches up on the missed suffix).
+            return
+        self.awaiting_ack.discard(ack.machine_id)
+        self.recovered_counts.pop(ack.machine_id, None)
+        if ack.machine_id not in self.participants:
+            self.participants.append(ack.machine_id)
+        self.node.trace(Tracer.MEMBERSHIP, joined=ack.machine_id)
 
     def _on_goodbye(self, goodbye: msg.Goodbye) -> None:
         if goodbye.machine_id in self.participants:
@@ -795,6 +861,7 @@ class MasterControl:
         recovered_count = self.recovered_counts.get(machine_id)
         offset = node.completed_offset
         total = offset + node.model.completed_count
+        op_floor = node.model.op_high_water.get(machine_id, 0)
         if recovered_count is not None and offset <= recovered_count <= total:
             backlog = tuple(
                 (
@@ -813,12 +880,14 @@ class MasterControl:
                 completed_count=total,
                 backlog_from=recovered_count,
                 backlog=backlog,
+                op_floor=op_floor,
             )
         return msg.Welcome(
             machine_id=machine_id,
             master_id=node.machine_id,
             snapshot=node.model.committed.snapshot_states(),
             completed_count=node.model.completed_count,
+            op_floor=op_floor,
         )
 
     def _nudge_restarts(self) -> None:
@@ -875,21 +944,39 @@ class MasterControl:
     ) -> None:
         strikes = round_.strikes.get(machine_id, 0) + 1
         round_.strikes[machine_id] = strikes
+        is_self = machine_id == self.node.machine_id
+        # The master can never strike out its own machine: a removed
+        # node must re-join via Hello, but Hello is a plain broadcast
+        # that never reaches this (co-located) MasterControl, so a
+        # self-removal wedges the master's node permanently.  Keep
+        # resending to ourselves instead.
+        resend = strikes == 1 or is_self
         self.node.trace(
             Tracer.RECOVERY,
-            action="resend" if strikes == 1 else "remove",
+            action="resend" if resend else "remove",
             machine=machine_id,
             stage=stage,
         )
-        if strikes == 1:
+        if resend:
             round_.record.resends += 1
             if stage == "flush":
-                turn = msg.YourTurn(round_.round_id, machine_id, round_.order)
-                self.node.signals_mesh.send(self.node.machine_id, machine_id, turn)
+                payload: object = msg.YourTurn(
+                    round_.round_id, machine_id, round_.order
+                )
             else:
                 counts = tuple(sorted(round_.counts.items()))
-                begin = msg.BeginApply(round_.round_id, round_.order, counts)
-                self.node.signals_mesh.send(self.node.machine_id, machine_id, begin)
+                payload = msg.BeginApply(round_.round_id, round_.order, counts)
+            if is_self:
+                # Self-addressed mesh sends arrive with delivery latency
+                # and can land *after* the round's SyncComplete, out of
+                # order with every other self-dispatched signal; keep
+                # master-to-self delivery synchronous (as _grant_turn
+                # does).
+                self.node.synchronizer.handle_signal(payload)
+            else:
+                self.node.signals_mesh.send(
+                    self.node.machine_id, machine_id, payload
+                )
         else:
             round_.record.removals += 1
             self._remove_machine(machine_id, restart=True)
@@ -919,7 +1006,13 @@ class MasterControl:
             return
         round_.removed.add(machine_id)
         drop_ops = machine_id not in round_.counts
-        round_.counts.pop(machine_id, None)
+        if round_.stage == "flush":
+            # Counts are not published yet; the machine's flush (if
+            # any) can still be excluded consistently everywhere.
+            round_.counts.pop(machine_id, None)
+        # After BeginApply the counts are immutable: some machines may
+        # already have committed with them, so the removal must not
+        # change the round's consolidated list.
         self.node.broadcast_signal(
             msg.ParticipantRemoved(round_.round_id, machine_id, drop_ops)
         )

@@ -56,6 +56,11 @@ class EventLoop(Scheduler):
         self._seq = itertools.count()
         self._running = False
         self._executed = 0
+        #: Optional hook called with each event as it is popped (before
+        #: its callback runs).  The simulation fuzzer records the
+        #: (time, sequence) of every scheduler decision through this so
+        #: a replayed seed can be compared step by step.
+        self.observer: Callable[[ScheduledEvent], None] | None = None
 
     # -- Scheduler interface -------------------------------------------------
 
@@ -109,6 +114,8 @@ class EventLoop(Scheduler):
         event = heapq.heappop(self._heap)
         self.clock.advance_to(event.when)
         self._executed += 1
+        if self.observer is not None:
+            self.observer(event)
         event.callback()
         return True
 

@@ -19,6 +19,18 @@ def derive_seed(root_seed: int, name: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def seeded_stream(name: str, root_seed: int = 0) -> random.Random:
+    """A standalone deterministic stream for component ``name``.
+
+    Components that need a default RNG (rather than one plumbed in from
+    an experiment's :class:`SeededSource`) must use this instead of the
+    bare :mod:`random` module or an unseeded ``random.Random()`` — the
+    simulation fuzzer's bit-identical replay depends on every stream in
+    the process being derived from an explicit seed.
+    """
+    return random.Random(derive_seed(root_seed, name))
+
+
 class SeededSource:
     """A factory of independent, reproducible ``random.Random`` streams."""
 

@@ -1,0 +1,80 @@
+"""Canonical codec for simulation trace records.
+
+A trace is a sequence of :class:`TraceRecord` values, one per observed
+simulator step: a scheduler decision, a mesh delivery/drop, or a
+runtime trace event.  Each record encodes to exactly one canonical
+JSON line (sorted keys, minimal separators), so
+
+* the same run always produces the same bytes — replay verification is
+  a byte comparison (or a digest comparison, see
+  :meth:`repro.simtest.trace.SimTrace.digest`);
+* failing-seed traces are plain JSONL files that can be attached to a
+  bug report and diffed with standard tools.
+
+Attribute values are restricted to JSON scalars (str, int, float,
+bool, None): everything the runtime emits is already scalar, and the
+restriction is what makes ``decode(encode(r)) == r`` an identity
+(Hypothesis-checked in ``tests/properties/test_simtest_properties.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.errors import SerializationError
+
+#: JSON scalar types allowed as trace attribute values.
+SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One observed simulator step.
+
+    ``attrs`` is a tuple of ``(name, scalar)`` pairs kept sorted by
+    name so equal records always encode to equal bytes.
+    """
+
+    kind: str
+    time: float
+    attrs: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, kind: str, time: float, **attrs) -> "TraceRecord":
+        return cls(kind, float(time), tuple(sorted(attrs.items())))
+
+    def attr(self, name: str, default=None):
+        for key, value in self.attrs:
+            if key == name:
+                return value
+        return default
+
+
+def encode_trace_line(record: TraceRecord) -> str:
+    """One canonical JSON line (no trailing newline)."""
+    for name, value in record.attrs:
+        if not isinstance(name, str) or not isinstance(value, SCALAR_TYPES):
+            raise SerializationError(
+                f"trace attribute {name!r}={value!r} is not a JSON scalar"
+            )
+    payload = {
+        "k": record.kind,
+        "t": record.time,
+        "a": [[name, value] for name, value in sorted(record.attrs)],
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def decode_trace_line(line: str) -> TraceRecord:
+    """Inverse of :func:`encode_trace_line`."""
+    try:
+        payload = json.loads(line)
+        kind = payload["k"]
+        time = payload["t"]
+        attrs = tuple((name, value) for name, value in payload["a"])
+    except (TypeError, KeyError, ValueError) as exc:
+        raise SerializationError(f"malformed trace line: {exc}") from None
+    if not isinstance(kind, str) or not isinstance(time, (int, float)):
+        raise SerializationError(f"malformed trace line: {line!r}")
+    return TraceRecord(kind, float(time), attrs)

@@ -1,0 +1,73 @@
+"""Protocol mutations for fuzzer self-tests.
+
+A fuzzer that has never seen a bug proves nothing.  Each mutation here
+is a small, named, *known* protocol violation patched into the runtime
+for the duration of one run; the self-test
+(:func:`repro.simtest.fuzz.selftest`) asserts that fuzzing with the
+mutation active reports an invariant violation, that the failing seed
+replays bit-identically, and that the shrinker reduces it to a tiny
+scenario.
+
+All mutations patch :func:`repro.runtime.synchronizer.consolidated_order`
+— the single seam through which every machine derives the global apply
+order for a round — because mis-ordering there breaks exactly the
+paper's core agreement guarantee (C(i) = C(j), sc(i) = sc(j)) without
+touching unrelated machinery.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.runtime import synchronizer as sync_mod
+
+_pristine_order = sync_mod.consolidated_order
+
+
+def _commit_order(node, round_state):
+    """Slaves apply each round in *reversed* consolidated order.
+
+    With two or more ops in a round, slave committed stores and
+    completed sequences diverge from the master's.
+    """
+    keys = _pristine_order(node, round_state)
+    if not node.is_master and len(keys) > 1:
+        return list(reversed(keys))
+    return keys
+
+
+def _double_apply(node, round_state):
+    """Slaves apply the first op of a multi-op round twice.
+
+    Duplicate keys in C and a diverged sc — caught by both the
+    runtime checks and the replay oracle.
+    """
+    keys = _pristine_order(node, round_state)
+    if not node.is_master and len(keys) > 1:
+        return [keys[0]] + keys
+    return keys
+
+
+MUTATIONS = {
+    "commit_order": _commit_order,
+    "double_apply": _double_apply,
+}
+
+
+@contextmanager
+def apply_mutation(name: str | None):
+    """Context manager: patch the named mutation in, restore on exit."""
+    if name is None:
+        yield
+        return
+    try:
+        mutant = MUTATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutation {name!r}; known: {sorted(MUTATIONS)}"
+        ) from None
+    sync_mod.consolidated_order = mutant
+    try:
+        yield
+    finally:
+        sync_mod.consolidated_order = _pristine_order

@@ -1,0 +1,163 @@
+"""Invariant probes: the oracles a fuzz run is judged against.
+
+Three layers, from cheapest to deepest:
+
+* :func:`checkpoint_probe` — valid at *any* time: the committed
+  sequences of all clean nodes agree position-for-position on the
+  global positions they share (commits happen in one global order, so
+  even mid-round no two machines may disagree on a committed slot).
+* :func:`quiescence_probe` — valid at quiescent points: the runtime's
+  own invariant checks, the formal invariants of
+  :mod:`repro.semantics.invariants` over a projection of the live
+  system, and the full :func:`repro.model.simulation_relation.replay_check`
+  replay against the reference executor.
+* :func:`storage_probe` — after every recovery and at the end: for
+  each durably-backed node, recovering ``snapshot + WAL`` from its
+  store and replaying must reproduce exactly the committed state and
+  global position the live node holds.
+
+Each probe returns a list of human-readable violation strings (empty =
+all invariants hold), so the runner can aggregate across probes without
+aborting mid-scenario.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.errors import GuesstimateError
+from repro.model.simulation_relation import replay_check
+from repro.semantics import invariants as formal
+from repro.semantics.state import AbstractMachine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.node import GuesstimateNode
+    from repro.runtime.system import DistributedSystem
+
+
+def _aligned_completed(node: "GuesstimateNode") -> dict[int, tuple[str, bool]]:
+    """Global position -> (op key, result) for the suffix this node holds."""
+    return {
+        node.completed_offset + index: (str(entry.key), bool(entry.result))
+        for index, entry in enumerate(node.model.completed)
+    }
+
+
+def checkpoint_probe(system: "DistributedSystem") -> list[str]:
+    """Mid-run committed-prefix agreement (safe at any simulated time)."""
+    nodes = [
+        node
+        for node in system.nodes.values()
+        if node.state in ("active", "offline")
+    ]
+    if len(nodes) < 2:
+        return []
+    violations = []
+    merged: dict[int, tuple[str, tuple[str, bool]]] = {}
+    for node in nodes:
+        for position, entry in _aligned_completed(node).items():
+            if position in merged:
+                holder, reference = merged[position]
+                if entry != reference:
+                    violations.append(
+                        "committed-prefix disagreement at global position "
+                        f"{position}: {holder} has {reference}, "
+                        f"{node.machine_id} has {entry}"
+                    )
+            else:
+                merged[position] = (node.machine_id, entry)
+    return violations
+
+
+def _canonical_state(store) -> str:
+    """A shared store as one comparable scalar (canonical JSON)."""
+    return json.dumps(store.snapshot_states(), sort_keys=True)
+
+
+def _project_abstract(system: "DistributedSystem") -> tuple[AbstractMachine, ...] | None:
+    """Project the quiesced runtime onto the formal state space.
+
+    At quiescence every pending queue is empty, so each machine is
+    ``(λ, C, sc, (), sg)`` with sc/sg rendered as canonical JSON.  The
+    global completed prefix a late joiner missed is filled in from a
+    full-history node; with no full-history node the projection is
+    undefined and we skip (replay_check reports that case itself).
+    """
+    nodes = system.active_nodes()
+    full = [node for node in nodes if node.completed_offset == 0]
+    if not nodes or not full:
+        return None
+    reference = [
+        (str(entry.key), bool(entry.result)) for entry in full[0].model.completed
+    ]
+    machines = []
+    for node in nodes:
+        own = [
+            (str(entry.key), bool(entry.result)) for entry in node.model.completed
+        ]
+        completed = tuple(reference[: node.completed_offset] + own)
+        machines.append(
+            AbstractMachine(
+                lam=(node.machine_id,),
+                completed=completed,
+                sc=_canonical_state(node.model.committed),
+                pending=(),
+                sg=_canonical_state(node.model.guess),
+            )
+        )
+    return tuple(machines)
+
+
+def quiescence_probe(system: "DistributedSystem") -> list[str]:
+    """All paper invariants at a quiescent point (deep, three layers)."""
+    violations = []
+    if not system.quiesced():
+        return ["quiescence_probe called on a non-quiescent system"]
+
+    try:
+        system.check_all_invariants()
+    except GuesstimateError as exc:
+        violations.append(f"runtime invariant: {exc}")
+
+    state = _project_abstract(system)
+    if state is not None:
+        violations.extend(
+            f"formal invariant: {name}" for name in formal.check_all(state)
+        )
+
+    try:
+        replay_check(system)
+    except GuesstimateError as exc:
+        violations.append(f"simulation relation: {exc}")
+
+    return violations
+
+
+def storage_probe(system: "DistributedSystem") -> list[str]:
+    """Durable state must replay to exactly the live committed state."""
+    violations = []
+    for node in system.nodes.values():
+        if node.state not in ("active", "offline"):
+            continue
+        try:
+            recovered = node.storage.recover()
+        except GuesstimateError as exc:  # pragma: no cover - corrupt store
+            violations.append(f"storage recover failed on {node.machine_id}: {exc}")
+            continue
+        if recovered is None:
+            continue  # durability off for this node
+        rebuilt = node._rebuild_from_storage(recovered)
+        if not rebuilt.committed.state_equal(node.model.committed):
+            violations.append(
+                f"storage replay of {node.machine_id} does not reproduce "
+                "its committed state"
+            )
+        durable_position = recovered.base_offset + rebuilt.completed_count
+        live_position = node.completed_offset + node.model.completed_count
+        if durable_position != live_position:
+            violations.append(
+                f"storage replay of {node.machine_id} stops at global "
+                f"position {durable_position}, live node is at {live_position}"
+            )
+    return violations

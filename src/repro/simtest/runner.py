@@ -1,0 +1,198 @@
+"""Scenario execution: spec in, violations + trace out.
+
+The runner owns the full life of one simulated run:
+
+1. build the system from the spec (durability on, explicit sync
+   config so the ``GUESSTIMATE_COLLECTION`` env override cannot make
+   two replays differ);
+2. run workload setup to a quiescent baseline, *then* install the
+   fault plan with its windows shifted past setup — chaos belongs in
+   steady state, not in object creation;
+3. schedule the churn plan (joins, offline excursions, hard kills,
+   commit-crash recoveries) as simulated-time callbacks;
+4. advance in checkpoint chunks, probing committed-prefix agreement
+   and storage consistency at each checkpoint;
+5. stop the workload, bring every stopped/offline machine home, drain
+   to quiescence, and run the deep probes (runtime invariants, formal
+   invariants, simulation-relation replay, storage replay).
+
+Everything observable lands in :class:`RunResult`; the run itself
+never raises — wedges and unexpected exceptions become violations so
+the fuzzer can keep sweeping seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.guesstimate import Guesstimate
+from repro.errors import GuesstimateError, RuntimeFailure
+from repro.runtime.config import RuntimeConfig, SyncConfig
+from repro.runtime.system import DistributedSystem
+from repro.simtest.mutations import apply_mutation
+from repro.simtest.probes import checkpoint_probe, quiescence_probe, storage_probe
+from repro.simtest.scenario import ScenarioSpec, build_faults
+from repro.simtest.trace import SimTrace, SimTraceRecorder
+from repro.simtest.workload import build_workload
+
+#: Probe cadence in simulated seconds while the workload runs.
+CHECKPOINT_EVERY = 5.0
+
+
+@dataclass
+class RunResult:
+    """Everything one scenario run produced."""
+
+    spec: ScenarioSpec
+    violations: list[str] = field(default_factory=list)
+    trace: SimTrace | None = None
+    wedged: bool = False
+    committed_total: int = 0
+    actions: int = 0
+    virtual_end: float = 0.0
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.violations)
+
+
+def build_config(spec: ScenarioSpec) -> RuntimeConfig:
+    """The runtime configuration a spec describes (durability on)."""
+    return RuntimeConfig(
+        sync_interval=spec.sync_interval,
+        stall_timeout=spec.stall_timeout,
+        sync=SyncConfig(
+            collection=spec.collection,
+            batch_max_ops=spec.batch_max_ops,
+            pipeline_depth=spec.pipeline_depth,
+        ),
+        durability="memory",
+        snapshot_interval=spec.snapshot_interval,
+    )
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    record_trace: bool = True,
+    mutation: str | None = None,
+) -> RunResult:
+    """Execute one scenario start to finish; never raises."""
+    # The facade's instance counter is process-global; replaying a seed
+    # in the same process must mint the same unique ids.
+    Guesstimate._reset_id_counter()
+
+    system = DistributedSystem(spec.n_machines, seed=spec.seed, config=build_config(spec))
+    result = RunResult(spec=spec)
+    recorder = SimTraceRecorder(system) if record_trace else None
+    if recorder is not None:
+        result.trace = recorder.attach()
+
+    with apply_mutation(mutation):
+        try:
+            _execute(system, spec, result)
+        except Exception as exc:  # noqa: BLE001 - a crash IS a finding
+            result.violations.append(
+                f"t={system.loop.now():.2f} runtime exception: {exc!r}"
+            )
+    if recorder is not None:
+        recorder.detach()
+    result.virtual_end = system.loop.now()
+    master = system.master_node
+    result.committed_total = master.completed_offset + master.model.completed_count
+    return result
+
+
+def _execute(system: DistributedSystem, spec: ScenarioSpec, result: RunResult) -> None:
+    loop = system.loop
+    system.start(first_sync_delay=0.1)
+    workload = build_workload(spec, system)
+    workload.setup()
+
+    # Steady state reached: arm the fault plan relative to *now*.
+    t0 = loop.now()
+    injector = build_faults(spec, offset=t0)
+    system.meshes.signals.faults = injector
+    system.meshes.operations.faults = injector
+    _schedule_churn(system, spec, workload)
+
+    workload.start()
+    end = t0 + spec.duration
+    while loop.now() < end - 1e-9:
+        system.run_for(min(CHECKPOINT_EVERY, end - loop.now()))
+        now = loop.now()
+        for violation in checkpoint_probe(system) + storage_probe(system):
+            result.violations.append(f"t={now:.2f} {violation}")
+
+    workload.stop()
+    result.actions = workload.actions()
+    _bring_everyone_home(system)
+    system.run_for(2.0 * spec.sync_interval)
+    try:
+        system.run_until_quiesced(max_time=60.0 + 20.0 * spec.stall_timeout)
+    except GuesstimateError as exc:
+        result.wedged = True
+        result.violations.append(f"t={loop.now():.2f} wedged: {exc}")
+        return
+    now = loop.now()
+    deep = quiescence_probe(system) + storage_probe(system) + checkpoint_probe(system)
+    result.violations.extend(f"t={now:.2f} {violation}" for violation in deep)
+
+
+def _schedule_churn(system: DistributedSystem, spec: ScenarioSpec, workload) -> None:
+    loop = system.loop
+
+    def join() -> None:
+        node = system.add_machine()
+        workload.on_join(node.machine_id)
+
+    def go_offline(machine_id: str, attempts: int = 40) -> None:
+        node = system.nodes.get(machine_id)
+        if node is None or node.state != "active":
+            return  # crashed away or already churned; skip the excursion
+        try:
+            node.go_offline()
+        except RuntimeFailure:
+            # Mid-synchronization; a user would retry after the round.
+            if attempts > 0:
+                loop.call_later(0.5, lambda: go_offline(machine_id, attempts - 1))
+
+    def come_online(machine_id: str) -> None:
+        node = system.nodes.get(machine_id)
+        if node is not None and node.state == "offline":
+            node.come_online()
+
+    def halt(machine_id: str) -> None:
+        node = system.nodes.get(machine_id)
+        if node is not None and node.state in ("active", "joining"):
+            node.halt()
+
+    def recover(machine_id: str) -> None:
+        node = system.nodes.get(machine_id)
+        if node is not None and node.state == "stopped":
+            node.recover_and_rejoin()
+
+    for event in spec.churn:
+        if event.kind == "join":
+            loop.call_later(event.at, join)
+        elif event.kind == "offline":
+            loop.call_later(event.at, lambda m=event.machine: go_offline(m))
+            loop.call_later(
+                event.at + event.duration, lambda m=event.machine: come_online(m)
+            )
+        elif event.kind == "halt":
+            loop.call_later(event.at, lambda m=event.machine: halt(m))
+            loop.call_later(
+                event.at + event.duration, lambda m=event.machine: recover(m)
+            )
+    for crash in spec.commit_crashes:
+        loop.call_later(crash.recover_at, lambda m=crash.machine: recover(m))
+
+
+def _bring_everyone_home(system: DistributedSystem) -> None:
+    """Recover every stopped machine and reconnect every offline one,
+    so the final convergence check covers the whole cluster."""
+    for node in system.nodes.values():
+        if node.state == "stopped":
+            node.recover_and_rejoin()
+        elif node.state == "offline":
+            node.come_online()

@@ -1,0 +1,141 @@
+"""Trace recording: every scheduler decision and mesh delivery, JSONL.
+
+The deterministic event loop already guarantees that the same seed
+produces the same execution; the trace makes that guarantee *checkable*
+and *shippable*.  :class:`SimTraceRecorder` attaches three probes to a
+running :class:`~repro.runtime.system.DistributedSystem`:
+
+* the event loop's step observer — one ``sched`` record per executed
+  event (time + sequence number: the complete schedule);
+* both meshes' observers — one record per delivery, drop, or
+  undeliverable message;
+* the runtime :class:`~repro.runtime.tracing.Tracer` — protocol
+  milestones (issue, commit, refresh, recovery, ...) interleaved at
+  their true position in the schedule.
+
+Two runs of the same scenario must produce byte-identical traces
+(:meth:`SimTrace.digest`); any divergence means nondeterminism leaked
+into the simulator, which is itself a bug the fuzzer reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING
+
+from repro.simtest.codec import SCALAR_TYPES, TraceRecord, decode_trace_line, encode_trace_line
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.system import DistributedSystem
+
+
+class SimTrace:
+    """An append-only list of :class:`TraceRecord` with digest/IO."""
+
+    def __init__(self, records: list[TraceRecord] | None = None):
+        self.records: list[TraceRecord] = records if records is not None else []
+
+    def append(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def lines(self) -> list[str]:
+        return [encode_trace_line(record) for record in self.records]
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical encoding — the replay fingerprint."""
+        hasher = hashlib.sha256()
+        for record in self.records:
+            hasher.update(encode_trace_line(record).encode("utf-8"))
+            hasher.update(b"\n")
+        return hasher.hexdigest()
+
+    def first_divergence(self, other: "SimTrace") -> int | None:
+        """Index of the first differing record, or None if identical."""
+        for index, (mine, theirs) in enumerate(zip(self.records, other.records)):
+            if mine != theirs:
+                return index
+        if len(self.records) != len(other.records):
+            return min(len(self.records), len(other.records))
+        return None
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        return "\n".join(self.lines()) + ("\n" if self.records else "")
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "SimTrace":
+        records = [
+            decode_trace_line(line) for line in text.splitlines() if line.strip()
+        ]
+        return cls(records)
+
+
+class SimTraceRecorder:
+    """Hooks a system's scheduler, meshes and tracer into a SimTrace."""
+
+    def __init__(self, system: "DistributedSystem"):
+        self.system = system
+        self.trace = SimTrace()
+        self._attached = False
+        self._original_emit = None
+
+    def attach(self) -> "SimTrace":
+        if self._attached:  # pragma: no cover - defensive
+            return self.trace
+        self._attached = True
+        system = self.system
+
+        def on_step(event) -> None:
+            self.trace.append(
+                TraceRecord.make("sched", event.when, seq=event.seq)
+            )
+
+        system.loop.observer = on_step
+
+        for mesh in (system.meshes.signals, system.meshes.operations):
+            mesh.observers.append(self._on_mesh_event)
+
+        # Interleave runtime trace events at their true position by
+        # wrapping the (single, shared) Tracer instance's emit.
+        tracer = system.tracer
+        original_emit = tracer.emit
+        self._original_emit = original_emit
+
+        def emit(time: float, machine_id: str, kind: str, **detail) -> None:
+            attrs = {
+                key: value
+                for key, value in detail.items()
+                if isinstance(value, SCALAR_TYPES)
+            }
+            # "@m" cannot collide with detail kwargs (not an identifier).
+            attrs["@m"] = machine_id
+            self.trace.append(
+                TraceRecord(f"rt:{kind}", float(time), tuple(sorted(attrs.items())))
+            )
+            original_emit(time, machine_id, kind, **detail)
+
+        tracer.emit = emit  # type: ignore[method-assign]
+        return self.trace
+
+    def detach(self) -> SimTrace:
+        if not self._attached:  # pragma: no cover - defensive
+            return self.trace
+        self._attached = False
+        system = self.system
+        system.loop.observer = None
+        for mesh in (system.meshes.signals, system.meshes.operations):
+            if self._on_mesh_event in mesh.observers:
+                mesh.observers.remove(self._on_mesh_event)
+        if self._original_emit is not None:
+            system.tracer.emit = self._original_emit  # type: ignore[method-assign]
+            self._original_emit = None
+        return self.trace
+
+    def _on_mesh_event(self, event: str, info: dict) -> None:
+        time = info.get("at", self.system.loop.now())
+        attrs = {key: value for key, value in info.items() if key != "at"}
+        self.trace.append(TraceRecord.make(f"mesh:{event}", time, **attrs))

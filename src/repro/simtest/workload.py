@@ -1,0 +1,151 @@
+"""Workload adapters: application traffic for fuzz scenarios.
+
+Wraps the measurement drivers of :mod:`repro.workloads.drivers` behind
+one small interface (``setup`` / ``start`` / ``stop`` / ``on_join``) so
+the runner can treat "users solving Sudoku" and "users posting to a
+message board" uniformly.  All randomness comes from streams derived
+from the scenario seed — never from a shared or wall-clock-seeded rng —
+so a workload is as replayable as the protocol underneath it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.apps.message_board import MessageBoard
+from repro.errors import (
+    IssueBlockedError,
+    NodeCrashedError,
+    UnknownObjectError,
+)
+from repro.sim.rand import derive_seed, seeded_stream
+from repro.workloads.activity import ActivityModel
+from repro.workloads.drivers import MixedAppSession, SudokuSession
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.system import DistributedSystem
+    from repro.simtest.scenario import ScenarioSpec
+
+
+class SudokuWorkload:
+    """The paper's measurement workload: N players, shared grids."""
+
+    def __init__(self, spec: "ScenarioSpec", system: "DistributedSystem"):
+        self.session = SudokuSession(
+            system,
+            n_grids=spec.n_grids,
+            activity=ActivityModel.busy(spec.think_mean),
+            seed=derive_seed(spec.seed, "sudoku-session"),
+            clues=40,
+        )
+
+    def setup(self) -> None:
+        self.session.setup(quiesce_time=120.0)
+
+    def start(self) -> None:
+        self.session.start()
+
+    def stop(self) -> None:
+        self.session.stop()
+
+    def on_join(self, machine_id: str) -> None:
+        self.session.add_player(machine_id)
+
+    def actions(self) -> int:
+        return self.session.stats.actions
+
+
+class BoardWorkload:
+    """Low-conflict contrast workload: everyone posts to shared topics.
+
+    Unlike Sudoku players, board users keep posting while *offline*
+    (state ``offline`` issues against the guesstimate and merges on
+    return), which is exactly the reconnection path worth fuzzing.
+    """
+
+    def __init__(self, spec: "ScenarioSpec", system: "DistributedSystem"):
+        self.system = system
+        self.spec = spec
+        self.rng = seeded_stream("board-actions", spec.seed)
+        self.topics = [f"topic-{index}" for index in range(spec.n_grids)]
+        self.board_id: str | None = None
+        self._messages = 0
+        self.session: MixedAppSession | None = None
+
+    def setup(self) -> None:
+        creator = self.system.api(self.system.machine_ids()[0])
+        board = creator.create_instance(MessageBoard)
+        self.board_id = board.unique_id
+        for topic in self.topics:
+            creator.invoke(board, "create_topic", topic)
+        self.system.run_until_quiesced(max_time=120.0)
+        users = {
+            machine_id: self._thunks(machine_id)
+            for machine_id in self.system.machine_ids()
+        }
+        self.session = MixedAppSession(
+            self.system,
+            users,
+            activity=ActivityModel.busy(self.spec.think_mean),
+            seed=derive_seed(self.spec.seed, "board-session"),
+        )
+
+    def start(self) -> None:
+        assert self.session is not None
+        self.session.start()
+
+    def stop(self) -> None:
+        if self.session is not None:
+            self.session.stop()
+
+    def on_join(self, machine_id: str) -> None:
+        assert self.session is not None
+        self.session.users[machine_id] = self._thunks(machine_id)
+        self.session._schedule(machine_id)
+
+    def actions(self) -> int:
+        return self.session.stats.actions if self.session is not None else 0
+
+    # -- user actions ------------------------------------------------------------
+
+    def _thunks(self, machine_id: str) -> list[tuple[float, callable]]:
+        return [
+            (5.0, lambda: self._post(machine_id)),
+            (1.0, lambda: self._delete(machine_id)),
+        ]
+
+    def _issuable(self, machine_id: str) -> bool:
+        node = self.system.nodes.get(machine_id)
+        return node is not None and node.state in ("active", "offline")
+
+    def _post(self, machine_id: str) -> None:
+        if not self._issuable(machine_id):
+            return
+        topic = self.rng.choice(self.topics)
+        self._messages += 1
+        text = f"msg-{self._messages}"
+        try:
+            self.system.api(machine_id).invoke(
+                self.board_id, "post", topic, machine_id, text
+            )
+        except (IssueBlockedError, NodeCrashedError, UnknownObjectError):
+            pass  # machine mid-(re)join; its user simply loses a turn
+
+    def _delete(self, machine_id: str) -> None:
+        if not self._issuable(machine_id):
+            return
+        topic = self.rng.choice(self.topics)
+        index = self.rng.randrange(4)
+        try:
+            self.system.api(machine_id).invoke(
+                self.board_id, "delete_post", topic, index, machine_id
+            )
+        except (IssueBlockedError, NodeCrashedError, UnknownObjectError):
+            pass
+
+def build_workload(spec: "ScenarioSpec", system: "DistributedSystem"):
+    if spec.workload == "sudoku":
+        return SudokuWorkload(spec, system)
+    if spec.workload == "board":
+        return BoardWorkload(spec, system)
+    raise ValueError(f"unknown workload {spec.workload!r}")

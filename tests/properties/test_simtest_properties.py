@@ -1,0 +1,78 @@
+"""Properties of the simulation fuzzer's own machinery.
+
+The fuzzer's guarantees rest on two codecs being exact: the trace codec
+(any record survives encode → decode, canonically) and the scenario
+pipeline (any seed deterministically yields one spec, one fault plan).
+Hypothesis hunts for counterexamples in both.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simtest.codec import TraceRecord, decode_trace_line, encode_trace_line
+from repro.simtest.scenario import ScenarioSpec, build_faults, generate_scenario
+from repro.simtest.trace import SimTrace
+
+#: JSON-scalar attribute values a trace record may carry
+SCALARS = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=40),
+)
+
+ATTR_NAMES = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12
+).filter(lambda name: name != "@m")
+
+RECORDS = st.builds(
+    lambda kind, at, attrs: TraceRecord.make(kind, at, **attrs),
+    kind=st.sampled_from(["sched", "mesh:deliver", "mesh:drop", "rt:commit"]),
+    at=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    attrs=st.dictionaries(ATTR_NAMES, SCALARS, max_size=5),
+)
+
+
+class TestTraceCodec:
+    @given(record=RECORDS)
+    def test_round_trip(self, record):
+        assert decode_trace_line(encode_trace_line(record)) == record
+
+    @given(record=RECORDS)
+    def test_encoding_is_deterministic(self, record):
+        assert encode_trace_line(record) == encode_trace_line(record)
+
+    @given(records=st.lists(RECORDS, max_size=10))
+    def test_jsonl_round_trip_preserves_digest(self, records):
+        trace = SimTrace(records)
+        restored = SimTrace.from_jsonl(trace.to_jsonl())
+        assert restored.digest() == trace.digest()
+        assert restored.first_divergence(trace) is None
+
+
+class TestScenarioDeterminism:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_generation_is_a_pure_function_of_the_seed(self, seed):
+        assert generate_scenario(seed) == generate_scenario(seed)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_spec_survives_dict_round_trip(self, seed):
+        spec = generate_scenario(seed)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        offset=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    )
+    def test_fault_plan_is_deterministic_given_spec(self, seed, offset):
+        spec = generate_scenario(seed)
+        first = build_faults(spec, offset=offset)
+        second = build_faults(spec, offset=offset)
+        assert repr(first.drops) == repr(second.drops)
+        assert repr(first.crashes) == repr(second.crashes)
+        assert repr(first.partitions) == repr(second.partitions)
+        assert repr(first.commit_crashes) == repr(second.commit_crashes)

@@ -1,0 +1,94 @@
+"""Scenario generation: determinism, bounds, and fault-plan hygiene."""
+
+from dataclasses import replace
+
+from repro.simtest.scenario import (
+    ScenarioSpec,
+    build_faults,
+    generate_scenario,
+    machine_name,
+)
+
+
+class TestGeneration:
+    def test_same_seed_same_spec(self):
+        for seed in range(30):
+            assert generate_scenario(seed) == generate_scenario(seed)
+
+    def test_different_seeds_differ(self):
+        specs = {generate_scenario(seed) for seed in range(30)}
+        assert len(specs) > 1
+
+    def test_bounds(self):
+        for seed in range(50):
+            spec = generate_scenario(seed)
+            assert 2 <= spec.n_machines <= 5
+            assert spec.collection in ("sequential", "concurrent")
+            assert spec.batch_max_ops >= 1
+            assert spec.pipeline_depth >= 1
+            assert spec.sync_interval > 0
+            assert spec.stall_timeout > spec.sync_interval
+            assert spec.duration >= 30.0
+            assert spec.workload in ("sudoku", "board")
+
+    def test_master_is_never_faulted(self):
+        """m01 runs the master; the fuzzer exercises slave failures."""
+        for seed in range(50):
+            spec = generate_scenario(seed)
+            for crash in spec.crashes:
+                assert crash.machine != "m01"
+            for commit_crash in spec.commit_crashes:
+                assert commit_crash.machine != "m01"
+            for churn in spec.churn:
+                assert churn.machine != "m01"
+            for partition in spec.partitions:
+                # The master stays in the majority group.
+                assert "m01" in partition.groups[0]
+
+    def test_fault_targets_are_cluster_members(self):
+        for seed in range(50):
+            spec = generate_scenario(seed)
+            members = {machine_name(i + 1) for i in range(spec.n_machines)}
+            for crash in spec.crashes:
+                assert crash.machine in members
+            for commit_crash in spec.commit_crashes:
+                assert commit_crash.machine in members
+            for churn in spec.churn:
+                if churn.kind != "join":
+                    assert churn.machine in members
+
+
+class TestSpecRoundTrip:
+    def test_to_dict_from_dict(self):
+        for seed in range(20):
+            spec = generate_scenario(seed)
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestBuildFaults:
+    def test_offset_shifts_windows(self):
+        spec = None
+        for seed in range(50):
+            candidate = generate_scenario(seed)
+            if candidate.crashes:
+                spec = candidate
+                break
+        assert spec is not None, "no generated scenario had a crash window"
+        base = build_faults(spec, offset=0.0)
+        shifted = build_faults(spec, offset=10.0)
+        assert shifted.crashes[0].start == base.crashes[0].start + 10.0
+        assert shifted.crashes[0].end == base.crashes[0].end + 10.0
+
+    def test_deterministic_for_same_spec(self):
+        spec = generate_scenario(3)
+        first = build_faults(spec, offset=5.0)
+        second = build_faults(spec, offset=5.0)
+        assert len(first.drops) == len(second.drops)
+        assert [c.machine for c in first.crashes] == [
+            c.machine for c in second.crashes
+        ]
+
+    def test_shrunk_spec_still_builds(self):
+        spec = generate_scenario(4)
+        smaller = replace(spec, drops=(), crashes=(), partitions=())
+        build_faults(smaller, offset=0.0)

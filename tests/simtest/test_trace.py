@@ -1,0 +1,82 @@
+"""Trace codec and recorder: canonical encoding, digests, divergence."""
+
+import pytest
+
+from repro.core.serialization import SerializationError
+from repro.simtest.codec import TraceRecord, decode_trace_line, encode_trace_line
+from repro.simtest.trace import SimTrace, SimTraceRecorder
+from tests.helpers import quick_system, shared_counter
+
+
+class TestCodec:
+    def test_round_trip(self):
+        record = TraceRecord.make(
+            "mesh:deliver", 1.25, sender="m01", recipient="m02", ok=True, n=3
+        )
+        assert decode_trace_line(encode_trace_line(record)) == record
+
+    def test_encoding_is_canonical(self):
+        a = TraceRecord.make("sched", 0.5, b=1, a=2)
+        b = TraceRecord.make("sched", 0.5, a=2, b=1)
+        assert encode_trace_line(a) == encode_trace_line(b)
+
+    def test_non_scalar_attr_rejected(self):
+        with pytest.raises(SerializationError):
+            encode_trace_line(TraceRecord.make("bad", 0.0, payload=object()))
+
+    def test_none_and_bool_survive(self):
+        record = TraceRecord.make("x", 0.0, missing=None, flag=False)
+        assert decode_trace_line(encode_trace_line(record)) == record
+
+
+class TestSimTrace:
+    def test_digest_changes_with_content(self):
+        first = SimTrace([TraceRecord.make("sched", 0.1, seq=1)])
+        second = SimTrace([TraceRecord.make("sched", 0.1, seq=2)])
+        assert first.digest() != second.digest()
+
+    def test_first_divergence(self):
+        shared = TraceRecord.make("sched", 0.1, seq=1)
+        first = SimTrace([shared, TraceRecord.make("sched", 0.2, seq=2)])
+        second = SimTrace([shared, TraceRecord.make("sched", 0.2, seq=3)])
+        assert first.first_divergence(second) == 1
+        assert first.first_divergence(first) is None
+
+    def test_length_mismatch_diverges_at_shorter(self):
+        shared = TraceRecord.make("sched", 0.1, seq=1)
+        assert SimTrace([shared]).first_divergence(SimTrace([])) == 0
+
+    def test_jsonl_round_trip(self):
+        trace = SimTrace(
+            [
+                TraceRecord.make("sched", 0.1, seq=1),
+                TraceRecord.make("mesh:drop", 0.2, payload="YourTurn"),
+            ]
+        )
+        assert SimTrace.from_jsonl(trace.to_jsonl()).digest() == trace.digest()
+
+
+class TestRecorder:
+    def test_records_scheduler_mesh_and_runtime_events(self):
+        system = quick_system(2, tracing=True)
+        recorder = SimTraceRecorder(system)
+        trace = recorder.attach()
+        replicas, _uid = shared_counter(system)
+        api = system.api("m01")
+        api.issue_operation(api.create_operation(replicas["m01"], "increment", 5))
+        system.run_until_quiesced()
+        recorder.detach()
+        kinds = {record.kind.split(":")[0] for record in trace.records}
+        assert "sched" in kinds
+        assert "mesh" in kinds
+        assert "rt" in kinds
+
+    def test_detach_stops_recording(self):
+        system = quick_system(2, tracing=True)
+        recorder = SimTraceRecorder(system)
+        trace = recorder.attach()
+        system.run_for(1.0)
+        recorder.detach()
+        length = len(trace)
+        system.run_for(1.0)
+        assert len(trace) == length
