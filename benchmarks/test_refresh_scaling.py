@@ -1,0 +1,31 @@
+"""Benchmark: delta guess-refresh copies O(touched), not O(total).
+
+Runs the refreshbench experiment at a modest scale and asserts the
+tentpole's acceptance shape: with many live objects and rounds that
+touch 1-2 of them, the versioned-store delta refresh moves at least
+10x fewer objects per round than the paper's naive full copy — with
+every paper invariant still intact in both modes.  The full-size sweep
+(2000 objects) is ``python -m repro.cli refresh``, which writes
+``BENCH_refresh.json``.
+"""
+
+from repro.evalkit.experiments import refreshbench
+
+
+def test_delta_refresh_copy_reduction(report):
+    result = refreshbench.run(objects=400, machines=3, duration=10.0)
+    report(refreshbench.format_report(result))
+
+    full = result.point("full")
+    delta = result.point("delta")
+    assert full.invariants_ok and delta.invariants_ok
+    assert full.refresh_rounds > 0 and delta.refresh_rounds > 0
+
+    # The naive mode copies the whole store every refresh...
+    assert full.refresh_objects_copied == full.refresh_objects_live
+    # ...the delta mode moves >= 10x fewer objects per round.
+    assert result.copy_reduction() >= 10.0
+
+    # Both caches must actually fire on this workload.
+    assert delta.decode_cache_hits > 0
+    assert delta.snapshot_cache_hits > 0

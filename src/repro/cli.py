@@ -28,6 +28,7 @@ from repro.evalkit.experiments import (
     fig7,
     recovery,
     reexec,
+    refreshbench,
     responsiveness,
     scaling,
     specreport,
@@ -42,6 +43,15 @@ def _run_syncscale(quick: bool) -> str:
     )
     path = syncscale.write_bench_json(result)
     return f"{syncscale.format_report(result)}\n\n  wrote {path}"
+
+def _run_refresh(quick: bool) -> str:
+    result = refreshbench.run(
+        objects=400 if quick else 2000,
+        duration=12.0 if quick else 30.0,
+    )
+    path = refreshbench.write_bench_json(result)
+    return f"{refreshbench.format_report(result)}\n\n  wrote {path}"
+
 
 #: name -> (runner taking quick: bool, description)
 EXPERIMENTS = {
@@ -110,6 +120,11 @@ EXPERIMENTS = {
             durability.run(wal_lengths=[4, 16] if quick else [8, 32, 128])
         ),
         "Storage subsystem: crash-recovery cost vs WAL length and snapshots",
+    ),
+    "refresh": (
+        _run_refresh,
+        "Versioned stores: objects copied per guess refresh, "
+        "delta vs full copy (BENCH_refresh.json)",
     ),
 }
 

@@ -353,6 +353,10 @@ class Guesstimate:
                 completion(result)
 
         ok = op.execute(self.model.guess)
+        # The guess store can't see method-level mutations; record the
+        # may-touch set so the next delta refresh re-copies these ids
+        # (a failed op may still have partially run — mark regardless).
+        self.model.guess.mark_dirty(op.object_ids())
         if not ok:
             ticket._mark_rejected()
             self.host.notify_rejected(op)

@@ -62,6 +62,11 @@ class MachineModel:
     #: truncated to a suffix, so the master can tell a rejoining machine
     #: the numbering floor it must not reuse (Welcome.op_floor)
     op_high_water: dict[str, int] = field(default_factory=dict, compare=False)
+    #: key -> entry index over ``pending`` so lookups are O(1); kept
+    #: consistent by enqueue_pending/take_pending/requeue_pending_front
+    _pending_index: dict[OpKey, PendingEntry] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     # -- operation numbering ---------------------------------------------------
 
@@ -74,18 +79,23 @@ class MachineModel:
 
     def enqueue_pending(self, entry: PendingEntry) -> None:
         self.pending.append(entry)
+        self._pending_index[entry.key] = entry
 
     def take_pending(self) -> list[PendingEntry]:
         """Remove and return all pending entries (the flush step)."""
         taken = self.pending
         self.pending = []
+        self._pending_index.clear()
         return taken
 
+    def requeue_pending_front(self, entries: list[PendingEntry]) -> None:
+        """Put entries back at the head of P (flush-overflow backpressure)."""
+        self.pending = list(entries) + self.pending
+        for entry in entries:
+            self._pending_index[entry.key] = entry
+
     def find_pending(self, key: OpKey) -> PendingEntry | None:
-        for entry in self.pending:
-            if entry.key == key:
-                return entry
-        return None
+        return self._pending_index.get(key)
 
     # -- completed sequence ------------------------------------------------------
 

@@ -1,0 +1,288 @@
+"""Delta guess-refresh benchmark (``BENCH_refresh.json``).
+
+The paper's ApplyUpdatesFromMesh refreshes the guesstimated store with
+a *full copy* of the committed store — O(total state) per round, even
+when a round's operations touched two objects out of thousands.  The
+versioned-store rebuild copies only objects whose committed version
+advanced plus objects the pending replay dirtied — O(touched state).
+
+This experiment measures exactly that trade on a many-objects workload:
+*n* counters live in the store, every round's operations touch 1-2 of
+them (singles plus the occasional two-object atomic).  Both refresh
+strategies run side by side (``delta_refresh`` on/off) over identical
+workloads, and the headline number is ``refresh_objects_copied`` per
+round — the naive copy moves the whole store every round, the delta a
+handful.  Durable-memory snapshotting is left on so the version-keyed
+``snapshot_states`` cache is exercised too (unchanged objects re-use
+their serialized entry across WAL snapshots).
+
+Every run must still converge with the paper invariants intact
+(``check_all_invariants`` — identical ``sc``/``C`` everywhere and
+``[P](sc) = sg``); the speedup is worthless if the semantics drifted.
+
+::
+
+    python -m repro.cli refresh --quick   # prints the report
+    python -m repro.cli refresh           # full sweep + BENCH_refresh.json
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+from repro.evalkit.experiments.durability import DurableCounter
+from repro.runtime.config import RuntimeConfig, SyncConfig
+from repro.runtime.system import DistributedSystem
+
+#: Refresh strategies measured side by side.  "full" is the paper's
+#: literal copy of the whole committed store every round; "delta" the
+#: versioned-store rebuild (copy only what changed).
+MODES = ("full", "delta")
+
+#: increment() never saturates in these runs
+LIMIT = 10**9
+
+
+@dataclass
+class ModePoint:
+    """One (refresh mode, object count) measurement — workload phase
+    only (object creation is excluded by baseline subtraction)."""
+
+    mode: str
+    objects: int
+    rounds: int = 0
+    refresh_rounds: int = 0
+    refresh_objects_copied: int = 0
+    refresh_objects_live: int = 0
+    copies_per_round: float = 0.0
+    #: copied / live — 1.0 for the naive full copy, << 1 for delta
+    copy_ratio: float = 0.0
+    ops_committed: int = 0
+    mean_round_s: float = 0.0
+    decode_cache_hits: int = 0
+    decode_cache_misses: int = 0
+    snapshot_cache_hits: int = 0
+    snapshot_cache_misses: int = 0
+    invariants_ok: bool = False
+
+
+@dataclass
+class RefreshScaleResult:
+    objects: int
+    machines: int
+    duration: float
+    points: list[ModePoint] = field(default_factory=list)
+
+    def point(self, mode: str) -> ModePoint:
+        return next(p for p in self.points if p.mode == mode)
+
+    def copy_reduction(self) -> float:
+        """full / delta objects-copied-per-refresh ratio (the headline:
+        how many fewer copies the versioned store does per round)."""
+        full, delta = self.point("full"), self.point("delta")
+        if full.refresh_rounds == 0 or delta.refresh_rounds == 0:
+            return 0.0
+        full_rate = full.refresh_objects_copied / full.refresh_rounds
+        delta_rate = delta.refresh_objects_copied / delta.refresh_rounds
+        if delta_rate <= 0.0:
+            return float("inf")
+        return full_rate / delta_rate
+
+
+def _config(mode: str) -> RuntimeConfig:
+    return RuntimeConfig(
+        sync_interval=0.5,
+        delta_refresh=(mode == "delta"),
+        # durable-memory snapshots exercise the version-keyed
+        # snapshot_states cache without touching disk
+        durability="memory",
+        snapshot_interval=8,
+        sync=SyncConfig(batch_max_ops=256),
+    )
+
+
+def _create_objects(system: DistributedSystem, n_objects: int) -> list[str]:
+    """Create the counter population from one machine and quiesce."""
+    api = system.apis()[0]
+    uids = [api.create_instance(DurableCounter).unique_id for _ in range(n_objects)]
+    system.run_until_quiesced()
+    return uids
+
+
+def _drive_workload(
+    system: DistributedSystem, uids: list[str], duration: float, seed: int
+) -> None:
+    """Every machine touches 1-2 random counters ~3x per round.
+
+    Three out of four ticks issue one single-object increment; every
+    fourth issues a two-object atomic (increment both or neither), so
+    rounds exercise both op shapes the delta refresh must track.
+    """
+    rng = random.Random(seed)
+    interval = system.config.sync_interval / 3.0
+    deadline = system.loop.now() + duration
+
+    def tick(machine_id: str, count: int) -> None:
+        api = system.api(machine_id)
+        if count % 4 == 3:
+            first, second = rng.sample(uids, 2)
+            api.invoke(
+                first,
+                "increment",
+                LIMIT,
+                atomic_with=api.create_operation(second, "increment", LIMIT),
+            )
+        else:
+            api.invoke(rng.choice(uids), "increment", LIMIT)
+        if system.loop.now() < deadline:
+            system.loop.call_later(
+                interval, lambda: tick(machine_id, count + 1)
+            )
+
+    for index, machine_id in enumerate(system.machine_ids()):
+        # Stagger the start so flushes are not artificially aligned.
+        system.loop.call_later(0.01 * index, lambda m=machine_id: tick(m, 0))
+    system.run_for(duration)
+    system.run_until_quiesced()
+
+
+def _refresh_totals(system: DistributedSystem) -> tuple[int, int, int]:
+    nodes = system.metrics.node_metrics.values()
+    return (
+        sum(m.refresh_rounds for m in nodes),
+        sum(m.refresh_objects_copied for m in nodes),
+        sum(m.refresh_objects_live for m in nodes),
+    )
+
+
+def _measure(
+    mode: str, objects: int, machines: int, duration: float, seed: int
+) -> ModePoint:
+    system = DistributedSystem(
+        n_machines=machines, seed=seed, config=_config(mode)
+    )
+    system.start(first_sync_delay=0.1)
+    uids = _create_objects(system, objects)
+    # Baseline after setup: creation dirties every object once in both
+    # modes, which would drown the steady-state signal.
+    base_rounds, base_copied, base_live = _refresh_totals(system)
+    base_sync = len(system.metrics.sync_records)
+    _drive_workload(system, uids, duration, seed + 1)
+    system.stop()
+
+    point = ModePoint(mode=mode, objects=objects)
+    try:
+        system.check_all_invariants()
+        point.invariants_ok = True
+    except AssertionError:  # pragma: no cover - failure path
+        point.invariants_ok = False
+
+    rounds, copied, live = _refresh_totals(system)
+    point.refresh_rounds = rounds - base_rounds
+    point.refresh_objects_copied = copied - base_copied
+    point.refresh_objects_live = live - base_live
+    if point.refresh_rounds > 0:
+        point.copies_per_round = point.refresh_objects_copied / point.refresh_rounds
+    if point.refresh_objects_live > 0:
+        point.copy_ratio = point.refresh_objects_copied / point.refresh_objects_live
+
+    records = system.metrics.sync_records[base_sync:]
+    point.rounds = len(records)
+    point.ops_committed = sum(r.ops_committed for r in records)
+    if records:
+        point.mean_round_s = sum(r.duration for r in records) / len(records)
+    point.decode_cache_hits = system.metrics.total_decode_cache_hits()
+    point.decode_cache_misses = system.metrics.total_decode_cache_misses()
+    for machine_id in system.machine_ids():
+        store = system.node(machine_id).model.committed
+        point.snapshot_cache_hits += store.snapshot_cache_hits
+        point.snapshot_cache_misses += store.snapshot_cache_misses
+    return point
+
+
+def run(
+    objects: int = 2000,
+    machines: int = 4,
+    duration: float = 30.0,
+    seed: int = 29,
+) -> RefreshScaleResult:
+    result = RefreshScaleResult(
+        objects=objects, machines=machines, duration=duration
+    )
+    for mode in MODES:
+        result.points.append(_measure(mode, objects, machines, duration, seed))
+    return result
+
+
+def to_bench_json(result: RefreshScaleResult) -> dict:
+    """The ``BENCH_refresh.json`` payload (stable schema for trend
+    tooling)."""
+    return {
+        "benchmark": "refresh",
+        "config": {
+            "objects": result.objects,
+            "machines": result.machines,
+            "duration_s": result.duration,
+        },
+        "modes": {
+            p.mode: {
+                "rounds": p.rounds,
+                "refresh_rounds": p.refresh_rounds,
+                "refresh_objects_copied": p.refresh_objects_copied,
+                "refresh_objects_live": p.refresh_objects_live,
+                "copies_per_round": round(p.copies_per_round, 3),
+                "copy_ratio": round(p.copy_ratio, 6),
+                "ops_committed": p.ops_committed,
+                "mean_round_latency_s": round(p.mean_round_s, 6),
+                "decode_cache_hits": p.decode_cache_hits,
+                "decode_cache_misses": p.decode_cache_misses,
+                "snapshot_cache_hits": p.snapshot_cache_hits,
+                "snapshot_cache_misses": p.snapshot_cache_misses,
+                "invariants_ok": p.invariants_ok,
+            }
+            for p in result.points
+        },
+        "copy_reduction_full_over_delta": round(result.copy_reduction(), 3),
+    }
+
+
+def write_bench_json(
+    result: RefreshScaleResult, path: str = "BENCH_refresh.json"
+) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_bench_json(result), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def format_report(result: RefreshScaleResult) -> str:
+    lines = [
+        "Guess refresh — objects copied committed -> guess per round",
+        f"  ({result.objects} live objects, {result.machines} machines, "
+        f"{result.duration:.0f}s virtual; ops touch 1-2 objects)",
+        f"  {'mode':>6} | {'refreshes':>9} | {'copied':>9} | "
+        f"{'copied/round':>12} | {'copy ratio':>10} | {'invariants':>10}",
+        "  " + "-" * 70,
+    ]
+    for point in result.points:
+        lines.append(
+            f"  {point.mode:>6} | {point.refresh_rounds:>9} | "
+            f"{point.refresh_objects_copied:>9} | "
+            f"{point.copies_per_round:>12.1f} | {point.copy_ratio:>10.4f} | "
+            f"{'ok' if point.invariants_ok else 'FAILED':>10}"
+        )
+    delta = result.point("delta")
+    lines.append("")
+    lines.append(
+        f"  copy reduction (full/delta, per refresh): "
+        f"{result.copy_reduction():.1f}x"
+    )
+    lines.append(
+        f"  decode cache: {delta.decode_cache_hits} hits / "
+        f"{delta.decode_cache_misses} misses;  snapshot cache: "
+        f"{delta.snapshot_cache_hits} hits / {delta.snapshot_cache_misses} "
+        "misses (delta mode)"
+    )
+    return "\n".join(lines)

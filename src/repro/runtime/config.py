@@ -112,6 +112,21 @@ class RuntimeConfig:
     #: it off for speed).
     tracing: bool = False
 
+    #: Guess refresh strategy for ApplyUpdatesFromMesh: True (default)
+    #: copies only objects whose committed version advanced plus
+    #: objects dirtied by pending-op replays — O(touched state) per
+    #: round; False reproduces the paper's literal full copy of the
+    #: committed store — O(total state).  Semantics are identical (the
+    #: simfuzz refresh oracle and Hypothesis properties assert it);
+    #: the flag exists for A/B benchmarking and as an escape hatch.
+    delta_refresh: bool = True
+
+    #: Cross-check every delta refresh against a full-copy shadow
+    #: rebuild ([P](sc) must equal the refreshed sg) and raise on
+    #: divergence.  O(total state) per round — for the simulation
+    #: fuzzer and tests, not production.
+    refresh_oracle: bool = False
+
     # -- future-work extensions (paper section 9) ------------------------
 
     #: Parallelize AddUpdatesToMesh: all machines flush on StartSync

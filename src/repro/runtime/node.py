@@ -279,6 +279,7 @@ class GuesstimateNode(Host):
             for machine_id, op_number, payload, result, committed_at in commit.entries:
                 op = decode_op(payload)
                 op.execute(model.committed)  # deterministic replay
+                model.committed.mark_dirty(op.object_ids())
                 model.record_completed(
                     CompletedEntry(OpKey(machine_id, op_number), op, result, committed_at)
                 )
@@ -341,6 +342,7 @@ class GuesstimateNode(Host):
         # flush in the next round.
         for entry in self.model.pending:
             entry.op.execute(self.model.guess)
+            self.model.guess.mark_dirty(entry.op.object_ids())
             entry.executions += 1
             self.metrics.record_execution(entry.key)
         self.state = GuesstimateNode.STATE_ACTIVE
@@ -379,6 +381,7 @@ class GuesstimateNode(Host):
                     machine_id, op_number, payload, result, committed_at = entry
                     op = decode_op(payload)
                     op.execute(self.model.committed)
+                    self.model.committed.mark_dirty(op.object_ids())
                     self.model.record_completed(
                         CompletedEntry(
                             OpKey(machine_id, op_number), op, result, committed_at
@@ -398,6 +401,7 @@ class GuesstimateNode(Host):
             self.model.guess.refresh_from(self.model.committed)
             for entry in self.model.pending:
                 entry.op.execute(self.model.guess)
+                self.model.guess.mark_dirty(entry.op.object_ids())
                 entry.executions += 1
                 self.metrics.record_execution(entry.key)
             self.trace(
@@ -416,6 +420,9 @@ class GuesstimateNode(Host):
             obj = decode_state({"type": type_name, "state": state})
             if self.model.committed.has(unique_id):
                 self.model.committed.get(unique_id).copy_from(obj)
+                # copy_from bypasses the store; re-stamp so the version
+                # bookkeeping and snapshot cache see the new state.
+                self.model.committed.mark_dirty((unique_id,))
             else:
                 self.model.committed.adopt(unique_id, obj)
         # Any locally-held history predates the snapshot; from here on
@@ -438,6 +445,7 @@ class GuesstimateNode(Host):
         for machine_id, op_number, payload, result, committed_at in welcome.backlog:
             op = decode_op(payload)
             op.execute(self.model.committed)
+            self.model.committed.mark_dirty(op.object_ids())
             self.model.record_completed(
                 CompletedEntry(OpKey(machine_id, op_number), op, result, committed_at)
             )

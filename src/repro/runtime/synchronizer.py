@@ -89,6 +89,8 @@ class RoundState:
     applied: bool = False
     done: bool = False
     missing_timer: object | None = None
+    #: per-round decode_op memo (resends/replays reuse decoded trees)
+    decoded: dict[OpKey, object] = field(default_factory=dict)
 
     def received_count_from(self, machine_id: str) -> int:
         return sum(1 for key in self.received if key.machine_id == machine_id)
@@ -119,6 +121,11 @@ class Synchronizer:
         self.last_flush: dict[int, dict[OpKey, dict]] = {}
         self.in_flight: dict[OpKey, PendingEntry] = {}
         self.pending_completions: list[tuple[PendingEntry, bool]] = []
+        #: committed-store ids touched by applied rounds whose guess
+        #: refresh has not run yet — the delta refresh drains this, so
+        #: with pipelining round k's refresh also covers round k+1's
+        #: already-applied ops (the naive full copy trivially did).
+        self.refresh_backlog: set[str] = set()
         # Master-liveness tracking for the failover extension.
         self.last_master_signal: float = node.scheduler.now()
         self.last_order: tuple[str, ...] = ()
@@ -244,7 +251,7 @@ class Synchronizer:
         if len(entries) > node.config.max_ops_per_flush:  # pragma: no cover
             overflow = entries[node.config.max_ops_per_flush :]
             entries = entries[: node.config.max_ops_per_flush]
-            node.model.pending = overflow + node.model.pending
+            node.model.requeue_pending_front(overflow)
         stash = self.last_flush.setdefault(round_state.round_id, {})
         encoded: list[tuple[int, dict]] = []
         for entry in entries:
@@ -410,7 +417,22 @@ class Synchronizer:
         object_ids: set[str] = set()
         decoded = []
         for key in keys:
-            op = decode_op(round_state.received[key])
+            # Decode cache: our own in-flight ops still hold the
+            # original operation tree (operations are immutable data),
+            # and the per-round memo covers payloads a resend or replay
+            # already decoded — only genuinely new payloads pay decode.
+            entry = self.in_flight.get(key)
+            if entry is not None:
+                op = entry.op
+                node.metrics.decode_cache_hits += 1
+            else:
+                op = round_state.decoded.get(key)
+                if op is None:
+                    op = decode_op(round_state.received[key])
+                    round_state.decoded[key] = op
+                    node.metrics.decode_cache_misses += 1
+                else:
+                    node.metrics.decode_cache_hits += 1
             decoded.append((key, op))
             object_ids |= op.object_ids()
         remote_touched: set[str] = set()
@@ -444,6 +466,11 @@ class Synchronizer:
                         node.metrics.ops_committed_failed += 1
                         if entry.issue_result:
                             node.metrics.conflicts += 1
+            # Version bookkeeping: these are exactly the committed-store
+            # ids this round may have mutated — the delta guess-refresh
+            # and the version-keyed snapshot cache both key off them.
+            node.model.committed.mark_dirty(object_ids)
+        self.refresh_backlog |= object_ids
         round_state.applied = True
         # Write-ahead ordering: the committed round reaches the durable
         # log before this machine acknowledges it, so an acked round is
@@ -475,14 +502,39 @@ class Synchronizer:
         self._nudge_later_rounds(round_state.round_id)
 
     def _update_guess(
-        self, round_state: RoundState, remote_touched: set[str] = frozenset()
+        self,
+        round_state: RoundState,
+        remote_touched: set[str] = frozenset(),
     ) -> None:
-        """Copy committed → guess, run completions, re-apply pending ops."""
+        """Copy committed → guess, run completions, re-apply pending ops.
+
+        The copy is a **delta refresh**: only committed-store ids the
+        applied-but-unrefreshed rounds touched (``refresh_backlog`` —
+        with pipelining that can cover several rounds at once, exactly
+        like the naive copy of the *current* committed store did),
+        objects the guess store dirtied replaying pending ops, and
+        membership changes are copied — O(touched state) per round
+        instead of the paper's literal O(total state) full copy
+        (``delta_refresh=False`` restores the latter;
+        ``refresh_oracle=True`` cross-checks the delta against a full
+        shadow rebuild every round).
+        """
         node = self.node
+        model = node.model
+        touched = self.refresh_backlog
+        self.refresh_backlog = set()
         node.enter_window("update")
-        with node.read_locks.writing(node.model.committed.ids()):
-            node.model.guess.refresh_from(node.model.committed)
-        node.trace(Tracer.REFRESH, round=round_state.round_id)
+        if node.config.delta_refresh:
+            candidates = model.guess.refresh_candidates(model.committed, touched)
+            with node.read_locks.writing(sorted(candidates)):
+                copied = model.guess.refresh_delta_from(model.committed, touched)
+        else:
+            with node.read_locks.writing(model.committed.ids()):
+                copied = model.guess.refresh_from(model.committed)
+        node.metrics.refresh_rounds += 1
+        node.metrics.refresh_objects_copied += copied
+        node.metrics.refresh_objects_live += len(model.committed)
+        node.trace(Tracer.REFRESH, round=round_state.round_id, copied=copied)
         completions = self.pending_completions
         self.pending_completions = []
         for entry, result in completions:
@@ -493,8 +545,16 @@ class Synchronizer:
             node.trace(Tracer.COMPLETION, key=str(entry.key), ok=result)
         for entry in node.model.pending:
             entry.op.execute(node.model.guess)  # result deliberately ignored
+            node.model.guess.mark_dirty(entry.op.object_ids())
             entry.executions += 1
             node.metrics.record_execution(entry.key)
+        if node.config.refresh_oracle and not node.model.check_convergence_invariant():
+            from repro.errors import RuntimeFailure
+
+            raise RuntimeFailure(
+                f"delta-refresh divergence on {node.machine_id} after round "
+                f"{round_state.round_id}: refreshed sg != [P](sc)"
+            )
         node.fire_remote_updates(remote_touched)
 
         def end_update() -> None:
@@ -571,6 +631,7 @@ class Synchronizer:
                 round_state.missing_timer.cancel()  # type: ignore[attr-defined]
         self.rounds.clear()
         self.op_buffer.clear()
+        self.refresh_backlog.clear()
         self.last_flush.clear()
         self.in_flight.clear()
         self.pending_completions.clear()

@@ -68,6 +68,11 @@ def build_config(spec: ScenarioSpec) -> RuntimeConfig:
         ),
         durability="memory",
         snapshot_interval=spec.snapshot_interval,
+        # Every fuzzed round cross-checks the delta guess-refresh
+        # against a full shadow rebuild: [P](sc) must equal sg.  A
+        # divergence raises RuntimeFailure, which the runner records
+        # as a violation on the failing seed.
+        refresh_oracle=True,
     )
 
 

@@ -51,6 +51,30 @@ class TestQueues:
         assert model.find_pending(entry.key) is entry
         assert model.find_pending(OpKey("m01", 99)) is None
 
+    def test_find_pending_cleared_by_take(self):
+        model = MachineModel("m01")
+        op = PrimitiveOp("c1", "increment", (5,))
+        entry = make_entry(model, op)
+        model.enqueue_pending(entry)
+        model.take_pending()
+        assert model.find_pending(entry.key) is None
+
+    def test_requeue_front_restores_order_and_index(self):
+        model = MachineModel("m01")
+        op = PrimitiveOp("c1", "increment", (5,))
+        entries = [make_entry(model, op) for _ in range(3)]
+        for entry in entries:
+            model.enqueue_pending(entry)
+        taken = model.take_pending()
+        late = make_entry(model, op)
+        model.enqueue_pending(late)
+        # flush overflow puts the untaken tail back at the head of P
+        model.requeue_pending_front(taken[1:])
+        assert [e.key.op_number for e in model.pending] == [2, 3, 4]
+        for entry in [*taken[1:], late]:
+            assert model.find_pending(entry.key) is entry
+        assert model.find_pending(taken[0].key) is None
+
     def test_completed_bookkeeping(self):
         model = MachineModel("m01")
         op = PrimitiveOp("c1", "increment", (5,))

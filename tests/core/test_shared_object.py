@@ -89,6 +89,36 @@ class TestStateEqual:
     def test_different_types_never_equal(self):
         assert not Counter().state_equal(Ledger())
 
+    def test_runtime_fields_are_ignored(self):
+        a, b = Counter(), Counter()
+        a._bind_id("c1")  # registration must not break equality
+        assert a.state_equal(b) and b.state_equal(a)
+
+    def test_extra_attribute_breaks_equality(self):
+        a, b = Counter(), Counter()
+        a.extra = 1
+        assert not a.state_equal(b)
+        assert not b.state_equal(a)
+
+    def test_get_state_override_defines_equality(self):
+        class Narrow(GSharedObject):
+            """Only ``value`` is state; ``scratch`` is a local cache."""
+
+            def __init__(self):
+                self.value = 0
+                self.scratch = object()  # differs per instance
+
+            def copy_from(self, src: "Narrow") -> None:
+                self.value = src.value
+
+            def get_state(self):
+                return {"value": self.value}
+
+        a, b = Narrow(), Narrow()
+        assert a.state_equal(b)  # scratch differs but is not state
+        b.value = 5
+        assert not a.state_equal(b)
+
 
 class TestValidation:
     def test_valid_class_passes(self):

@@ -171,3 +171,146 @@ class TestTransactionView:
         txn.create("b", Counter, None)
         assert txn.has("b")
         assert not store.has("b")
+
+
+class TestVersionStamps:
+    def test_create_stamps_version(self):
+        store = ObjectStore()
+        store.create("c1", Counter, None)
+        assert store.version("c1") > 0
+        assert store.version("missing") == 0
+
+    def test_mark_dirty_bumps_present_ids_only(self):
+        store = ObjectStore()
+        store.create("c1", Counter, None)
+        before = store.version("c1")
+        store.mark_dirty(["c1", "ghost"])
+        assert store.version("c1") > before
+        assert store.version("ghost") == 0
+
+    def test_remove_forgets_version(self):
+        store = ObjectStore()
+        store.create("c1", Counter, None)
+        store.remove("c1")
+        assert store.version("c1") == 0
+
+    def test_recreate_gets_fresh_stamp(self):
+        store = ObjectStore()
+        store.create("c1", Counter, None)
+        first = store.version("c1")
+        store.remove("c1")
+        store.create("c1", Counter, None)
+        assert store.version("c1") > first
+
+
+class TestDeltaRefresh:
+    def test_initial_delta_copies_everything(self):
+        source, target = ObjectStore(), ObjectStore()
+        for uid in ("a", "b", "c"):
+            source.create(uid, Counter, {"value": 1})
+        assert target.refresh_delta_from(source) == 3
+        assert target.state_equal(source)
+
+    def test_untouched_objects_are_not_copied(self):
+        source, target = ObjectStore(), ObjectStore()
+        for uid in ("a", "b", "c"):
+            source.create(uid, Counter, {"value": 1})
+        target.refresh_delta_from(source)
+        source.get("b").increment(10)
+        source.mark_dirty(("b",))
+        assert target.refresh_delta_from(source, ("b",)) == 1
+        assert target.get("b").value == 2
+        assert target.state_equal(source)
+
+    def test_source_create_detected_without_touched(self):
+        source, target = ObjectStore(), ObjectStore()
+        source.create("a", Counter, None)
+        target.refresh_delta_from(source)
+        source.create("b", Counter, {"value": 7})
+        assert target.refresh_delta_from(source) == 1
+        assert target.get("b").value == 7
+
+    def test_remove_then_recreate_is_copied(self):
+        source, target = ObjectStore(), ObjectStore()
+        source.create("a", Counter, {"value": 5})
+        target.refresh_delta_from(source)
+        source.remove("a")
+        source.create("a", Counter, {"value": 0})
+        target.refresh_delta_from(source)
+        assert target.get("a").value == 0
+
+    def test_target_dirty_objects_are_recopied(self):
+        source, target = ObjectStore(), ObjectStore()
+        source.create("a", Counter, {"value": 3})
+        target.refresh_delta_from(source)
+        # pending-op replay mutates the target; the next refresh must
+        # restore the committed value even though the source is unchanged
+        target.get("a").increment(10)
+        target.mark_dirty(("a",))
+        assert target.refresh_delta_from(source) == 1
+        assert target.get("a").value == 3
+
+    def test_target_only_objects_survive_like_full_refresh(self):
+        source, naive, delta = ObjectStore(), ObjectStore(), ObjectStore()
+        source.create("a", Counter, {"value": 1})
+        for target in (naive, delta):
+            target.create("pending", Counter, {"value": 9})
+        naive.refresh_from(source)
+        delta.refresh_delta_from(source)
+        assert delta.state_equal(naive)
+        assert delta.get("pending").value == 9
+
+    def test_delta_does_not_alias_source_objects(self):
+        source, target = ObjectStore(), ObjectStore()
+        source.create("a", Counter, None)
+        target.refresh_delta_from(source)
+        assert target.get("a") is not source.get("a")
+
+    def test_refresh_candidates_quiescent_is_empty(self):
+        source, target = ObjectStore(), ObjectStore()
+        source.create("a", Counter, None)
+        target.refresh_delta_from(source)
+        assert target.refresh_candidates(source) == set()
+
+
+class TestSnapshotCache:
+    def test_unchanged_objects_hit_the_cache(self):
+        store = ObjectStore()
+        store.create("a", Counter, None)
+        store.create("b", Counter, None)
+        first = store.snapshot_states()
+        second = store.snapshot_states()
+        assert second == first
+        assert store.snapshot_cache_hits == 2
+        assert store.snapshot_cache_misses == 2
+
+    def test_mutation_invalidates_one_entry(self):
+        store = ObjectStore()
+        store.create("a", Counter, None)
+        store.create("b", Counter, None)
+        store.snapshot_states()
+        store.get("a").increment(10)
+        store.mark_dirty(("a",))
+        snapshot = store.snapshot_states()
+        assert snapshot["a"][1] == {"value": 1}
+        assert store.snapshot_cache_hits == 1  # "b" only
+        assert store.snapshot_cache_misses == 3
+
+    def test_remove_evicts_cache_entry(self):
+        store = ObjectStore()
+        store.create("a", Counter, {"value": 4})
+        store.snapshot_states()
+        store.remove("a")
+        store.create("a", Counter, {"value": 0})
+        assert store.snapshot_states()["a"][1] == {"value": 0}
+
+    def test_transaction_commit_marks_base_dirty(self):
+        store = ObjectStore()
+        store.create("a", Counter, None)
+        store.snapshot_states()
+        txn = TransactionView(store)
+        txn.get("a").increment(10)
+        txn.commit()
+        # copy_from bypasses the store, but commit reports the write —
+        # the snapshot cache must not serve the stale entry
+        assert store.snapshot_states()["a"][1] == {"value": 1}

@@ -35,6 +35,7 @@ class TestCli:
             "scaling",
             "syncscale",
             "durability",
+            "refresh",
         }
 
     def test_report_command_writes_files(self, tmp_path, capsys, monkeypatch):

@@ -1,0 +1,130 @@
+"""Property: the delta refresh is indistinguishable from the full copy.
+
+Two target stores track one "committed" source through a random
+interleaving of creates, removes, in-place mutations, target-local
+pending creates and pending-op replays.  One target syncs with the
+paper's naive ``refresh_from`` (the oracle), the other with
+``refresh_delta_from`` fed only the touched-id sets the apply stage
+would know.  After every sync the two targets must be state-equal —
+that is exactly the ``delta-refreshed sg == [P](sc)`` contract the
+synchronizer relies on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.store import ObjectStore
+from tests.helpers import Counter, Ledger
+
+#: ids that live in the committed source (created/removed/recreated)
+SHARED_IDS = ("a", "b", "c")
+#: ids only ever created on the targets (pending creates: a full
+#: refresh leaves them untouched, so the delta must too)
+LOCAL_IDS = ("p", "q")
+
+#: (kind, shared-id index, amount) action tuples
+ACTIONS = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 2), st.integers(1, 5)),
+    max_size=60,
+)
+
+
+def _sync_and_compare(source, naive, delta, touched):
+    naive.refresh_from(source)
+    delta.refresh_delta_from(source, touched)
+    touched.clear()
+    assert delta.state_equal(naive)
+
+
+class TestDeltaRefreshEquivalence:
+    @given(actions=ACTIONS)
+    @settings(max_examples=200, deadline=None)
+    def test_delta_matches_naive_mirror(self, actions):
+        source = ObjectStore("committed")
+        naive = ObjectStore("naive")
+        delta = ObjectStore("delta")
+        touched: set[str] = set()
+        for kind, idx, amount in actions:
+            uid = SHARED_IDS[idx]
+            if kind == 0:
+                # commit-stream create (remove-then-recreate reuses ids)
+                if not source.has(uid):
+                    source.create(uid, Counter, {"value": amount})
+            elif kind == 1:
+                source.remove(uid)
+            elif kind == 2:
+                # committed op: mutate in place, report like _apply does
+                if source.has(uid):
+                    source.get(uid).add(amount, 10**9)
+                    source.mark_dirty((uid,))
+                    touched.add(uid)
+            elif kind == 3:
+                # pending create: exists on the targets only
+                local = LOCAL_IDS[idx % len(LOCAL_IDS)]
+                for target in (naive, delta):
+                    if not target.has(local):
+                        target.create(local, Counter, {"value": amount})
+            elif kind == 4:
+                # pending-op replay: same mutation on both targets
+                for target in (naive, delta):
+                    if target.has(uid):
+                        target.get(uid).add(amount, 10**9)
+                        target.mark_dirty((uid,))
+            else:
+                _sync_and_compare(source, naive, delta, touched)
+        _sync_and_compare(source, naive, delta, touched)
+
+    @given(
+        values=st.lists(st.integers(1, 9), min_size=1, max_size=6),
+        extra=st.integers(1, 9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quiescent_sync_copies_nothing(self, values, extra):
+        """A second sync with no intervening changes moves zero objects
+        (the whole point: rounds cost O(touched), and nothing was
+        touched)."""
+        source = ObjectStore("committed")
+        delta = ObjectStore("delta")
+        for index, value in enumerate(values):
+            source.create(f"o{index}", Counter, {"value": value})
+        assert delta.refresh_delta_from(source) == len(values)
+        assert delta.refresh_delta_from(source) == 0
+        # One touched object -> exactly one copy.
+        source.get("o0").add(extra, 10**9)
+        source.mark_dirty(("o0",))
+        assert delta.refresh_delta_from(source, ("o0",)) == 1
+        assert delta.state_equal(source)
+
+
+class TestSnapshotCacheProperties:
+    @given(actions=ACTIONS)
+    @settings(max_examples=100, deadline=None)
+    def test_cached_snapshots_match_fresh_serialization(self, actions):
+        """snapshot_states served through the version-keyed cache is
+        byte-identical to serializing every object from scratch, no
+        matter how creates/removes/mutations interleave with calls."""
+        store = ObjectStore("committed")
+        for kind, idx, amount in actions:
+            uid = SHARED_IDS[idx]
+            if kind == 0:
+                if not store.has(uid):
+                    cls = Ledger if idx == 2 else Counter
+                    store.create(uid, cls, None)
+            elif kind == 1:
+                store.remove(uid)
+            elif kind in (2, 4):
+                if store.has(uid):
+                    obj = store.get(uid)
+                    if isinstance(obj, Ledger):
+                        obj.deposit(amount, "d")
+                    else:
+                        obj.add(amount, 10**9)
+                    store.mark_dirty((uid,))
+            else:
+                store.snapshot_states()  # populate/exercise the cache
+        snapshot = store.snapshot_states()
+        assert set(snapshot) == set(store.ids())
+        for uid, (type_name, state) in snapshot.items():
+            obj = store.get(uid)
+            assert type_name == type(obj).__name__
+            assert state == obj.get_state()
