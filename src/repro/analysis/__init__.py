@@ -1,0 +1,43 @@
+"""glint — AST-based static analysis for GUESSTIMATE operation code.
+
+The runtime enforces the paper's restrictions dynamically (contract
+checking, the refresh oracle, simfuzz agreement probes); this package
+front-runs the same hazards statically, before any run:
+
+=======  ==========================================================
+GL001    operations and specs must be deterministic
+GL002    in-place mutations must be visible to dirty-tracking
+GL003    completions issue operations, never mutate shared state
+GL004    spec predicates fit the calling convention and are pure
+GL005    no global random state, no unseeded ``random.Random()``
+=======  ==========================================================
+
+Entry points: the ``glint`` console script, ``python -m repro.cli
+lint``, or :func:`analyze_paths` from code.  See ``docs/ANALYSIS.md``.
+"""
+
+from repro.analysis.engine import analyze_modules, analyze_paths
+from repro.analysis.loader import AnalysisUsageError, load_module, load_paths
+from repro.analysis.report import (
+    REPORT_SCHEMA_VERSION,
+    Baseline,
+    Finding,
+    Report,
+)
+from repro.analysis.rules.base import ALL_RULES, Rule, rule_by_id, rules_for
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisUsageError",
+    "Baseline",
+    "Finding",
+    "REPORT_SCHEMA_VERSION",
+    "Report",
+    "Rule",
+    "analyze_modules",
+    "analyze_paths",
+    "load_module",
+    "load_paths",
+    "rule_by_id",
+    "rules_for",
+]

@@ -1,0 +1,119 @@
+"""``glint`` — the command-line front end of :mod:`repro.analysis`.
+
+Exit codes follow the usual linter convention:
+
+* ``0`` — clean (no findings after pragma/baseline suppression);
+* ``1`` — findings reported;
+* ``2`` — usage error: bad paths, unparsable source, unknown rule ids,
+  corrupt baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.engine import analyze_paths
+from repro.analysis.loader import AnalysisUsageError
+from repro.analysis.report import Baseline
+from repro.analysis.rules.base import ALL_RULES
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="glint",
+        description=(
+            "AST-based static analysis for GUESSTIMATE operation code "
+            "(determinism, dirty-tracking, completion safety, spec "
+            "conformance, seed plumbing)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (directories recurse over *.py)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        help="write the report to this file as well as stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="baseline file of accepted findings to suppress",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="write current findings to PATH as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--root",
+        help="anchor for repo-relative display paths (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.title}")
+            print(f"       {rule.rationale}")
+        return EXIT_CLEAN
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("glint: error: no paths given", file=sys.stderr)
+        return EXIT_USAGE
+
+    rule_ids = None
+    if args.rules:
+        rule_ids = [part.strip() for part in args.rules.split(",") if part.strip()]
+
+    try:
+        baseline = Baseline.load(args.baseline) if args.baseline else None
+        report = analyze_paths(
+            args.paths, rule_ids=rule_ids, baseline=baseline, root=args.root
+        )
+        if args.write_baseline:
+            Baseline().write(args.write_baseline, report)
+            print(
+                f"wrote {len(report.findings)} finding(s) to "
+                f"{args.write_baseline}"
+            )
+            return EXIT_CLEAN
+    except AnalysisUsageError as exc:
+        print(f"glint: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    rendered = report.to_json() if args.format == "json" else report.format_text()
+    print(rendered)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+    return EXIT_FINDINGS if report.findings else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,584 @@
+"""Project-wide AST index and the scope/alias/mutation scanner.
+
+The checkers share three pieces of knowledge this module computes in
+one pass over every loaded module:
+
+* which classes are **shared** (derive from ``GSharedObject`` —
+  directly, transitively within the analyzed set, or via the
+  ``@shared_type`` registration decorator), and per class: its methods,
+  each method's ``@modifies`` frame, its spec clauses, and the
+  attributes assigned in ``__init__``;
+* which method names are **operations** (carry a ``@modifies`` frame)
+  anywhere in the project — completions calling one of these directly
+  instead of issuing it is the GL003 hazard;
+* which attributes of *client* classes hold **shared replicas** — any
+  ``self.X`` passed as the object argument of ``invoke`` /
+  ``create_operation`` / ``issue_*`` is one.
+
+Everything is name-based and import-tracked but never executed: the
+analysis must hold up on fixture files that deliberately violate the
+model.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.loader import SourceModule
+
+#: decorator names recognized as contract clauses
+SPEC_DECORATORS = {"requires", "ensures", "modifies", "invariant"}
+
+#: methods that are state-transfer / lifecycle machinery, not operations —
+#: they mutate by contract and are excluded from GL002's frame check
+LIFECYCLE_METHODS = {"__init__", "copy_from", "set_state", "get_state", "clone"}
+
+#: container methods that mutate their receiver in place
+MUTATING_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "add", "discard", "update", "setdefault", "sort", "reverse",
+    "appendleft", "popleft", "extendleft", "rotate",
+    "difference_update", "intersection_update", "symmetric_difference_update",
+    "__setitem__", "__delitem__", "write",
+}
+
+#: accessor methods that return an interior view of their receiver —
+#: mutating the result mutates the receiver (``self.topics[t]`` via
+#: ``.get`` / ``.setdefault`` and friends)
+PASSTHROUGH_METHODS = {"get", "setdefault", "values", "items", "keys"}
+
+#: API calls whose object argument marks an attribute as a shared replica
+ISSUE_CALLS = {"invoke", "create_operation", "issue_operation", "issue_when_possible"}
+
+
+# ---------------------------------------------------------------------------
+# import resolution
+
+
+def module_import_map(tree: ast.Module) -> dict[str, str]:
+    """Local name -> dotted origin for every top-level import.
+
+    ``import random`` -> {"random": "random"};
+    ``import random as rnd`` -> {"rnd": "random"};
+    ``from time import sleep`` -> {"sleep": "time.sleep"}.
+    """
+    mapping: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                mapping[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                mapping[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+def qualified_call_name(
+    func: ast.expr, imports: dict[str, str]
+) -> str | None:
+    """Dotted name of a call target, resolved through the import map.
+
+    ``time.sleep`` with ``import time`` -> "time.sleep";
+    ``sleep`` with ``from time import sleep`` -> "time.sleep";
+    ``rng.choice`` where ``rng`` is a local -> "rng.choice" (unresolved
+    names pass through verbatim so rules can still match bare builtins).
+    """
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    head = imports.get(parts[0])
+    if head is not None:
+        parts[0] = head
+    return ".".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# project index
+
+
+@dataclass
+class MethodInfo:
+    node: ast.FunctionDef
+    name: str
+    #: fields declared via @modifies, or None when no frame is declared
+    modifies: tuple[str, ...] | None = None
+    has_contracts: bool = False
+
+
+@dataclass
+class SpecBinding:
+    """One contract predicate attached to a class or method."""
+
+    kind: str  # "requires" | "ensures" | "invariant"
+    predicate: ast.expr  # Lambda or Name (module-level function ref)
+    owner: str  # "Class" or "Class.method"
+    method: ast.FunctionDef | None  # None for invariants
+    lineno: int
+
+
+@dataclass
+class SharedClassInfo:
+    node: ast.ClassDef
+    name: str
+    module: SourceModule
+    methods: dict[str, MethodInfo] = field(default_factory=dict)
+    init_attrs: set[str] = field(default_factory=set)
+    specs: list[SpecBinding] = field(default_factory=list)
+
+
+@dataclass
+class ProjectContext:
+    """Everything the rules know about the analyzed module set."""
+
+    modules: list[SourceModule]
+    imports: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: class name -> info, for every shared class in the analyzed set
+    shared_classes: dict[str, SharedClassInfo] = field(default_factory=dict)
+    #: every @modifies-framed method name anywhere in the project
+    operation_names: set[str] = field(default_factory=set)
+
+    def imports_of(self, module: SourceModule) -> dict[str, str]:
+        return self.imports[module.display_path]
+
+
+def _decorator_call(node: ast.expr) -> tuple[str, ast.Call] | None:
+    """(bare decorator name, call node) for ``@name(...)`` decorators."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    name = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    if name in SPEC_DECORATORS:
+        return name, node
+    return None
+
+
+def _base_names(node: ast.ClassDef) -> set[str]:
+    names: set[str] = set()
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def _has_shared_type_decorator(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name) and target.id == "shared_type":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "shared_type":
+            return True
+    return False
+
+
+def _collect_method(method: ast.FunctionDef) -> MethodInfo:
+    info = MethodInfo(node=method, name=method.name)
+    for dec in method.decorator_list:
+        found = _decorator_call(dec)
+        if found is None:
+            continue
+        name, call = found
+        info.has_contracts = True
+        if name == "modifies":
+            fields_: list[str] = []
+            for arg in call.args:
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                    fields_.append(arg.value)
+            info.modifies = tuple(fields_)
+    return info
+
+
+def _collect_specs(cls: ast.ClassDef, info: SharedClassInfo) -> None:
+    for dec in cls.decorator_list:
+        found = _decorator_call(dec)
+        if found and found[0] == "invariant" and found[1].args:
+            info.specs.append(
+                SpecBinding(
+                    kind="invariant",
+                    predicate=found[1].args[0],
+                    owner=info.name,
+                    method=None,
+                    lineno=dec.lineno,
+                )
+            )
+    for method_info in info.methods.values():
+        for dec in method_info.node.decorator_list:
+            found = _decorator_call(dec)
+            if found and found[0] in ("requires", "ensures") and found[1].args:
+                info.specs.append(
+                    SpecBinding(
+                        kind=found[0],
+                        predicate=found[1].args[0],
+                        owner=f"{info.name}.{method_info.name}",
+                        method=method_info.node,
+                        lineno=dec.lineno,
+                    )
+                )
+
+
+def _init_attrs(cls_info: SharedClassInfo) -> set[str]:
+    init = cls_info.methods.get("__init__")
+    if init is None:
+        return set()
+    attrs: set[str] = set()
+    for node in ast.walk(init.node):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attrs.add(target.attr)
+    return attrs
+
+
+def build_context(modules: list[SourceModule]) -> ProjectContext:
+    context = ProjectContext(modules=modules)
+    class_bases: dict[str, set[str]] = {}
+    class_nodes: dict[str, tuple[ast.ClassDef, SourceModule]] = {}
+
+    for module in modules:
+        context.imports[module.display_path] = module_import_map(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                class_bases[node.name] = _base_names(node)
+                class_nodes.setdefault(node.name, (node, module))
+
+    # Transitive GSharedObject descent within the analyzed set, plus
+    # @shared_type as an independent registration signal.
+    shared_names: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, bases in class_bases.items():
+            if name in shared_names:
+                continue
+            if "GSharedObject" in bases or bases & shared_names:
+                shared_names.add(name)
+                changed = True
+    for name, (node, _module) in class_nodes.items():
+        if name not in shared_names and _has_shared_type_decorator(node):
+            shared_names.add(name)
+
+    for name in shared_names:
+        node, module = class_nodes[name]
+        info = SharedClassInfo(node=node, name=name, module=module)
+        for item in node.body:
+            if isinstance(item, ast.FunctionDef):
+                info.methods[item.name] = _collect_method(item)
+        info.init_attrs = _init_attrs(info)
+        _collect_specs(node, info)
+        context.shared_classes[name] = info
+        for method_info in info.methods.values():
+            if method_info.modifies is not None:
+                context.operation_names.add(method_info.name)
+
+    return context
+
+
+# ---------------------------------------------------------------------------
+# scope / alias / mutation scanning
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One in-place mutation detected inside a function body."""
+
+    node: ast.AST  # anchor (has lineno/col_offset)
+    root: str  # the tracked root the mutated expression resolves to
+    kind: str  # "assign" | "augassign" | "delete" | "call:<method>"
+    target_text: str  # source-ish rendering of the mutated expression
+
+
+def _expr_text(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)  # type: ignore[arg-type]
+    except Exception:  # pragma: no cover - unparse is total on exprs
+        return "<expr>"
+
+
+class ScopeScanner:
+    """Tracks which local names alias which roots, and finds mutations.
+
+    ``roots`` seeds the tracked set: ``{"self.items": "items"}`` style
+    is flattened to expression-root keys — ``self`` attribute roots are
+    tracked per attribute, plain names (``board``) per name.  Alias
+    propagation is linear and syntactic: ``x = self.items`` /
+    ``x = self.items[k]`` / ``for x in self.items.values():`` all make
+    ``x`` an alias of root ``items``.
+    """
+
+    def __init__(
+        self,
+        self_attrs: set[str] | None = None,
+        names: dict[str, str] | None = None,
+        any_self_attr: bool = False,
+    ):
+        #: self.<attr> roots to track ("items"); ignored unless matched
+        self.self_attrs = set(self_attrs or ())
+        #: plain-name roots to track: local name -> reported root label
+        self.names = dict(names or {})
+        #: track every self.<attr> (GL002 over a whole method body)
+        self.any_self_attr = any_self_attr
+        #: local aliases: name -> reported root label
+        self.aliases: dict[str, str] = {}
+        self.mutations: list[Mutation] = []
+
+    # -- root resolution -----------------------------------------------------
+
+    def _resolve(self, node: ast.expr) -> str | None:
+        """Reported root label for an expression, or None if untracked."""
+        while True:
+            if isinstance(node, ast.Subscript):
+                node = node.value
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in PASSTHROUGH_METHODS
+                ):
+                    node = func.value
+                else:
+                    return None
+            elif isinstance(node, ast.Attribute):
+                if isinstance(node.value, ast.Name) and node.value.id == "self":
+                    attr = node.attr
+                    if self.any_self_attr or attr in self.self_attrs:
+                        return f"self.{attr}"
+                    return None
+                node = node.value
+            elif isinstance(node, ast.Name):
+                if node.id in self.names:
+                    return self.names[node.id]
+                return self.aliases.get(node.id)
+            else:
+                return None
+
+    def _deep_resolve(self, node: ast.expr) -> str | None:
+        """Like _resolve but also matches nested roots of attribute
+        chains rooted at tracked plain names (``board.topics[...]``)."""
+        return self._resolve(node)
+
+    # -- traversal -----------------------------------------------------------
+
+    def scan(self, body: list[ast.stmt]) -> list[Mutation]:
+        for stmt in body:
+            self._stmt(stmt)
+        return self.mutations
+
+    def _record(self, node: ast.AST, root: str, kind: str, target: ast.AST) -> None:
+        self.mutations.append(
+            Mutation(node=node, root=root, kind=kind, target_text=_expr_text(target))
+        )
+
+    def _bind_alias(self, name: str, value: ast.expr) -> None:
+        root = self._resolve(value)
+        if root is not None:
+            self.aliases[name] = root
+        else:
+            self.aliases.pop(name, None)
+
+    def _bind_target(self, target: ast.expr, value: ast.expr | None) -> None:
+        """Handle the *binding* side of an assignment (alias tracking)."""
+        if isinstance(target, ast.Name) and value is not None:
+            self._bind_alias(target.id, value)
+        elif isinstance(target, (ast.Tuple, ast.List)) and value is not None:
+            root = self._resolve(value)
+            for element in target.elts:
+                if isinstance(element, ast.Name):
+                    if root is not None:
+                        self.aliases[element.id] = root
+                    else:
+                        self.aliases.pop(element.id, None)
+
+    def _mutation_target(self, target: ast.expr, node: ast.AST, kind: str) -> None:
+        """Handle the *mutating* side of an assignment target."""
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._mutation_target(element, node, kind)
+            return
+        if isinstance(target, ast.Name):
+            return  # rebinding a local is not a state mutation
+        root = self._resolve(target)
+        if root is not None:
+            self._record(node, root, kind, target)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                self._mutation_target(target, stmt, "assign")
+            for target in stmt.targets:
+                self._bind_target(target, stmt.value)
+            self._expr(stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.target is not None:
+                self._mutation_target(stmt.target, stmt, "assign")
+                if stmt.value is not None:
+                    self._bind_target(stmt.target, stmt.value)
+            if stmt.value is not None:
+                self._expr(stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            root = self._resolve(stmt.target)
+            if root is not None:
+                self._record(stmt, root, "augassign", stmt.target)
+            self._expr(stmt.value)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.aliases.pop(target.id, None)
+                    continue
+                root = self._resolve(target)
+                if root is not None:
+                    self._record(stmt, root, "delete", target)
+        elif isinstance(stmt, ast.For):
+            self._bind_target(stmt.target, stmt.iter)
+            self._expr(stmt.iter)
+            for sub in stmt.body + stmt.orelse:
+                self._stmt(sub)
+        elif isinstance(stmt, ast.While):
+            self._expr(stmt.test)
+            for sub in stmt.body + stmt.orelse:
+                self._stmt(sub)
+        elif isinstance(stmt, ast.If):
+            self._expr(stmt.test)
+            for sub in stmt.body + stmt.orelse:
+                self._stmt(sub)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._expr(item.context_expr)
+                if item.optional_vars is not None and isinstance(
+                    item.optional_vars, ast.Name
+                ):
+                    self._bind_alias(item.optional_vars.id, item.context_expr)
+            for sub in stmt.body:
+                self._stmt(sub)
+        elif isinstance(stmt, ast.Try):
+            for sub in stmt.body + stmt.orelse + stmt.finalbody:
+                self._stmt(sub)
+            for handler in stmt.handlers:
+                for sub in handler.body:
+                    self._stmt(sub)
+        elif isinstance(stmt, (ast.Expr, ast.Return)):
+            if stmt.value is not None:
+                self._expr(stmt.value)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            pass  # nested scopes are scanned by their own rules
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._expr(child)
+                elif isinstance(child, ast.stmt):
+                    self._stmt(child)
+
+    def _expr(self, expr: ast.expr) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in MUTATING_METHODS:
+                    root = self._resolve(node.func.value)
+                    if root is not None:
+                        self._record(
+                            node, root, f"call:{node.func.attr}", node.func
+                        )
+
+
+# ---------------------------------------------------------------------------
+# shared-replica roots in client / script code
+
+
+def shared_attr_roots(cls: ast.ClassDef) -> set[str]:
+    """``self.X`` attributes this class passes to issuing API calls.
+
+    ``self.api.invoke(self.board, ...)`` marks ``board`` as a shared
+    replica attribute; GL003 treats direct mutation through it inside a
+    completion as a violation.
+    """
+    attrs: set[str] = set()
+    for node in ast.walk(cls):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr not in ISSUE_CALLS:
+            continue
+        if node.args:
+            first = node.args[0]
+            if (
+                isinstance(first, ast.Attribute)
+                and isinstance(first.value, ast.Name)
+                and first.value.id == "self"
+            ):
+                attrs.add(first.attr)
+    return attrs
+
+
+def replica_name_roots(scope: ast.AST) -> dict[str, str]:
+    """Plain names bound from ``create_instance`` / ``join_instance``.
+
+    ``board = api.create_instance(MessageBoard)`` makes ``board`` a
+    shared-replica root in this scope — mutating it directly bypasses
+    the runtime's dirty tracking entirely.
+    """
+    roots: dict[str, str] = {}
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr in ("create_instance", "join_instance")
+        ):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                roots[target.id] = target.id
+    return roots
+
+
+def reading_blocks(scope: ast.AST) -> list[tuple[ast.With, str]]:
+    """``with <api>.reading(obj) as name:`` blocks and their bound name."""
+    blocks: list[tuple[ast.With, str]] = []
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.With):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "reading"
+                and isinstance(item.optional_vars, ast.Name)
+            ):
+                blocks.append((node, item.optional_vars.id))
+    return blocks
+
+
+def function_params(node: ast.expr | ast.FunctionDef) -> list[str] | None:
+    """Positional parameter names of a Lambda/FunctionDef.
+
+    Returns None when the callable has ``*args``/``**kwargs`` (arity
+    checks are skipped for variadic predicates).
+    """
+    if isinstance(node, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = node.args
+    else:
+        return None
+    if args.vararg is not None or args.kwarg is not None:
+        return None
+    return [a.arg for a in args.posonlyargs + args.args]

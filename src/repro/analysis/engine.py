@@ -1,0 +1,86 @@
+"""Orchestration: load sources, build the index, run rules, suppress.
+
+Suppression happens in two layers, applied in order:
+
+1. **pragmas** — a ``# glint: ignore`` (all rules) or
+   ``# glint: ignore[GL002]`` / ``# glint: ignore[GL001, GL002]``
+   comment on the finding's line *or* on one of its registered pragma
+   lines (typically the enclosing ``def``).  Pragmas are for findings a
+   human has judged and justified in place;
+2. **baseline** — the committed ``glint-baseline.json`` of accepted
+   pre-existing findings, keyed by ``(rule, path, symbol)``.  The
+   baseline is for adopting the tool on an imperfect tree without a
+   flag day.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.analysis.context import build_context
+from repro.analysis.loader import SourceModule, load_paths
+from repro.analysis.report import Baseline, Finding, Report
+from repro.analysis.rules.base import rules_for
+
+_PRAGMA = re.compile(r"#\s*glint:\s*ignore(?:\[(?P<rules>[^\]]*)\])?")
+
+
+def pragma_suppresses(line: str, rule_id: str) -> bool:
+    """True if ``line`` carries a pragma that silences ``rule_id``."""
+    match = _PRAGMA.search(line)
+    if match is None:
+        return False
+    rules = match.group("rules")
+    if rules is None:
+        return True  # bare ``# glint: ignore`` silences every rule
+    return rule_id in {part.strip() for part in rules.split(",")}
+
+
+def _suppressed(finding: Finding, module: SourceModule) -> bool:
+    for lineno in (finding.line, *finding.pragma_lines):
+        if pragma_suppresses(module.line(lineno), finding.rule):
+            return True
+    return False
+
+
+def analyze_modules(
+    modules: list[SourceModule],
+    rule_ids: list[str] | None = None,
+    baseline: Baseline | None = None,
+) -> Report:
+    """Run the selected rules over already-loaded modules."""
+    rules = rules_for(rule_ids)
+    context = build_context(modules)
+    report = Report(
+        files_analyzed=len(modules), rules_run=[rule.id for rule in rules]
+    )
+    by_path = {module.display_path: module for module in modules}
+    seen: set[tuple] = set()
+    for rule in rules:
+        for module in modules:
+            for finding in rule.check(module, context):
+                key = (finding.rule, finding.path, finding.line, finding.col,
+                       finding.symbol, finding.message)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if _suppressed(finding, by_path[finding.path]):
+                    report.suppressed_by_pragma += 1
+                    continue
+                report.findings.append(finding)
+    report.sort()
+    if baseline is not None:
+        baseline.apply(report)
+    return report
+
+
+def analyze_paths(
+    paths: list[str | Path],
+    rule_ids: list[str] | None = None,
+    baseline: Baseline | None = None,
+    root: str | Path | None = None,
+) -> Report:
+    """Load ``paths`` (files or directories) and analyze them."""
+    modules = load_paths(paths, root=root)
+    return analyze_modules(modules, rule_ids=rule_ids, baseline=baseline)

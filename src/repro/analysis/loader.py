@@ -1,0 +1,100 @@
+"""Source discovery and parsing for the static-analysis engine.
+
+Every rule consumes :class:`SourceModule` objects — a parsed AST plus
+the raw source lines (for pragma suppression and message context).
+Loading is purely syntactic: analyzed code is **never imported**, so
+fixture files with deliberate violations, demo scripts with top-level
+side effects, and code with unavailable dependencies are all safe to
+scan.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+class AnalysisUsageError(Exception):
+    """A problem with the *invocation*, not the analyzed code: missing
+    paths, unparsable source, unknown rule ids, corrupt baselines.
+    The CLI maps this to exit code 2."""
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file."""
+
+    path: Path  # absolute
+    display_path: str  # repo-relative (or as-given) posix path
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def line(self, lineno: int) -> str:
+        """1-based source line (empty string when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+def _display_path(path: Path, root: Path | None) -> str:
+    if root is not None:
+        try:
+            return path.relative_to(root).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def load_module(path: Path, root: Path | None = None) -> SourceModule:
+    """Parse one file; raises :class:`AnalysisUsageError` on bad input."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise AnalysisUsageError(f"cannot read {path}: {exc}") from exc
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise AnalysisUsageError(
+            f"cannot parse {path}:{exc.lineno}: {exc.msg}"
+        ) from exc
+    return SourceModule(
+        path=path,
+        display_path=_display_path(path, root),
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+    )
+
+
+def load_paths(
+    paths: list[str | Path], root: str | Path | None = None
+) -> list[SourceModule]:
+    """Load every ``.py`` file under the given files/directories.
+
+    ``root`` (default: the current working directory) anchors the
+    display paths used in findings and baselines, so baselines stay
+    stable across checkouts.
+    """
+    anchor = Path(root).resolve() if root is not None else Path.cwd()
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise AnalysisUsageError(f"no such file or directory: {raw}")
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise AnalysisUsageError(f"not a Python source file: {raw}")
+    seen: set[Path] = set()
+    modules: list[SourceModule] = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        modules.append(load_module(resolved, anchor))
+    return modules

@@ -1,0 +1,168 @@
+"""Finding / report model, JSON output, and the committed baseline.
+
+A :class:`Finding` is one rule violation anchored to ``file:line``.
+Reports serialize to JSON (the CI artifact) and compare against a
+committed *baseline* — accepted pre-existing findings keyed by
+``(rule, path, symbol)``, deliberately **not** by line number so that
+unrelated edits to a file do not churn the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.loader import AnalysisUsageError
+
+#: bump when the JSON layout changes incompatibly
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation."""
+
+    rule: str  # "GL002"
+    path: str  # repo-relative posix path
+    line: int  # 1-based anchor line
+    col: int  # 0-based column
+    symbol: str  # "SudokuBoard.load", "AuctionHouse.place_bid.<ensures>"
+    message: str
+    #: extra lines whose pragma comments also suppress this finding
+    #: (typically the enclosing ``def``); not serialized.
+    pragma_lines: tuple[int, ...] = field(default=(), compare=False)
+
+    @property
+    def anchor(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.symbol}] {self.message}"
+
+
+@dataclass
+class Report:
+    """The outcome of one analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_analyzed: int = 0
+    rules_run: list[str] = field(default_factory=list)
+    suppressed_by_pragma: int = 0
+    suppressed_by_baseline: int = 0
+
+    def sort(self) -> None:
+        self.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "schema": REPORT_SCHEMA_VERSION,
+                "files_analyzed": self.files_analyzed,
+                "rules_run": self.rules_run,
+                "suppressed_by_pragma": self.suppressed_by_pragma,
+                "suppressed_by_baseline": self.suppressed_by_baseline,
+                "counts": self.counts_by_rule(),
+                "findings": [finding.to_dict() for finding in self.findings],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def format_text(self) -> str:
+        lines = [finding.format_text() for finding in self.findings]
+        summary = (
+            f"{len(self.findings)} finding(s) in {self.files_analyzed} file(s)"
+        )
+        if self.suppressed_by_baseline:
+            summary += f", {self.suppressed_by_baseline} baselined"
+        if self.suppressed_by_pragma:
+            summary += f", {self.suppressed_by_pragma} pragma-suppressed"
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+class Baseline:
+    """Accepted findings committed to the repo (``glint-baseline.json``)."""
+
+    def __init__(self, keys: set[tuple[str, str, str]] | None = None):
+        self.keys = keys if keys is not None else set()
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise AnalysisUsageError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise AnalysisUsageError(f"corrupt baseline {path}: {exc}") from exc
+        entries = data.get("findings") if isinstance(data, dict) else None
+        if entries is None or not isinstance(entries, list):
+            raise AnalysisUsageError(
+                f"corrupt baseline {path}: expected an object with a "
+                "'findings' list"
+            )
+        keys: set[tuple[str, str, str]] = set()
+        for entry in entries:
+            try:
+                keys.add((entry["rule"], entry["path"], entry["symbol"]))
+            except (TypeError, KeyError) as exc:
+                raise AnalysisUsageError(
+                    f"corrupt baseline {path}: every entry needs "
+                    "rule/path/symbol"
+                ) from exc
+        return cls(keys)
+
+    @classmethod
+    def from_report(cls, report: Report) -> "Baseline":
+        return cls({finding.baseline_key() for finding in report.findings})
+
+    def write(self, path: str | Path, report: Report) -> None:
+        """Serialize the report's findings as the new baseline."""
+        entries = sorted(
+            {finding.baseline_key() for finding in report.findings}
+        )
+        Path(path).write_text(
+            json.dumps(
+                {
+                    "schema": REPORT_SCHEMA_VERSION,
+                    "findings": [
+                        {"rule": rule, "path": rel, "symbol": symbol}
+                        for rule, rel, symbol in entries
+                    ],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+
+    def contains(self, finding: Finding) -> bool:
+        return finding.baseline_key() in self.keys
+
+    def apply(self, report: Report) -> Report:
+        """Drop baselined findings; counts them in the report."""
+        kept = [f for f in report.findings if not self.contains(f)]
+        report.suppressed_by_baseline += len(report.findings) - len(kept)
+        report.findings = kept
+        return report

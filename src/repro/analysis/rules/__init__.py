@@ -1,0 +1,16 @@
+"""Rule registry: one module per checker, auto-registered on import."""
+
+from __future__ import annotations
+
+from repro.analysis.rules.base import ALL_RULES, Rule, rule_by_id, rules_for
+
+# Importing the rule modules registers them (order fixes rule listing).
+from repro.analysis.rules import (  # noqa: E402,F401
+    gl001_determinism,
+    gl002_dirty,
+    gl003_completion,
+    gl004_specs,
+    gl005_seeds,
+)
+
+__all__ = ["ALL_RULES", "Rule", "rule_by_id", "rules_for"]

@@ -1,0 +1,72 @@
+"""Per-rule visitor base and the rule registry."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ProjectContext
+from repro.analysis.loader import AnalysisUsageError, SourceModule
+from repro.analysis.report import Finding
+
+#: registration order == listing order
+ALL_RULES: list["Rule"] = []
+
+
+class Rule:
+    """One checker.  Subclasses set ``id``/``title``/``rationale`` and
+    implement :meth:`check`, returning findings for one module.
+
+    The engine instantiates each rule once per run; rules may keep
+    per-run state (GL005 does not, but a rule caching per-class work
+    may).
+    """
+
+    id: str = "GL000"
+    title: str = ""
+    #: which paper restriction / runtime oracle this rule front-runs
+    rationale: str = ""
+
+    def check(
+        self, module: SourceModule, context: ProjectContext
+    ) -> list[Finding]:
+        raise NotImplementedError
+
+    # -- helpers shared by every checker ------------------------------------
+
+    def finding(
+        self,
+        module: SourceModule,
+        node: ast.AST,
+        symbol: str,
+        message: str,
+        extra_pragma_lines: tuple[int, ...] = (),
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=module.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            symbol=symbol,
+            message=message,
+            pragma_lines=extra_pragma_lines,
+        )
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    ALL_RULES.append(cls())
+    return cls
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    for rule in ALL_RULES:
+        if rule.id == rule_id:
+            return rule
+    raise AnalysisUsageError(
+        f"unknown rule {rule_id!r}; known: {', '.join(r.id for r in ALL_RULES)}"
+    )
+
+
+def rules_for(rule_ids: list[str] | None) -> list[Rule]:
+    if rule_ids is None:
+        return list(ALL_RULES)
+    return [rule_by_id(rule_id) for rule_id in rule_ids]

@@ -1,0 +1,157 @@
+"""GL001 — operations and specs must be deterministic.
+
+The model re-executes every shared operation multiple times (at issue,
+while the guesstimate converges, at commit) **on every machine**, and
+commits only the final re-execution's effect.  Any dependence on wall
+clock, ambient randomness, process identity, the filesystem or the
+network makes those executions disagree — between re-executions on one
+machine (breaking ``[P](sc) = sg``) and across machines (breaking
+``sc(i) = sc(j)``).  Spec predicates run even more often (entry/exit of
+every contracted call) and must be deterministic for the same reason.
+
+This is the static front-run of the convergence invariant the
+``refresh_oracle`` and the simfuzz agreement probes check dynamically.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import (
+    ProjectContext,
+    SharedClassInfo,
+    qualified_call_name,
+)
+from repro.analysis.loader import SourceModule
+from repro.analysis.report import Finding
+from repro.analysis.rules.base import Rule, register
+
+#: module prefixes whose calls are nondeterministic or side-effecting
+BANNED_PREFIXES = (
+    "time.",
+    "random.",
+    "os.",
+    "sys.",
+    "socket.",
+    "uuid.",
+    "secrets.",
+    "subprocess.",
+    "threading.",
+    "multiprocessing.",
+    "asyncio.",
+    "datetime.",
+    "http.",
+    "urllib.",
+    "requests.",
+    "tempfile.",
+    "shutil.",
+    "glob.",
+)
+
+#: ambient-state builtins banned inside operations and specs
+BANNED_BUILTINS = {"open", "input", "print", "id", "exec", "eval", "globals"}
+
+
+def banned_call(
+    node: ast.Call, imports: dict[str, str]
+) -> str | None:
+    """The offending dotted name if this call is banned, else None."""
+    qualified = qualified_call_name(node.func, imports)
+    if qualified is None:
+        return None
+    if qualified in BANNED_BUILTINS and isinstance(node.func, ast.Name):
+        return qualified
+    for prefix in BANNED_PREFIXES:
+        if qualified.startswith(prefix) or qualified == prefix[:-1]:
+            return qualified
+    return None
+
+
+def scan_callable(
+    body: ast.AST | list[ast.stmt], imports: dict[str, str]
+) -> list[tuple[ast.Call, str]]:
+    """Banned calls anywhere inside ``body`` (nested defs included —
+    a helper closure inside an operation re-executes with it)."""
+    roots = body if isinstance(body, list) else [body]
+    hits: list[tuple[ast.Call, str]] = []
+    for root in roots:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Call):
+                offender = banned_call(node, imports)
+                if offender is not None:
+                    hits.append((node, offender))
+    return hits
+
+
+@register
+class DeterminismRule(Rule):
+    id = "GL001"
+    title = "operations and specs must be deterministic"
+    rationale = (
+        "paper §2/§4: operations re-execute at issue, during guess "
+        "convergence, and at commit on every machine; front-runs the "
+        "refresh_oracle / cross-machine agreement probes"
+    )
+
+    def check(
+        self, module: SourceModule, context: ProjectContext
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        imports = context.imports_of(module)
+        for info in context.shared_classes.values():
+            if info.module is not module:
+                continue
+            findings.extend(self._check_class(module, info, imports))
+        return findings
+
+    def _check_class(
+        self,
+        module: SourceModule,
+        info: SharedClassInfo,
+        imports: dict[str, str],
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for method in info.methods.values():
+            # Body only: calls inside decorators belong to the spec
+            # scan below, not to the method.
+            for call, offender in scan_callable(method.node.body, imports):
+                findings.append(
+                    self.finding(
+                        module,
+                        call,
+                        f"{info.name}.{method.name}",
+                        f"call to {offender}() inside a shared-object "
+                        "method; operations re-execute on every machine "
+                        "and must not read ambient machine state",
+                        extra_pragma_lines=(method.node.lineno,),
+                    )
+                )
+        for spec in info.specs:
+            predicate = spec.predicate
+            scan_root: ast.AST | None = None
+            if isinstance(predicate, ast.Lambda):
+                scan_root = predicate.body
+            elif isinstance(predicate, ast.Name):
+                scan_root = _module_function(module, predicate.id)
+            if scan_root is None:
+                continue
+            for call, offender in scan_callable(scan_root, imports):
+                findings.append(
+                    self.finding(
+                        module,
+                        call,
+                        f"{spec.owner}.<{spec.kind}>",
+                        f"call to {offender}() inside a {spec.kind} "
+                        "predicate; specs are re-evaluated on every "
+                        "(re-)execution and must be deterministic",
+                        extra_pragma_lines=(spec.lineno,),
+                    )
+                )
+        return findings
+
+
+def _module_function(module: SourceModule, name: str) -> ast.FunctionDef | None:
+    for node in module.tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None

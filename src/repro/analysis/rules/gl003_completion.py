@@ -1,0 +1,185 @@
+"""GL003 — completions must not mutate shared state directly.
+
+Completion routines run at commit time, inside the synchronizer's
+update window, on **one** machine (the issuer).  The paper's contract
+for them (§5) is to reconcile machine-local state λ with the commit
+outcome and, when further shared-state changes are needed, to *issue
+new operations* so they ride the commit stream to every machine.
+
+A completion that pokes the shared replica directly — assigning its
+attributes, mutating its containers, or calling an operation method as
+a plain Python call — applies the change on exactly one machine,
+outside the issue path, so it is never dirty-marked, never committed,
+and never propagated: the guesstimate silently diverges from
+``[P](sc)`` (the refresh-oracle hazard) and machines disagree forever.
+The same applies to callbacks registered via ``on_remote_update``.
+
+``issue_operation`` is also banned inside these callbacks: the update
+window is still open and it raises ``IssueBlockedError`` — use
+``invoke``/``issue_when_possible``, which defer past the window.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import (
+    ProjectContext,
+    ScopeScanner,
+    shared_attr_roots,
+)
+from repro.analysis.loader import SourceModule
+from repro.analysis.report import Finding
+from repro.analysis.rules.base import Rule, register
+
+
+def _completion_callables(
+    scope: ast.AST,
+) -> list[tuple[ast.AST, str, int]]:
+    """(body-owner node, label, def-line) for every completion-shaped
+    callable under ``scope``:
+
+    * ``def completion(...)`` — the repo-wide naming convention;
+    * any Lambda or Name passed as ``completion=`` keyword;
+    * the callback argument of ``on_remote_update``.
+    """
+    found: list[tuple[ast.AST, str, int]] = []
+    seen: set[int] = set()
+    defs: dict[str, ast.FunctionDef] = {}
+    for node in ast.walk(scope):
+        if isinstance(node, ast.FunctionDef):
+            defs[node.name] = node
+            if node.name == "completion" and id(node) not in seen:
+                seen.add(id(node))
+                found.append((node, node.name, node.lineno))
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Call):
+            continue
+        candidates: list[ast.expr] = [
+            kw.value for kw in node.keywords if kw.arg == "completion"
+        ]
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "on_remote_update"
+            and len(node.args) >= 2
+        ):
+            candidates.append(node.args[1])
+        for candidate in candidates:
+            if isinstance(candidate, ast.Lambda) and id(candidate) not in seen:
+                seen.add(id(candidate))
+                found.append((candidate, "<lambda completion>", candidate.lineno))
+            elif isinstance(candidate, ast.Name):
+                target = defs.get(candidate.id)
+                if target is not None and id(target) not in seen:
+                    seen.add(id(target))
+                    found.append((target, target.name, target.lineno))
+    return found
+
+
+@register
+class CompletionSafetyRule(Rule):
+    id = "GL003"
+    title = "completions reconcile λ and issue operations, never mutate shared state"
+    rationale = (
+        "paper §5: completion routines run on one machine at commit "
+        "time; direct shared-state writes there never commit, never "
+        "propagate, and break [P](sc) = sg"
+    )
+
+    def check(
+        self, module: SourceModule, context: ProjectContext
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        class_of: dict[int, ast.ClassDef] = {}
+        for cls in ast.walk(module.tree):
+            if isinstance(cls, ast.ClassDef):
+                for sub in ast.walk(cls):
+                    class_of.setdefault(id(sub), cls)
+
+        for owner, label, def_line in _completion_callables(module.tree):
+            enclosing = class_of.get(id(owner))
+            attrs = shared_attr_roots(enclosing) if enclosing is not None else set()
+            symbol = (
+                f"{enclosing.name}.{label}" if enclosing is not None else label
+            )
+            body = (
+                owner.body
+                if isinstance(owner, (ast.FunctionDef, ast.AsyncFunctionDef))
+                else [ast.Expr(value=owner.body)]  # Lambda
+            )
+            scanner = ScopeScanner(self_attrs=attrs)
+            scanner.scan(body)
+            for mutation in scanner.mutations:
+                findings.append(
+                    self.finding(
+                        module,
+                        mutation.node,
+                        symbol,
+                        f"completion mutates shared state directly "
+                        f"({mutation.target_text}); the write happens on "
+                        "one machine only and never commits — issue a "
+                        "new operation via api.invoke instead",
+                        extra_pragma_lines=(def_line,),
+                    )
+                )
+            findings.extend(
+                self._banned_calls(module, owner, symbol, def_line, attrs, context)
+            )
+        return findings
+
+    def _banned_calls(
+        self,
+        module: SourceModule,
+        owner: ast.AST,
+        symbol: str,
+        def_line: int,
+        shared_attrs: set[str],
+        context: ProjectContext,
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(owner):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            if node.func.attr == "issue_operation":
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        symbol,
+                        "issue_operation inside a completion/remote-update "
+                        "callback raises IssueBlockedError (the update "
+                        "window is open); use invoke/issue_when_possible",
+                        extra_pragma_lines=(def_line,),
+                    )
+                )
+                continue
+            # Direct call of an operation method on a shared replica:
+            # self.<shared attr>.<operation>(...) executes locally
+            # instead of issuing.
+            if node.func.attr not in context.operation_names:
+                continue
+            receiver = node.func.value
+            if (
+                isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id == "self"
+                and receiver.attr in shared_attrs
+            ):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        symbol,
+                        f"completion calls operation "
+                        f"{receiver.attr}.{node.func.attr}() as a plain "
+                        "method — this executes on the local replica "
+                        "without issuing; use "
+                        f"api.invoke(self.{receiver.attr}, "
+                        f"{node.func.attr!r}, ...)",
+                        extra_pragma_lines=(def_line,),
+                    )
+                )
+        return findings

@@ -1,0 +1,212 @@
+"""GL004 — spec callables must match the operation signature and be pure.
+
+The contract decorators evaluate their predicates with fixed calling
+conventions (see ``repro.spec.contracts``):
+
+* ``@requires(pred)`` — ``pred(self, *args)``: same positional shape as
+  the operation itself;
+* ``@ensures(pred)`` — ``pred(old, self, result, *args)``: the
+  pre-state snapshot, the object, the return value, then the
+  operation's arguments;
+* ``@invariant(pred)`` — ``pred(self)``.
+
+A predicate whose arity does not fit raises ``TypeError`` at the first
+contracted call — but only on the paths that exercise it, which for an
+``ensures`` clause may be a rare failure branch deep in a fuzz run.
+This rule checks the shape statically.
+
+Predicates are also evaluated at entry *and* exit of every call and on
+every re-execution, so they must be pure: a predicate that mutates the
+object or an argument changes committed state as a side effect of
+*checking* it, off the operation path — the same untracked-write hazard
+GL002 polices, now hidden inside a contract.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import (
+    ProjectContext,
+    ScopeScanner,
+    SharedClassInfo,
+    SpecBinding,
+    function_params,
+)
+from repro.analysis.loader import SourceModule
+from repro.analysis.report import Finding
+from repro.analysis.rules.base import Rule, register
+
+#: leading parameter names each predicate kind must declare
+LEADING_PARAMS = {
+    "requires": ("self",),
+    "ensures": ("old", "self", "result"),
+    "invariant": ("self",),
+}
+
+
+def _expected_arity(spec: SpecBinding) -> int | None:
+    """How many positional arguments the runtime passes the predicate."""
+    if spec.kind == "invariant":
+        return 1
+    op_params = function_params(spec.method) if spec.method is not None else None
+    if op_params is None:
+        return None  # variadic operation — skip the arity check
+    n_op_args = len(op_params) - 1  # drop the operation's own ``self``
+    if spec.kind == "requires":
+        return 1 + n_op_args
+    return 3 + n_op_args  # ensures
+
+
+def _predicate_signature(
+    predicate: ast.expr, module: SourceModule
+) -> tuple[ast.Lambda | ast.FunctionDef, list[str], int] | None:
+    """(callable node, positional params, defaults count), resolved
+    through module-level ``def`` names; None when unresolvable/variadic."""
+    node: ast.Lambda | ast.FunctionDef | None = None
+    if isinstance(predicate, ast.Lambda):
+        node = predicate
+    elif isinstance(predicate, ast.Name):
+        for item in module.tree.body:
+            if isinstance(item, ast.FunctionDef) and item.name == predicate.id:
+                node = item
+                break
+    if node is None:
+        return None
+    params = function_params(node)
+    if params is None:
+        return None
+    return node, params, len(node.args.defaults)
+
+
+@register
+class SpecConformanceRule(Rule):
+    id = "GL004"
+    title = "spec predicates fit the contract calling convention and are pure"
+    rationale = (
+        "contracts evaluate requires(self, *args), ensures(old, self, "
+        "result, *args), invariant(self) on every (re-)execution; a "
+        "mis-shaped predicate is a latent TypeError, an impure one is "
+        "an untracked write"
+    )
+
+    def check(
+        self, module: SourceModule, context: ProjectContext
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for info in context.shared_classes.values():
+            if info.module is not module:
+                continue
+            for spec in info.specs:
+                findings.extend(self._check_spec(module, spec))
+            findings.extend(self._check_modifies_fields(module, info))
+        return findings
+
+    def _check_spec(
+        self, module: SourceModule, spec: SpecBinding
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        resolved = _predicate_signature(spec.predicate, module)
+        if resolved is None:
+            return findings
+        node, params, n_defaults = resolved
+        symbol = f"{spec.owner}.<{spec.kind}>"
+
+        # Predicates are called positionally, so parameter names are
+        # free — but when the conventional names are all present in the
+        # wrong order (``lambda self, old, result``), the author almost
+        # certainly misremembered the calling convention.
+        leading = LEADING_PARAMS[spec.kind]
+        if (
+            len(leading) > 1
+            and set(leading) <= set(params)
+            and tuple(params[: len(leading)]) != leading
+        ):
+            findings.append(
+                self.finding(
+                    module,
+                    spec.predicate,
+                    symbol,
+                    f"{spec.kind} predicate declares the conventional "
+                    f"parameters out of order: the runtime passes "
+                    f"{leading} positionally but the predicate starts "
+                    f"with {tuple(params[:len(leading)])}",
+                    extra_pragma_lines=(spec.lineno,),
+                )
+            )
+
+        expected = _expected_arity(spec)
+        if expected is not None and not (
+            len(params) - n_defaults <= expected <= len(params)
+        ):
+            findings.append(
+                self.finding(
+                    module,
+                    spec.predicate,
+                    symbol,
+                    f"{spec.kind} predicate takes {len(params)} "
+                    f"parameter(s) but the contract runtime passes "
+                    f"{expected} — this raises TypeError on the first "
+                    "contracted call that evaluates it",
+                    extra_pragma_lines=(spec.lineno,),
+                )
+            )
+
+        # Purity: a predicate must not mutate anything reachable from
+        # its parameters.
+        body = (
+            [ast.Expr(value=node.body)]
+            if isinstance(node, ast.Lambda)
+            else node.body
+        )
+        scanner = ScopeScanner(
+            names={p: p for p in params}, any_self_attr="self" in params
+        )
+        scanner.scan(body)
+        for mutation in scanner.mutations:
+            findings.append(
+                self.finding(
+                    module,
+                    mutation.node,
+                    symbol,
+                    f"{spec.kind} predicate mutates "
+                    f"{mutation.target_text}; specs are evaluated at "
+                    "entry/exit of every (re-)execution and must be "
+                    "pure — this write is untracked shared state",
+                    extra_pragma_lines=(spec.lineno, node.lineno),
+                )
+            )
+        return findings
+
+    def _check_modifies_fields(
+        self, module: SourceModule, info: SharedClassInfo
+    ) -> list[Finding]:
+        """Every @modifies field must name a real attribute of the class
+        (one assigned in ``__init__``) — a typo here silently widens or
+        narrows the write frame the contract checker enforces."""
+        findings: list[Finding] = []
+        if not info.init_attrs:
+            return findings
+        for method in info.methods.values():
+            if not method.modifies:
+                continue
+            anchor: ast.AST = method.node
+            for dec in method.node.decorator_list:
+                target = dec.func if isinstance(dec, ast.Call) else dec
+                name = getattr(target, "id", getattr(target, "attr", None))
+                if name == "modifies":
+                    anchor = dec
+                    break
+            for field_name in method.modifies:
+                if field_name not in info.init_attrs:
+                    findings.append(
+                        self.finding(
+                            module,
+                            anchor,
+                            f"{info.name}.{method.name}",
+                            f"@modifies names unknown field "
+                            f"{field_name!r}; attributes assigned in "
+                            f"__init__ are {sorted(info.init_attrs)}",
+                        )
+                    )
+        return findings

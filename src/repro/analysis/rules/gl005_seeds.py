@@ -1,0 +1,110 @@
+"""GL005 — every source of randomness must be explicitly seeded.
+
+Bit-identical fuzzer replay (``simfuzz replay``) depends on no code
+path touching the process-global :mod:`random` state or constructing an
+unseeded ``random.Random()``.  Draw from ``repro.sim.rand`` (seeded,
+per-name streams) instead.
+
+This began life as the seed-plumbing audit in ``tests/sim`` and now
+runs as a glint rule over every analyzed module, with the import map
+catching ``import random as rnd`` / ``from random import choice``
+spellings the original file-local scan missed.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ProjectContext, qualified_call_name
+from repro.analysis.loader import SourceModule
+from repro.analysis.report import Finding
+from repro.analysis.rules.base import Rule, register
+
+#: module-level draws that mutate/read the shared global random state
+GLOBAL_DRAWS = {
+    "random",
+    "randint",
+    "randrange",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "gauss",
+    "expovariate",
+    "seed",
+    "getrandbits",
+}
+
+
+@register
+class SeedPlumbingRule(Rule):
+    id = "GL005"
+    title = "no global random state, no unseeded random.Random()"
+    rationale = (
+        "simfuzz replay is bit-identical only if every RNG is an "
+        "explicitly seeded stream (repro.sim.rand); ambient draws "
+        "desynchronize replays"
+    )
+
+    def check(
+        self, module: SourceModule, context: ProjectContext
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        imports = context.imports_of(module)
+        enclosing = _enclosing_function_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = qualified_call_name(node.func, imports)
+            if qualified is None:
+                continue
+            symbol = enclosing.get(id(node), "<module>")
+            if qualified == "random.Random" and not node.args and not node.keywords:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        symbol,
+                        "unseeded random.Random(); use "
+                        "repro.sim.rand.seeded_stream so simfuzz replay "
+                        "stays bit-identical",
+                    )
+                )
+            elif (
+                qualified.startswith("random.")
+                and qualified.removeprefix("random.") in GLOBAL_DRAWS
+            ):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        symbol,
+                        f"{qualified}() touches the process-global "
+                        "random state; draw from repro.sim.rand instead",
+                    )
+                )
+        return findings
+
+
+def _enclosing_function_names(tree: ast.Module) -> dict[int, str]:
+    """id(node) -> dotted name of the innermost enclosing def/class."""
+    names: dict[int, str] = {}
+
+    def visit(node: ast.AST, scope: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                inner = f"{scope}.{child.name}" if scope else child.name
+                visit(child, inner)
+            else:
+                if scope:
+                    names[id(child)] = scope
+                visit(child, scope)
+
+    visit(tree, "")
+    return names
+
+
+__all__ = ["GLOBAL_DRAWS", "SeedPlumbingRule"]

@@ -17,7 +17,7 @@ covered by a regression test.)
 from __future__ import annotations
 
 from repro.core.serialization import shared_type
-from repro.core.shared_object import GSharedObject
+from repro.core.shared_object import GSharedObject, SharedObjectError
 from repro.spec import ensures, invariant, modifies, requires
 
 Grid = list[list[int]]
@@ -69,13 +69,20 @@ class SudokuBoard(GSharedObject):
 
     # -- setup -------------------------------------------------------------------
 
-    def load(self, grid: Grid) -> None:
+    def load(self, grid: Grid) -> None:  # glint: ignore[GL002] — guarded pre-share-only below
         """Install a puzzle instance; non-zero cells become givens.
 
         Setup-time helper (not a shared operation): call before the
         object starts being shared, exactly like constructing the
-        puzzle in Figure 2's OnCreate.
+        puzzle in Figure 2's OnCreate.  Once the board is registered
+        with a runtime, these frameless writes would be invisible to
+        ``mark_dirty`` (the GL002 hazard), so loading then is refused.
         """
+        if self.is_registered:
+            raise SharedObjectError(
+                "SudokuBoard.load is setup-time only: the board is "
+                "already shared; issue update operations instead"
+            )
         self.puzzle = [row[:] for row in grid]
         self.given = [[value != 0 for value in row] for row in grid]
 

@@ -130,6 +130,13 @@ EXPERIMENTS = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    args_in = list(sys.argv[1:]) if argv is None else list(argv)
+    if args_in[:1] == ["lint"]:
+        # ``python -m repro.cli lint ...`` == the ``glint`` entry point.
+        from repro.analysis.cli import main as glint_main
+
+        return glint_main(args_in[1:])
+
     parser = argparse.ArgumentParser(
         prog="guesstimate-bench",
         description="Regenerate the GUESSTIMATE paper's evaluation figures.",

@@ -1,0 +1,36 @@
+"""GL001 true positives: ambient state inside operations and specs."""
+
+import random
+import time
+from os import getenv
+
+from repro.core.shared_object import GSharedObject
+from repro.spec import modifies, requires
+
+
+class StampedLog(GSharedObject):
+    def __init__(self):
+        self.entries = []
+        self.stamp = 0.0
+
+    def copy_from(self, src):
+        self.entries = list(src.entries)
+        self.stamp = src.stamp
+
+    @modifies("entries", "stamp")
+    def record(self, entry):
+        self.stamp = time.time()  # expect: GL001
+        self.entries.append(entry)
+        return True
+
+    @modifies("entries")
+    def record_maybe(self, entry):
+        if random.random() < 0.5:  # expect: GL001
+            self.entries.append(entry)
+        return True
+
+    @requires(lambda self, entry: getenv("MODE") != "ro", "env gate")  # expect: GL001
+    @modifies("entries")
+    def record_gated(self, entry):
+        self.entries.append(entry)
+        return True

@@ -1,0 +1,32 @@
+"""GL001 false-positive-shaped snippets that must stay clean.
+
+A *non-shared* helper may read the clock; a shared operation drawing
+from an injected deterministic source only looks like the hazard.
+"""
+
+import time
+
+from repro.core.shared_object import GSharedObject
+from repro.spec import modifies
+
+
+class WallClockTelemetry:
+    """Not a GSharedObject: ambient reads here are fine."""
+
+    def sample(self):
+        return time.time()
+
+
+class SeededLottery(GSharedObject):
+    def __init__(self):
+        self.draws = []
+
+    def copy_from(self, src):
+        self.draws = list(src.draws)
+
+    @modifies("draws")
+    def draw(self, rng):
+        # ``rng.random`` resolves to a local name, not the random
+        # module: injected determinism, not ambient state.
+        self.draws.append(rng.random())
+        return True

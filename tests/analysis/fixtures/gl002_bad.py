@@ -1,0 +1,41 @@
+"""GL002 true positives: mutations invisible to dirty-tracking."""
+
+from repro.core.shared_object import GSharedObject
+from repro.spec import modifies
+
+
+class Roster(GSharedObject):
+    def __init__(self):
+        self.members = []
+        self.tags = {}
+
+    def copy_from(self, src):
+        self.members = list(src.members)
+        self.tags = dict(src.tags)
+
+    def sneak_add(self, name):
+        self.members.append(name)  # expect: GL002
+
+    @modifies("members")
+    def add_with_tag(self, name, tag):
+        self.members.append(name)
+        self.tags[name] = tag  # expect: GL002
+        return True
+
+    @modifies("tags")
+    def retag(self, name, tag):
+        entry = self.tags
+        entry[name] = tag
+        return True
+
+
+def read_only_client(api, roster_id):
+    with api.reading(api.join_instance(roster_id)) as roster:
+        roster.members.append("intruder")  # expect: GL002
+        return len(roster.members)
+
+
+def setup(api):
+    roster = api.create_instance(Roster)
+    roster.members.append("founder")  # expect: GL002
+    return roster

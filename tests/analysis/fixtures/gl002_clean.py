@@ -1,0 +1,50 @@
+"""GL002 false-positive-shaped snippets that must stay clean.
+
+Framed mutations, mutations of *copies*, and read-only access through
+``reading()`` all look adjacent to the hazard.
+"""
+
+from repro.core.shared_object import GSharedObject
+from repro.spec import modifies
+
+
+class CleanRoster(GSharedObject):
+    def __init__(self):
+        self.members = []
+        self.tags = {}
+
+    def copy_from(self, src):
+        self.members = list(src.members)
+        self.tags = dict(src.tags)
+
+    @modifies("members")
+    def add(self, name):
+        self.members.append(name)
+        return True
+
+    @modifies("members", "tags")
+    def add_with_tag(self, name, tag):
+        self.members.append(name)
+        self.tags[name] = tag
+        return True
+
+    def sorted_members(self):
+        # Mutating a fresh copy is not a shared-state write.
+        snapshot = self.members.copy()
+        snapshot.sort()
+        listed = list(self.tags)
+        listed.append("sentinel")
+        return snapshot
+
+
+def read_only_client(api, roster_id):
+    with api.reading(api.join_instance(roster_id)) as roster:
+        local = list(roster.members)
+        local.append("only mine")
+        return local
+
+
+def setup(api):
+    roster = api.create_instance(CleanRoster)
+    api.invoke(roster, "add", "founder")
+    return roster

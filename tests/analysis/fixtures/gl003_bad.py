@@ -1,0 +1,41 @@
+"""GL003 true positives: completions touching shared state."""
+
+from repro.core.shared_object import GSharedObject
+from repro.spec import modifies
+
+
+class Scoreboard(GSharedObject):
+    def __init__(self):
+        self.scores = {}
+
+    def copy_from(self, src):
+        self.scores = dict(src.scores)
+
+    @modifies("scores")
+    def post_score(self, player, points):
+        self.scores[player] = points
+        return True
+
+
+class ScoreClient:
+    def __init__(self, api, board):
+        self.api = api
+        self.board = board
+        self.submitted = []
+
+    def submit(self, player, points):
+        def completion(op, outcome):
+            if not outcome:
+                self.board.scores[player] = points  # expect: GL003
+                self.board.post_score(player, points)  # expect: GL003
+                self.api.issue_operation(op)  # expect: GL003
+
+        self.api.invoke(
+            self.board, "post_score", player, points, completion=completion
+        )
+
+    def watch(self):
+        self.api.on_remote_update(
+            self.board,
+            lambda obj, op: self.board.scores.clear(),  # expect: GL003
+        )

@@ -1,0 +1,48 @@
+"""GL003 false-positive-shaped snippets that must stay clean.
+
+A completion may reconcile machine-local state (λ in the paper) and
+may issue *new* operations — both look like mutation but are the
+prescribed pattern.
+"""
+
+from repro.core.shared_object import GSharedObject
+from repro.spec import modifies
+
+
+class CleanScoreboard(GSharedObject):
+    def __init__(self):
+        self.scores = {}
+
+    def copy_from(self, src):
+        self.scores = dict(src.scores)
+
+    @modifies("scores")
+    def post_score(self, player, points):
+        self.scores[player] = points
+        return True
+
+
+class CleanScoreClient:
+    def __init__(self, api, board):
+        self.api = api
+        self.board = board
+        self.pending = []
+        self.results = {}
+
+    def submit(self, player, points):
+        def completion(op, outcome):
+            # Machine-local bookkeeping: fine.
+            self.pending.remove(player)
+            self.results[player] = outcome
+            if not outcome:
+                # Retrying by issuing a NEW operation: the prescribed
+                # completion pattern.
+                self.api.invoke(self.board, "post_score", player, points)
+                self.api.issue_when_possible(
+                    self.board, "post_score", player, points
+                )
+
+        self.pending.append(player)
+        self.api.invoke(
+            self.board, "post_score", player, points, completion=completion
+        )

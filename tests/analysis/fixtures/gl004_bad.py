@@ -1,0 +1,41 @@
+"""GL004 true positives: mis-shaped and impure spec predicates."""
+
+from repro.core.shared_object import GSharedObject
+from repro.spec import ensures, invariant, modifies, requires
+
+
+@invariant(lambda self: len(self.seen) >= 0, "seen is a collection")
+class Tracker(GSharedObject):
+    def __init__(self):
+        self.seen = []
+        self.count = 0
+
+    def copy_from(self, src):
+        self.seen = list(src.seen)
+        self.count = src.count
+
+    @requires(lambda self: True, "wrong arity: runtime passes (self, item)")  # expect: GL004
+    @modifies("seen", "count")
+    def observe(self, item):
+        self.seen.append(item)
+        self.count += 1
+        return True
+
+    @ensures(lambda self, old, result, item: True, "misordered leading params")  # expect: GL004
+    @modifies("seen")
+    def observe_once(self, item):
+        if item in self.seen:
+            return False
+        self.seen.append(item)
+        return True
+
+    @requires(lambda self, item: self.seen.append(item) or True, "impure")  # expect: GL004
+    @modifies("count")
+    def tally(self, item):
+        self.count += 1
+        return True
+
+    @modifies("totals")  # expect: GL004
+    def reset(self):
+        self.count = 0
+        return True

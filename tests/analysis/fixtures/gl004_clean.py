@@ -1,0 +1,52 @@
+"""GL004 false-positive-shaped snippets that must stay clean.
+
+Positional calling means predicate parameter *names* are free; default
+arguments and variadic predicates are legal; module-level functions
+work as predicates.
+"""
+
+from repro.core.shared_object import GSharedObject
+from repro.spec import ensures, invariant, modifies, requires
+
+
+def _non_negative(tracker):
+    # Parameter named ``tracker`` instead of ``self``: fine, the
+    # runtime passes the object positionally.
+    return tracker.count >= 0
+
+
+@invariant(_non_negative, "count never goes negative")
+class CleanTracker(GSharedObject):
+    def __init__(self):
+        self.seen = []
+        self.count = 0
+
+    def copy_from(self, src):
+        self.seen = list(src.seen)
+        self.count = src.count
+
+    @requires(lambda self, item: isinstance(item, str), "item is a string")
+    @ensures(
+        lambda old, self, result, item: (not result) or item in self.seen,
+        "observed items are recorded",
+    )
+    @modifies("seen", "count")
+    def observe(self, item):
+        self.seen.append(item)
+        self.count += 1
+        return True
+
+    @requires(
+        lambda self, item, note=None: note is None or isinstance(note, str),
+        "default argument mirrors the operation's",
+    )
+    @modifies("seen")
+    def observe_noted(self, item, note=None):
+        self.seen.append((item, note))
+        return True
+
+    @ensures(lambda *frames: True, "variadic predicates skip the arity check")
+    @modifies("count")
+    def bump(self):
+        self.count += 1
+        return True

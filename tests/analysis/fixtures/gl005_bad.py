@@ -1,0 +1,24 @@
+"""GL005 true positives: ambient randomness in any analyzed module."""
+
+import random
+import random as rnd
+from random import choice
+
+
+def jittered_delay(base):
+    return base + random.uniform(0.0, 0.1)  # expect: GL005
+
+
+def pick_peer(peers):
+    return choice(sorted(peers))  # expect: GL005
+
+
+def shuffled(items):
+    copy = list(items)
+    rnd.shuffle(copy)  # expect: GL005
+    return copy
+
+
+class Sampler:
+    def __init__(self):
+        self.rng = random.Random()  # expect: GL005

@@ -1,0 +1,25 @@
+"""GL005 false-positive-shaped snippets that must stay clean.
+
+Seeded instances and instance-method draws only *look* like the global
+module draws.
+"""
+
+import random
+
+
+def seeded_stream(seed):
+    return random.Random(seed)
+
+
+def jittered_delay(base, rng):
+    # ``rng`` is a local name: this is an instance draw, not the
+    # module-global state.
+    return base + rng.uniform(0.0, 0.1)
+
+
+class CleanSampler:
+    def __init__(self, seed):
+        self.rng = random.Random(seed)
+
+    def pick(self, items):
+        return self.rng.choice(sorted(items))

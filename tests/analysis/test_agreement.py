@@ -1,0 +1,77 @@
+"""Static/dynamic agreement: glint's GL002 and the refresh oracle
+flag the *same* seeded defect.
+
+``tests/helpers.py`` carries ``LeakyLog.sneak_record`` — a frameless
+in-place mutation.  Statically, GL002 reports it.  Dynamically, calling
+it directly on a replica leaves the write out of every ``mark_dirty``
+set, so the PR 4 ``refresh_oracle`` sees ``[P](sc) != sg`` and raises.
+One hazard, two detectors, both must fire — and both must stay silent
+on the framed twin ``record`` when it is issued properly.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+from repro.errors import RuntimeFailure
+from repro.simtest.fuzz import run_seeds
+
+from tests.helpers import Counter, LeakyLog, quick_system
+
+HELPERS = Path(__file__).resolve().parents[1] / "helpers.py"
+
+
+def _leaky_replicas():
+    system = quick_system(n=2, refresh_oracle=True)
+    api = system.apis()[0]
+    log = api.create_instance(LeakyLog)
+    bystander = api.create_instance(Counter)
+    system.run_until_quiesced()
+    other = system.apis()[1].join_instance(log.unique_id)
+    return system, log, other, bystander
+
+
+class TestStaticSide:
+    def test_gl002_flags_sneak_record(self):
+        report = analyze_paths(
+            [HELPERS], rule_ids=["GL002"], root=HELPERS.parent
+        )
+        symbols = {f.symbol for f in report.findings}
+        assert "LeakyLog.sneak_record" in symbols
+
+    def test_gl002_accepts_framed_record(self):
+        report = analyze_paths(
+            [HELPERS], rule_ids=["GL002"], root=HELPERS.parent
+        )
+        assert "LeakyLog.record" not in {f.symbol for f in report.findings}
+
+
+class TestDynamicSide:
+    def test_refresh_oracle_catches_the_same_defect(self):
+        system, log, _other, bystander = _leaky_replicas()
+        # The statically-flagged call: a direct, untracked mutation of
+        # the replica.  Nothing marks the object dirty, so the delta
+        # refresh has no reason to re-copy the log — sg keeps the
+        # rogue entry while [P](sc) never saw it.  An op on a
+        # *different* object forces the round that runs the oracle.
+        log.sneak_record("rogue")
+        system.apis()[1].invoke(bystander.unique_id, "increment", 10)
+        with pytest.raises(RuntimeFailure, match="divergence"):
+            system.run_until_quiesced()
+
+    def test_framed_path_stays_clean(self):
+        system, log, other, _bystander = _leaky_replicas()
+        system.apis()[0].invoke(log, "record", "legit")
+        system.run_until_quiesced()
+        assert log.entries == ["legit"]
+        assert other.entries == ["legit"]
+        system.check_all_invariants()
+
+
+class TestOracleSweep:
+    def test_refresh_oracle_clean_over_seed_sweep(self):
+        # simfuzz always runs with the oracle armed; a handful of seeds
+        # here keeps tier-1 fast — CI sweeps 50.
+        report = run_seeds(3, max_time=8.0, record_traces=False)
+        assert report.failures == []

@@ -1,0 +1,101 @@
+"""glint CLI: exit codes, formats, baseline workflow, lint passthrough."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    main as glint_main,
+)
+from repro.cli import main as bench_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = str(FIXTURES / "gl005_bad.py")
+CLEAN = str(FIXTURES / "gl005_clean.py")
+
+
+class TestExitCodes:
+    def test_clean_exits_zero(self, capsys):
+        assert glint_main([CLEAN]) == EXIT_CLEAN
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        assert glint_main([BAD, "--rules", "GL005"]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "GL005" in out
+        assert "gl005_bad.py:" in out
+
+    def test_no_paths_is_usage_error(self, capsys):
+        assert glint_main([]) == EXIT_USAGE
+        assert "no paths given" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert glint_main(["does/not/exist.py"]) == EXIT_USAGE
+        assert "no such file" in capsys.readouterr().err
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert glint_main([CLEAN, "--rules", "GL999"]) == EXIT_USAGE
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_syntax_error_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        assert glint_main([str(bad)]) == EXIT_USAGE
+        assert "cannot parse" in capsys.readouterr().err
+
+
+class TestOutput:
+    def test_json_format_is_parseable(self, capsys):
+        glint_main([BAD, "--rules", "GL005", "--format", "json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["schema"] == 1
+        assert data["counts"]["GL005"] == len(data["findings"])
+        first = data["findings"][0]
+        assert set(first) == {"rule", "path", "line", "col", "symbol", "message"}
+
+    def test_output_file_mirrors_stdout(self, tmp_path, capsys):
+        target = tmp_path / "report.json"
+        glint_main(
+            [BAD, "--rules", "GL005", "--format", "json", "--output", str(target)]
+        )
+        assert json.loads(target.read_text()) == json.loads(
+            capsys.readouterr().out
+        )
+
+    def test_list_rules_names_all_five(self, capsys):
+        assert glint_main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for rule_id in ("GL001", "GL002", "GL003", "GL004", "GL005"):
+            assert rule_id in out
+
+
+class TestBaselineWorkflow:
+    def test_write_then_apply_baseline(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert (
+            glint_main([BAD, "--write-baseline", str(baseline)]) == EXIT_CLEAN
+        )
+        assert baseline.exists()
+        capsys.readouterr()
+        # With the baseline applied the same findings no longer fail.
+        assert glint_main([BAD, "--baseline", str(baseline)]) == EXIT_CLEAN
+        assert "baselined" in capsys.readouterr().out
+
+    def test_corrupt_baseline_is_usage_error(self, tmp_path, capsys):
+        baseline = tmp_path / "corrupt.json"
+        baseline.write_text("{nope")
+        assert glint_main([CLEAN, "--baseline", str(baseline)]) == EXIT_USAGE
+        assert "corrupt baseline" in capsys.readouterr().err
+
+
+class TestLintPassthrough:
+    def test_bench_cli_forwards_lint(self, capsys):
+        assert bench_main(["lint", CLEAN]) == EXIT_CLEAN
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_bench_cli_forwards_exit_codes(self, capsys):
+        assert bench_main(["lint", BAD, "--rules", "GL005"]) == EXIT_FINDINGS
+        capsys.readouterr()
+        assert bench_main(["lint"]) == EXIT_USAGE

@@ -1,0 +1,154 @@
+"""Loader, report model, baseline semantics, and engine plumbing."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    ALL_RULES,
+    AnalysisUsageError,
+    Baseline,
+    Finding,
+    Report,
+    analyze_paths,
+    load_paths,
+    rules_for,
+)
+from repro.analysis.engine import pragma_suppresses
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestLoader:
+    def test_directory_recurses_and_dedupes(self):
+        modules = load_paths([FIXTURES, FIXTURES / "gl001_bad.py"])
+        names = [m.path.name for m in modules]
+        assert "gl001_bad.py" in names
+        assert len(names) == len(set(names)) == 10
+
+    def test_display_paths_anchor_to_root(self):
+        module = load_paths([FIXTURES / "gl001_bad.py"], root=FIXTURES)[0]
+        assert module.display_path == "gl001_bad.py"
+
+    def test_non_python_file_rejected(self, tmp_path):
+        other = tmp_path / "notes.txt"
+        other.write_text("hello")
+        with pytest.raises(AnalysisUsageError, match="not a Python source"):
+            load_paths([other])
+
+    def test_missing_path_rejected(self):
+        with pytest.raises(AnalysisUsageError, match="no such file"):
+            load_paths(["definitely/missing.py"])
+
+
+class TestRegistry:
+    def test_five_rules_registered_in_order(self):
+        assert [rule.id for rule in ALL_RULES] == [
+            "GL001", "GL002", "GL003", "GL004", "GL005",
+        ]
+        assert all(rule.title and rule.rationale for rule in ALL_RULES)
+
+    def test_rules_for_selects_and_rejects(self):
+        assert [r.id for r in rules_for(["GL002", "GL001"])] == ["GL002", "GL001"]
+        with pytest.raises(AnalysisUsageError, match="unknown rule"):
+            rules_for(["GL042"])
+
+
+class TestPragmaParsing:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "x = 1  # glint: ignore",
+            "x = 1  # glint: ignore[GL002]",
+            "x = 1  # glint: ignore[GL001, GL002]",
+            "x = 1  # glint: ignore[GL002] — justified because reasons",
+        ],
+    )
+    def test_suppressing_spellings(self, line):
+        assert pragma_suppresses(line, "GL002")
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "x = 1",
+            "x = 1  # glint: ignore[GL001]",
+            "x = 1  # lint: ignore",
+        ],
+    )
+    def test_non_suppressing_spellings(self, line):
+        assert not pragma_suppresses(line, "GL002")
+
+
+class TestReportModel:
+    def _finding(self, **overrides):
+        base = dict(
+            rule="GL001", path="a.py", line=3, col=4,
+            symbol="C.m", message="boom",
+        )
+        base.update(overrides)
+        return Finding(**base)
+
+    def test_sort_orders_by_location(self):
+        report = Report(
+            findings=[
+                self._finding(path="b.py", line=1),
+                self._finding(path="a.py", line=9),
+                self._finding(path="a.py", line=2),
+            ]
+        )
+        report.sort()
+        assert [(f.path, f.line) for f in report.findings] == [
+            ("a.py", 2), ("a.py", 9), ("b.py", 1),
+        ]
+
+    def test_json_roundtrip_counts(self):
+        report = Report(
+            findings=[self._finding(), self._finding(rule="GL005", line=7)],
+            files_analyzed=2,
+            rules_run=["GL001", "GL005"],
+        )
+        data = json.loads(report.to_json())
+        assert data["counts"] == {"GL001": 1, "GL005": 1}
+        assert len(data["findings"]) == 2
+
+    def test_baseline_key_ignores_line_numbers(self):
+        moved = self._finding(line=99)
+        assert moved.baseline_key() == self._finding().baseline_key()
+
+    def test_baseline_apply_counts_suppressed(self):
+        report = Report(findings=[self._finding(), self._finding(rule="GL005")])
+        baseline = Baseline({self._finding().baseline_key()})
+        baseline.apply(report)
+        assert [f.rule for f in report.findings] == ["GL005"]
+        assert report.suppressed_by_baseline == 1
+
+    def test_baseline_rejects_malformed_entries(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"findings": [{"rule": "GL001"}]}))
+        with pytest.raises(AnalysisUsageError, match="rule/path/symbol"):
+            Baseline.load(path)
+
+    def test_committed_baseline_is_loadable_and_empty(self):
+        repo_root = Path(__file__).resolve().parents[2]
+        baseline = Baseline.load(repo_root / "glint-baseline.json")
+        assert baseline.keys == set()
+
+
+class TestEngine:
+    def test_rule_subset_runs_only_selected(self):
+        report = analyze_paths(
+            [FIXTURES / "gl001_bad.py"], rule_ids=["GL005"], root=FIXTURES
+        )
+        assert report.rules_run == ["GL005"]
+        # gl001_bad draws random.random() inside an operation: GL005
+        # sees the module-global draw even when GL001 is off.
+        assert {f.rule for f in report.findings} <= {"GL005"}
+
+    def test_findings_are_deterministically_ordered(self):
+        paths = sorted(FIXTURES.glob("*_bad.py"))
+        first = analyze_paths(paths, root=FIXTURES)
+        second = analyze_paths(list(reversed(paths)), root=FIXTURES)
+        assert [f.format_text() for f in first.findings] == [
+            f.format_text() for f in second.findings
+        ]

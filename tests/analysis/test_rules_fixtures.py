@@ -1,0 +1,120 @@
+"""Fixture-driven rule tests.
+
+Every rule has a ``glNNN_bad.py`` fixture whose violations are marked
+in-line with ``# expect: GLNNN`` comments, and a ``glNNN_clean.py``
+fixture full of false-positive-shaped code that must stay silent.  The
+tests assert exact rule ids and ``file:line`` anchors, so a rule that
+drifts by one line fails loudly.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+RULE_IDS = ["GL001", "GL002", "GL003", "GL004", "GL005"]
+
+_EXPECT = re.compile(r"#\s*expect:\s*(?P<rules>[A-Z0-9 ]+)")
+
+
+def expected_markers(path: Path) -> list[tuple[int, str]]:
+    """Sorted (line, rule) pairs from ``# expect: GLxxx`` comments."""
+    marks: list[tuple[int, str]] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        match = _EXPECT.search(line)
+        if match:
+            for rule_id in match.group("rules").split():
+                marks.append((lineno, rule_id))
+    return sorted(marks)
+
+
+class TestBadFixtures:
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_flags_every_marked_line_exactly(self, rule_id):
+        fixture = FIXTURES / f"{rule_id.lower()}_bad.py"
+        expected = expected_markers(fixture)
+        assert expected, f"{fixture} has no expect markers"
+        report = analyze_paths([fixture], rule_ids=[rule_id], root=FIXTURES)
+        got = sorted((f.line, f.rule) for f in report.findings)
+        assert got == expected
+        assert all(f.rule == rule_id for f in report.findings)
+
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_findings_carry_path_and_symbol(self, rule_id):
+        fixture = FIXTURES / f"{rule_id.lower()}_bad.py"
+        report = analyze_paths([fixture], rule_ids=[rule_id], root=FIXTURES)
+        for finding in report.findings:
+            assert finding.path == fixture.name
+            assert finding.symbol
+            assert finding.anchor == f"{fixture.name}:{finding.line}"
+
+
+class TestCleanFixtures:
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_zero_findings_on_lookalikes(self, rule_id):
+        fixture = FIXTURES / f"{rule_id.lower()}_clean.py"
+        report = analyze_paths([fixture], rule_ids=[rule_id], root=FIXTURES)
+        assert report.findings == []
+
+    def test_clean_fixtures_clean_under_all_rules_jointly(self):
+        # Clean fixtures must not trip *any* rule, not just their own.
+        paths = sorted(FIXTURES.glob("*_clean.py"))
+        report = analyze_paths(paths, root=FIXTURES)
+        assert report.findings == []
+
+
+class TestSuppression:
+    def test_pragma_on_finding_line(self, tmp_path):
+        source = FIXTURES.joinpath("gl005_bad.py").read_text()
+        patched = source.replace(
+            "# expect: GL005", "# glint: ignore[GL005]"
+        )
+        target = tmp_path / "patched.py"
+        target.write_text(patched)
+        report = analyze_paths([target], rule_ids=["GL005"], root=tmp_path)
+        # Only the unseeded Random() (marker on its own line in the
+        # class body) carries no pragma... every marker was replaced,
+        # so everything is suppressed.
+        assert report.findings == []
+        assert report.suppressed_by_pragma == len(
+            expected_markers(FIXTURES / "gl005_bad.py")
+        )
+
+    def test_pragma_on_def_line_suppresses_body_findings(self, tmp_path):
+        target = tmp_path / "defline.py"
+        target.write_text(
+            "from repro.core.shared_object import GSharedObject\n"
+            "\n"
+            "class Leak(GSharedObject):\n"
+            "    def __init__(self):\n"
+            "        self.items = []\n"
+            "    def copy_from(self, src):\n"
+            "        self.items = list(src.items)\n"
+            "    def sneak(self, x):  # glint: ignore[GL002]\n"
+            "        self.items.append(x)\n"
+        )
+        report = analyze_paths([target], rule_ids=["GL002"], root=tmp_path)
+        assert report.findings == []
+        assert report.suppressed_by_pragma == 1
+
+    def test_bare_pragma_silences_all_rules(self, tmp_path):
+        target = tmp_path / "bare.py"
+        target.write_text(
+            "import random\n"
+            "DRAW = random.random()  # glint: ignore\n"
+        )
+        report = analyze_paths([target], rule_ids=["GL005"], root=tmp_path)
+        assert report.findings == []
+        assert report.suppressed_by_pragma == 1
+
+    def test_pragma_for_other_rule_does_not_suppress(self, tmp_path):
+        target = tmp_path / "wrong.py"
+        target.write_text(
+            "import random\n"
+            "DRAW = random.random()  # glint: ignore[GL001]\n"
+        )
+        report = analyze_paths([target], rule_ids=["GL005"], root=tmp_path)
+        assert [f.rule for f in report.findings] == ["GL005"]

@@ -11,6 +11,7 @@ from repro.core.serialization import shared_type
 from repro.core.shared_object import GSharedObject
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.system import DistributedSystem
+from repro.spec import modifies
 
 
 @shared_type
@@ -105,6 +106,34 @@ class Toggle(GSharedObject):
             return False
         self.owner = None
         return True
+
+
+@shared_type
+class LeakyLog(GSharedObject):
+    """One framed operation next to a deliberately frameless mutator.
+
+    ``sneak_record`` is the canonical dirty-tracking leak: it mutates
+    ``self.entries`` without a ``@modifies`` frame, so calling it
+    directly on a replica is invisible to ``mark_dirty``.  glint's
+    GL002 flags it statically and the ``refresh_oracle`` catches the
+    resulting ``[P](sc) != sg`` divergence at runtime — the agreement
+    between the two is pinned by a test.
+    """
+
+    def __init__(self):
+        self.entries: list[str] = []
+
+    def copy_from(self, src: "LeakyLog") -> None:
+        self.entries = list(src.entries)
+
+    @modifies("entries")
+    def record(self, entry: str) -> bool:
+        self.entries.append(entry)
+        return True
+
+    def sneak_record(self, entry: str) -> None:
+        # No @modifies, mutates shared state: the GL002 hazard.
+        self.entries.append(entry)
 
 
 class BadCopy(GSharedObject):

@@ -2,75 +2,37 @@
 
 Bit-identical fuzzer replay (``simfuzz replay``) depends on no code
 path touching the process-global :mod:`random` state or constructing an
-unseeded ``random.Random()``.  This audit walks the AST of every source
-file so a violation fails fast, without needing a fuzz seed that
-happens to exercise the offending line.
+unseeded ``random.Random()``.  The AST audit that used to live here in
+full now runs as glint rule **GL005** (:mod:`repro.analysis`), sharing
+the loader/visitor/report plumbing with the other checkers — these
+tests drive it through the engine so a violation still fails fast,
+without needing a fuzz seed that happens to exercise the offending
+line.
 """
 
-import ast
 from pathlib import Path
 
+from repro.analysis import analyze_paths
 from repro.net.mesh import Mesh
 from repro.sim.eventloop import EventLoop
 
-SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
-
-#: module-level draws that mutate/read the shared global random state
-GLOBAL_DRAWS = {
-    "random",
-    "randint",
-    "randrange",
-    "choice",
-    "choices",
-    "shuffle",
-    "sample",
-    "uniform",
-    "gauss",
-    "expovariate",
-    "seed",
-    "getrandbits",
-}
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src" / "repro"
 
 
-def _random_calls(tree):
-    for node in ast.walk(tree):
-        if (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and isinstance(node.func.value, ast.Name)
-            and node.func.value.id == "random"
-        ):
-            yield node
-
-
-def _scan(predicate):
-    offenders = []
-    for path in sorted(SRC.rglob("*.py")):
-        tree = ast.parse(path.read_text(), filename=str(path))
-        for call in _random_calls(tree):
-            if predicate(call):
-                offenders.append(f"{path.relative_to(SRC)}:{call.lineno}")
-    return offenders
-
-
-def test_no_bare_random_module_calls():
-    offenders = _scan(lambda call: call.func.attr in GLOBAL_DRAWS)
-    assert not offenders, (
-        "global random state used; draw from repro.sim.rand instead:\n"
-        + "\n".join(offenders)
+def test_no_seed_plumbing_violations_in_src():
+    report = analyze_paths([SRC], rule_ids=["GL005"], root=REPO)
+    assert report.findings == [], (
+        "global random state or unseeded random.Random(); draw from "
+        "repro.sim.rand instead:\n"
+        + "\n".join(f.format_text() for f in report.findings)
     )
 
 
-def test_no_unseeded_random_instances():
-    offenders = _scan(
-        lambda call: call.func.attr == "Random"
-        and not call.args
-        and not call.keywords
-    )
-    assert not offenders, (
-        "unseeded random.Random(); use repro.sim.rand.seeded_stream:\n"
-        + "\n".join(offenders)
-    )
+def test_audit_actually_scans_the_tree():
+    report = analyze_paths([SRC], rule_ids=["GL005"], root=REPO)
+    assert report.rules_run == ["GL005"]
+    assert report.files_analyzed > 50
 
 
 def test_mesh_default_rng_is_deterministic():
