@@ -1,0 +1,134 @@
+"""Three-daemon loopback quickstart: real processes, real sockets.
+
+Spawns three ``python -m repro.cli serve`` daemons from
+``cluster.yaml``, waits for each to report active, then plays a short
+collaborative Sudoku session through the HTTP gateway — create the
+board, commit moves from "different players", watch the WebSocket delta
+stream carry each guess — and tears the cluster down cleanly.
+
+Run from the repository root::
+
+    PYTHONPATH=src python examples/cluster/launch_cluster.py
+
+Ports and the data directory come from the environment
+(``N1_PORT``..., ``GATEWAY_PORT``, ``CLUSTER_DATA_DIR``) with working
+defaults; state is written to a temporary directory unless
+``CLUSTER_DATA_DIR`` is set, so repeated runs start fresh.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.gateway.client import GatewayClient
+
+HERE = Path(__file__).resolve().parent
+CONFIG = HERE / "cluster.yaml"
+NODE_IDS = ["n1", "n2", "n3"]
+
+
+def spawn_daemons(env: dict, ready_dir: Path) -> dict[str, subprocess.Popen]:
+    procs = {}
+    for node_id in NODE_IDS:
+        ready = ready_dir / f"{node_id}.ready.json"
+        procs[node_id] = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--node-id", node_id,
+                "--config", str(CONFIG),
+                "--ready-file", str(ready),
+            ],
+            env=env,
+        )
+    return procs
+
+
+def await_ready(procs: dict, ready_dir: Path, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    pending = set(NODE_IDS)
+    while pending:
+        if time.monotonic() > deadline:
+            raise RuntimeError(f"daemons never became ready: {sorted(pending)}")
+        for node_id in list(pending):
+            proc = procs[node_id]
+            if proc.poll() is not None:
+                raise RuntimeError(f"daemon {node_id} exited with {proc.returncode}")
+            ready = ready_dir / f"{node_id}.ready.json"
+            if ready.exists():
+                info = json.loads(ready.read_text())
+                print(f"  {node_id} active on port {info['port']}")
+                pending.discard(node_id)
+        time.sleep(0.1)
+
+
+def play_sudoku(client: GatewayClient) -> None:
+    print("\ncluster:", client.cluster()["participants"])
+    board = client.create_instance("SudokuBoard")
+    print(f"created shared board {board}")
+
+    ws = client.connect_ws()
+    moves = [(1, 1, 5), (2, 3, 7), (9, 9, 1)]  # three players, three cells
+    for number, (row, col, value) in enumerate(moves, start=1):
+        issued = client.invoke(board, "update", row, col, value)
+        done = client.wait_ticket(issued["ticket"], timeout=20.0)
+        print(
+            f"player {number}: update({row},{col},{value}) "
+            f"issued {issued['status']!r} -> {done['status']} as {done['key']}"
+        )
+
+    # Drain the delta stream until it reflects every committed move.
+    want = {(r - 1, c - 1): v for r, c, v in moves}
+    for _ in range(60):
+        event = ws.recv_json(timeout=10.0)
+        if event["event"] != "delta" or event["object"] != board:
+            continue
+        puzzle = event["state"]["puzzle"]
+        print(f"delta v{event['version']}: board now has "
+              f"{sum(cell != 0 for line in puzzle for cell in line)} filled cells")
+        if all(puzzle[r][c] == v for (r, c), v in want.items()):
+            break
+    else:
+        raise RuntimeError("delta stream never showed the committed board")
+    ws.close()
+
+    final = client.object(board)["state"]["puzzle"]
+    assert all(final[r][c] == v for (r, c), v in want.items())
+    print("final board agrees with every committed move")
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    with tempfile.TemporaryDirectory(prefix="guesstimate-cluster-") as scratch:
+        env.setdefault("CLUSTER_DATA_DIR", str(Path(scratch) / "data"))
+        ready_dir = Path(scratch)
+        print("starting 3 daemons ...")
+        procs = spawn_daemons(env, ready_dir)
+        try:
+            await_ready(procs, ready_dir)
+            gateway_port = int(env.get("GATEWAY_PORT", "9180"))
+            play_sudoku(GatewayClient(f"http://127.0.0.1:{gateway_port}"))
+        finally:
+            print("\nshutting down ...")
+            for proc in procs.values():
+                if proc.poll() is None:
+                    proc.send_signal(signal.SIGTERM)
+            for node_id, proc in procs.items():
+                try:
+                    code = proc.wait(timeout=15)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    code = proc.wait()
+                print(f"  {node_id} exited {code}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -136,6 +136,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.cli import main as glint_main
 
         return glint_main(args_in[1:])
+    if args_in[:1] == ["serve"]:
+        # ``python -m repro.cli serve`` runs one node daemon over the
+        # socket transport; see docs/DEPLOY.md.
+        from repro.transport.daemon import serve_main
+
+        return serve_main(args_in[1:])
 
     parser = argparse.ArgumentParser(
         prog="guesstimate-bench",

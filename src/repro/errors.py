@@ -151,6 +151,22 @@ class SerializationError(NetworkError):
     """A value could not be encoded for transport (or decoded back)."""
 
 
+class TransportError(NetworkError):
+    """Problems in the real socket transport (repro.transport)."""
+
+
+class FrameError(TransportError):
+    """A length-prefixed wire frame is malformed or oversized."""
+
+
+class ClusterConfigError(TransportError):
+    """A cluster.yaml deployment description is invalid or incomplete."""
+
+
+class GatewayError(TransportError):
+    """Problems in the HTTP/WebSocket service gateway (repro.gateway)."""
+
+
 # ---------------------------------------------------------------------------
 # Durability / storage errors
 # ---------------------------------------------------------------------------

@@ -1,0 +1,21 @@
+"""HTTP/WebSocket service gateway over one GUESSTIMATE node.
+
+External clients — anything that can speak HTTP — create and join
+shared instances, issue operations (receiving ticket ids that track
+the guess-then-commit lifecycle), poll ticket state, and stream
+guess-update deltas over a WebSocket.  Everything is stdlib asyncio;
+the gateway adds no dependency the daemon does not already have.
+
+Layers:
+
+* :mod:`repro.gateway.http` — minimal HTTP/1.1 request parsing, JSON
+  responses, and RFC 6455 WebSocket framing.
+* :mod:`repro.gateway.server` — :class:`GatewayServer`, the routes and
+  the delta pump, attached to a node's event loop by the daemon.
+* :mod:`repro.gateway.client` — a small blocking client (urllib + raw
+  socket WebSocket) for tests, examples and shell scripting.
+"""
+
+from repro.gateway.server import GatewayServer
+
+__all__ = ["GatewayServer"]

@@ -24,9 +24,11 @@ from repro.net.latency import (
     LognormalLatency,
     UniformLatency,
 )
-from repro.net.mesh import Envelope, Mesh, MeshPair
+from repro.net.interface import BroadcastChannel, Envelope, MeshStats
+from repro.net.mesh import Mesh, MeshPair
 
 __all__ = [
+    "BroadcastChannel",
     "ConstantLatency",
     "CrashPlan",
     "DropPlan",
@@ -36,6 +38,7 @@ __all__ = [
     "LognormalLatency",
     "Mesh",
     "MeshPair",
+    "MeshStats",
     "NoFaults",
     "PartitionPlan",
     "ProbabilisticDrops",

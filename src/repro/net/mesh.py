@@ -10,55 +10,31 @@ for protocol control messages and ``operations`` for shipped operations.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable
 
 from repro.errors import NotInMeshError
 from repro.net.faults import FaultInjector, NoFaults
+from repro.net.interface import (
+    BroadcastChannel,
+    Envelope,
+    Handler,
+    MeshObserver,
+    MeshStats,
+)
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.sim.rand import seeded_stream
 from repro.sim.scheduler import Scheduler
 
-Handler = Callable[["Envelope"], None]
-
-#: Observer callback: ``(event, info)`` where event is one of
-#: ``"deliver"``, ``"drop"`` or ``"undeliverable"``.  The simulation
-#: fuzzer's trace recorder hooks these to log every mesh decision.
-MeshObserver = Callable[[str, dict], None]
-
-
-@dataclass(frozen=True)
-class Envelope:
-    """One delivered message: who sent what, on which channel, when."""
-
-    channel: str
-    sender: str
-    recipient: str
-    payload: object
-    sent_at: float
-    delivered_at: float
+__all__ = [
+    "Envelope",
+    "Handler",
+    "Mesh",
+    "MeshObserver",
+    "MeshPair",
+    "MeshStats",
+]
 
 
-@dataclass
-class MeshStats:
-    """Counters for tests and the evaluation harness."""
-
-    broadcasts: int = 0
-    unicasts: int = 0
-    deliveries: int = 0
-    dropped: int = 0
-    undeliverable: int = 0  # recipient crashed or absent at delivery time
-    #: scheduled sends by payload type name (one count per recipient) —
-    #: lets the sync benchmark report message-frame counts, e.g. how
-    #: many OpBatch frames replaced how many OpMessages.
-    payload_counts: dict = field(default_factory=dict)
-
-    def count_payload(self, payload: object) -> None:
-        name = type(payload).__name__
-        self.payload_counts[name] = self.payload_counts.get(name, 0) + 1
-
-
-class Mesh:
+class Mesh(BroadcastChannel):
     """A broadcast channel with per-delivery latency and fault injection."""
 
     def __init__(

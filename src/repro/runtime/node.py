@@ -17,7 +17,7 @@ from repro.core.operations import OpKey
 from repro.core.readlock import ReadLockTable
 from repro.core.serialization import decode_op, decode_state
 from repro.errors import NodeCrashedError, RuntimeFailure
-from repro.net.mesh import Envelope, Mesh, MeshPair
+from repro.net.interface import BroadcastChannel, Envelope
 from repro.runtime import messages as msg
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.metrics import NodeMetrics, SystemMetrics
@@ -39,7 +39,7 @@ class GuesstimateNode(Host):
         self,
         machine_id: str,
         scheduler: Scheduler,
-        meshes: MeshPair,
+        meshes,  # MeshPair or NetworkMeshPair: .signals/.operations/join/leave
         config: RuntimeConfig,
         metrics_system: SystemMetrics,
         tracer: Tracer | None = None,
@@ -77,11 +77,11 @@ class GuesstimateNode(Host):
     # -- convenience accessors --------------------------------------------------
 
     @property
-    def signals_mesh(self) -> Mesh:
+    def signals_mesh(self) -> BroadcastChannel:
         return self.meshes.signals
 
     @property
-    def ops_mesh(self) -> Mesh:
+    def ops_mesh(self) -> BroadcastChannel:
         return self.meshes.operations
 
     @property

@@ -20,6 +20,107 @@ from repro.runtime.tracing import Tracer
 from repro.sim.eventloop import EventLoop
 from repro.sim.rand import SeededSource
 
+# ---------------------------------------------------------------------------
+# Cluster-level correctness probes, shared by every deployment shape
+# ---------------------------------------------------------------------------
+#
+# These operate on plain node collections so the in-process simulator
+# (:class:`DistributedSystem`) and the socket-backed loopback harness
+# (:class:`repro.transport.loopback.LoopbackCluster`) are judged by the
+# byte-identical checks — the "verification twin" property the real
+# transport is tested against.
+
+
+def cluster_quiesced(master_node: GuesstimateNode, nodes) -> bool:
+    """No pending work anywhere and no operations in flight.
+
+    Empty in-flight rounds do not count as work: with pipelining the
+    master can cycle op-less control rounds back to back without the
+    pipeline ever going idle, yet every issued operation has long
+    since committed everywhere.  A round carrying operations (its
+    collected counts are nonzero) still blocks quiescence; rounds
+    whose ops are mid-flush are caught by the per-node checks below.
+    """
+    master = master_node.master
+    if master is None:  # pragma: no cover
+        return False
+    for round_ in master.inflight.values():
+        if round_.stage != "flush" and sum(round_.counts.values()) > 0:
+            return False
+    if master.join_queue or master.awaiting_ack:
+        return False
+    if any(node.state == GuesstimateNode.STATE_JOINING for node in nodes):
+        return False
+    return all(
+        node.quiesced()
+        for node in nodes
+        if node.state == GuesstimateNode.STATE_ACTIVE
+    )
+
+
+def committed_states_equal(nodes) -> bool:
+    """Paper invariant: sc(i) = sc(j) for all active machine pairs."""
+    nodes = list(nodes)
+    if len(nodes) < 2:
+        return True
+    reference = nodes[0].model.committed
+    return all(node.model.committed.state_equal(reference) for node in nodes[1:])
+
+
+def completed_sequences_equal(nodes) -> bool:
+    """Paper invariant: C(i) = C(j), aligned by join offsets.
+
+    Machines that joined (or restarted) late only see the suffix of
+    the global sequence after their snapshot point, so sequences
+    are compared after dropping each machine's pre-join prefix.
+    """
+    nodes = list(nodes)
+    if len(nodes) < 2:
+        return True
+    global_len = max(
+        node.completed_offset + node.model.completed_count for node in nodes
+    )
+
+    def aligned(node: GuesstimateNode) -> list[tuple[str, int, bool]]:
+        entries = node.model.completed
+        return [
+            (entry.key.machine_id, entry.key.op_number, entry.result)
+            for entry in entries
+        ]
+
+    full_nodes = [node for node in nodes if node.completed_offset == 0]
+    if len(full_nodes) >= 2:
+        reference = aligned(full_nodes[0])
+        if any(aligned(node) != reference for node in full_nodes[1:]):
+            return False
+    # Late joiners: their sequence must equal the common suffix.
+    for node in nodes:
+        if node.completed_offset == 0 or not full_nodes:
+            continue
+        reference = aligned(full_nodes[0])
+        expected_len = global_len - node.completed_offset
+        suffix = reference[len(reference) - expected_len :] if expected_len else []
+        if aligned(node) != suffix:
+            return False
+    return True
+
+
+def convergence_invariant_holds(nodes) -> bool:
+    """Per-machine invariant [P](sc) = sg (valid at quiescent points)."""
+    return all(node.model.check_convergence_invariant() for node in nodes)
+
+
+def check_cluster_invariants(nodes) -> None:
+    """Assert every paper invariant over the *active* nodes given;
+    call at quiescent points only."""
+    nodes = list(nodes)
+    if not committed_states_equal(nodes):
+        raise SimulationError("invariant violated: committed states differ")
+    if not completed_sequences_equal(nodes):
+        raise SimulationError("invariant violated: completed sequences differ")
+    if not convergence_invariant_holds(nodes):
+        raise SimulationError("invariant violated: [P](sc) != sg")
+
 
 class DistributedSystem:
     """A complete simulated GUESSTIMATE deployment."""
@@ -146,33 +247,8 @@ class DistributedSystem:
     # -- correctness probes ------------------------------------------------------------
 
     def quiesced(self) -> bool:
-        """No pending work anywhere and no operations in flight.
-
-        Empty in-flight rounds do not count as work: with pipelining the
-        master can cycle op-less control rounds back to back without the
-        pipeline ever going idle, yet every issued operation has long
-        since committed everywhere.  A round carrying operations (its
-        collected counts are nonzero) still blocks quiescence; rounds
-        whose ops are mid-flush are caught by the per-node checks below.
-        """
-        master = self.master_node.master
-        if master is None:  # pragma: no cover
-            return False
-        for round_ in master.inflight.values():
-            if round_.stage != "flush" and sum(round_.counts.values()) > 0:
-                return False
-        if master.join_queue or master.awaiting_ack:
-            return False
-        if any(
-            node.state == GuesstimateNode.STATE_JOINING
-            for node in self.nodes.values()
-        ):
-            return False
-        return all(
-            node.quiesced()
-            for node in self.nodes.values()
-            if node.state == GuesstimateNode.STATE_ACTIVE
-        )
+        """No pending work anywhere and no operations in flight."""
+        return cluster_quiesced(self.master_node, self.nodes.values())
 
     def active_nodes(self) -> list[GuesstimateNode]:
         return [
@@ -183,60 +259,16 @@ class DistributedSystem:
 
     def committed_states_equal(self) -> bool:
         """Paper invariant: sc(i) = sc(j) for all machine pairs."""
-        nodes = self.active_nodes()
-        if len(nodes) < 2:
-            return True
-        reference = nodes[0].model.committed
-        return all(node.model.committed.state_equal(reference) for node in nodes[1:])
+        return committed_states_equal(self.active_nodes())
 
     def completed_sequences_equal(self) -> bool:
-        """Paper invariant: C(i) = C(j), aligned by join offsets.
-
-        Machines that joined (or restarted) late only see the suffix of
-        the global sequence after their snapshot point, so sequences
-        are compared after dropping each machine's pre-join prefix.
-        """
-        nodes = self.active_nodes()
-        if len(nodes) < 2:
-            return True
-        global_len = max(
-            node.completed_offset + node.model.completed_count for node in nodes
-        )
-
-        def aligned(node: GuesstimateNode) -> list[tuple[str, int, bool]]:
-            entries = node.model.completed
-            return [
-                (entry.key.machine_id, entry.key.op_number, entry.result)
-                for entry in entries
-            ]
-
-        full_nodes = [node for node in nodes if node.completed_offset == 0]
-        if len(full_nodes) >= 2:
-            reference = aligned(full_nodes[0])
-            if any(aligned(node) != reference for node in full_nodes[1:]):
-                return False
-        # Late joiners: their sequence must equal the common suffix.
-        for node in nodes:
-            if node.completed_offset == 0 or not full_nodes:
-                continue
-            reference = aligned(full_nodes[0])
-            expected_len = global_len - node.completed_offset
-            suffix = reference[len(reference) - expected_len :] if expected_len else []
-            if aligned(node) != suffix:
-                return False
-        return True
+        """Paper invariant: C(i) = C(j), aligned by join offsets."""
+        return completed_sequences_equal(self.active_nodes())
 
     def convergence_invariant_holds(self) -> bool:
         """Per-machine invariant [P](sc) = sg (valid at quiescent points)."""
-        return all(
-            node.model.check_convergence_invariant() for node in self.active_nodes()
-        )
+        return convergence_invariant_holds(self.active_nodes())
 
     def check_all_invariants(self) -> None:
         """Assert every paper invariant; call at quiescent points only."""
-        if not self.committed_states_equal():
-            raise SimulationError("invariant violated: committed states differ")
-        if not self.completed_sequences_equal():
-            raise SimulationError("invariant violated: completed sequences differ")
-        if not self.convergence_invariant_holds():
-            raise SimulationError("invariant violated: [P](sc) != sg")
+        check_cluster_invariants(self.active_nodes())

@@ -3,6 +3,7 @@
 Subcommands::
 
     simfuzz run --seeds 100 [--start N] [--max-time S] [--trace-dir DIR]
+                [--transport sim|loopback]
     simfuzz replay <seed> [--mutation NAME]
     simfuzz shrink <seed> [--mutation NAME]
     simfuzz selftest [--mutation NAME] [--max-seeds N]
@@ -35,14 +36,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for violation in outcome.violations:
             print(f"    {violation}")
 
-    report = fuzz.run_seeds(
-        args.seeds,
-        start=args.start,
-        max_time=args.max_time,
-        mutation=args.mutation,
-        trace_dir=args.trace_dir,
-        progress=progress,
-    )
+    if args.transport == "loopback":
+        if args.mutation is not None:
+            print("error: --mutation is simulation-only (loopback runs unmutated)")
+            return 2
+        from repro.transport.loopback import sweep_seeds
+
+        report = sweep_seeds(
+            args.seeds,
+            start=args.start,
+            max_time=args.max_time,
+            trace_dir=args.trace_dir,
+            progress=progress,
+        )
+    else:
+        report = fuzz.run_seeds(
+            args.seeds,
+            start=args.start,
+            max_time=args.max_time,
+            mutation=args.mutation,
+            trace_dir=args.trace_dir,
+            progress=progress,
+        )
     print(
         f"\n{report.seeds_run} seed(s) run, {len(report.failures)} failing"
         + (" (stopped early: wall-clock budget)" if report.stopped_early else "")
@@ -122,6 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-dir", default=None, help="write failing-seed artifacts here"
     )
     run.add_argument("--mutation", choices=sorted(MUTATIONS), default=None)
+    run.add_argument(
+        "--transport",
+        choices=("sim", "loopback"),
+        default="sim",
+        help="sim: deterministic event loop; loopback: real TCP on 127.0.0.1",
+    )
     run.set_defaults(func=_cmd_run)
 
     rep = sub.add_parser("replay", help="run one seed twice, compare traces")

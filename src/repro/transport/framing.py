@@ -1,0 +1,127 @@
+"""Length-prefixed wire frames over the registry codec.
+
+One frame is a 4-byte big-endian length followed by that many bytes of
+canonical JSON::
+
+    {"c": <channel>, "s": <sender>, "r": <recipient>,
+     "q": <sequence>, "t": <sent_at>, "p": {"t": ..., "d": ...}}
+
+``p`` is the payload as :func:`repro.storage.codec.encode_wire` renders
+it, so everything the WAL can persist the transport can ship — the
+protocol messages of :mod:`repro.runtime.messages` round-trip through
+their registered revivers exactly as they do through the durable log.
+
+The decoder is incremental: TCP gives no message boundaries, so
+:meth:`FrameDecoder.feed` accepts arbitrary chunks (a split length
+prefix, half a frame, three frames at once) and yields every frame
+completed so far.  Round-tripping any frame through
+``encode_frame``/``FrameDecoder`` is the identity; the Hypothesis
+property in ``tests/transport/test_framing.py`` pins this across random
+chunkings.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import FrameError, SerializationError
+from repro.storage.codec import decode_wire, encode_wire
+
+#: Length-prefix format: 4-byte unsigned big-endian.
+_PREFIX = struct.Struct(">I")
+PREFIX_BYTES = _PREFIX.size
+
+#: Upper bound on one frame's body.  The largest legitimate frames are
+#: Welcome snapshots; 16 MiB leaves two orders of magnitude of headroom
+#: while keeping a corrupted length prefix from allocating gigabytes.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class WireFrame:
+    """One transport message: routing envelope plus decoded payload."""
+
+    channel: str
+    sender: str
+    recipient: str
+    seq: int
+    sent_at: float
+    payload: Any
+
+
+def encode_frame(frame: WireFrame) -> bytes:
+    """Render ``frame`` as length-prefixed canonical JSON bytes."""
+    try:
+        body = json.dumps(
+            {
+                "c": frame.channel,
+                "s": frame.sender,
+                "r": frame.recipient,
+                "q": frame.seq,
+                "t": frame.sent_at,
+                "p": encode_wire(frame.payload),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"frame payload of type {type(frame.payload).__name__} is not "
+            f"JSON-encodable: {exc}"
+        ) from None
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame body of {len(body)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    return _PREFIX.pack(len(body)) + body
+
+
+def _decode_body(body: bytes) -> WireFrame:
+    try:
+        obj = json.loads(body.decode("utf-8"))
+        return WireFrame(
+            channel=obj["c"],
+            sender=obj["s"],
+            recipient=obj["r"],
+            seq=obj["q"],
+            sent_at=obj["t"],
+            payload=decode_wire(obj["p"]),
+        )
+    except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise FrameError(f"malformed frame body: {exc!r}") from None
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over an arbitrary chunk stream."""
+
+    def __init__(self):
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[WireFrame]:
+        """Absorb ``data``; return every frame completed by it."""
+        self._buffer.extend(data)
+        frames: list[WireFrame] = []
+        while True:
+            if len(self._buffer) < PREFIX_BYTES:
+                break
+            (length,) = _PREFIX.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise FrameError(
+                    f"frame length prefix {length} exceeds MAX_FRAME_BYTES "
+                    "(corrupt stream?)"
+                )
+            end = PREFIX_BYTES + length
+            if len(self._buffer) < end:
+                break
+            body = bytes(self._buffer[PREFIX_BYTES:end])
+            del self._buffer[:end]
+            frames.append(_decode_body(body))
+        return frames

@@ -1,0 +1,507 @@
+"""The socket-backed :class:`~repro.net.interface.BroadcastChannel`.
+
+Topology: every node runs **one TCP server** (its inbound half) and
+dials **one outbound connection per configured peer** (its outbound
+half, a :class:`PeerLink`).  Links are send-only — the dialed side
+never writes back — so there is no connection dedup problem and no
+distributed handshake: a frame's envelope identifies its sender.
+
+Loss model: a frame sent while the peer's link is down is *dropped*
+(counted, never buffered).  This matches the simulated mesh's lossy
+semantics; the synchronization protocol already recovers from loss
+through stall timeouts, resend requests, and Hello retries, so the
+transport does not need reliable delivery — only FIFO per connection,
+which TCP provides.  Links reconnect with capped exponential backoff.
+
+Sequencing: the sender stamps a per ``(peer, channel)`` sequence number
+on every frame.  The receiver drops duplicates (``seq <= last``) and
+counts gaps (``seq > last + 1`` — frames that died in a broken link's
+socket buffer), giving the same observability the simulated mesh's
+drop counters provide.
+
+Both :class:`NetworkMesh` channels of a node share one
+:class:`NodeTransport` (one server, one link per peer) — exactly as
+the paper's two PeerChannel meshes shared one physical network.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.errors import NotInMeshError
+from repro.net.faults import FaultInjector, NoFaults
+from repro.net.interface import (
+    BroadcastChannel,
+    Envelope,
+    Handler,
+    MeshObserver,
+    MeshStats,
+)
+from repro.sim.rand import seeded_stream
+from repro.transport.framing import FrameDecoder, WireFrame, encode_frame
+from repro.transport.scheduler import AsyncioScheduler
+
+
+@dataclass
+class TransportStats:
+    """Wire-level counters (complementing per-channel ``MeshStats``)."""
+
+    frames_sent: int = 0
+    frames_received: int = 0
+    send_failures: int = 0  # link down or write failed; frame dropped
+    duplicates: int = 0  # received seq <= last seen for (sender, channel)
+    gaps: int = 0  # sequence numbers skipped (lost in a dying link)
+    decode_errors: int = 0  # malformed inbound stream (connection dropped)
+    unroutable: int = 0  # inbound frame for an unregistered channel
+    connects: int = 0  # successful outbound connections
+    reconnects: int = 0  # connects after a previously-established link died
+
+
+class PeerLink:
+    """One outbound send-only connection, kept alive with backoff.
+
+    The link task dials the peer, then parks on ``reader.read()`` —
+    the peer never sends, so the read returning (EOF) or raising is the
+    disconnect signal.  After a failed dial the next attempt waits
+    ``backoff`` seconds, doubling up to ``backoff_max``; a successful
+    connect resets the backoff.  Backoff is deterministic (no jitter)
+    so tests can assert the schedule.
+    """
+
+    def __init__(
+        self,
+        transport: "NodeTransport",
+        peer_id: str,
+        host: str,
+        port: int,
+        backoff_initial: float = 0.05,
+        backoff_max: float = 2.0,
+    ):
+        self.transport = transport
+        self.peer_id = peer_id
+        self.host = host
+        self.port = port
+        self.backoff_initial = backoff_initial
+        self.backoff_max = backoff_max
+        self.connected = False
+        #: loop times of dial attempts (tests assert backoff spacing)
+        self.attempt_times: list[float] = []
+        self._writer: asyncio.StreamWriter | None = None
+        self._task: asyncio.Task | None = None
+        self._closed = False
+
+    def start(self) -> None:
+        self._task = self.transport.loop.create_task(
+            self._run(), name=f"peerlink-{self.transport.local_id}-{self.peer_id}"
+        )
+
+    async def _run(self) -> None:
+        had_connection = False
+        backoff = self.backoff_initial
+        while not self._closed:
+            self.attempt_times.append(self.transport.loop.time())
+            try:
+                reader, writer = await asyncio.open_connection(self.host, self.port)
+            except OSError:
+                try:
+                    await asyncio.sleep(backoff)
+                except asyncio.CancelledError:
+                    return
+                backoff = min(backoff * 2, self.backoff_max)
+                continue
+            self._writer = writer
+            self.connected = True
+            backoff = self.backoff_initial
+            stats = self.transport.stats
+            stats.connects += 1
+            if had_connection:
+                stats.reconnects += 1
+            had_connection = True
+            try:
+                await reader.read()  # EOF or error == peer gone
+            except (OSError, asyncio.CancelledError):
+                pass
+            self.connected = False
+            self._writer = None
+            writer.close()
+            if self._closed:
+                return
+            try:
+                await asyncio.sleep(self.backoff_initial)
+            except asyncio.CancelledError:
+                return
+
+    def send(self, data: bytes) -> bool:
+        """Queue ``data`` on the link; False if the link is down."""
+        writer = self._writer
+        if writer is None or writer.is_closing():
+            return False
+        try:
+            writer.write(data)
+        except (ConnectionError, OSError, RuntimeError):
+            return False
+        return True
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        self.connected = False
+
+
+class NodeTransport:
+    """One node's wire endpoint: a TCP server plus peer links.
+
+    Channels are registered lazily via :meth:`channel`; both meshes of
+    a :class:`NetworkMeshPair` ride the same links and server.
+    """
+
+    def __init__(
+        self,
+        local_id: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        scheduler: AsyncioScheduler | None = None,
+        backoff_initial: float = 0.05,
+        backoff_max: float = 2.0,
+    ):
+        if scheduler is None:
+            scheduler = AsyncioScheduler(asyncio.get_event_loop())
+        self.local_id = local_id
+        self.host = host
+        self.port = port  # updated to the bound port by start()
+        self.scheduler = scheduler
+        self.loop = scheduler.loop
+        self.stats = TransportStats()
+        self.backoff_initial = backoff_initial
+        self.backoff_max = backoff_max
+        self.peers: dict[str, tuple[str, int]] = {}
+        self.links: dict[str, PeerLink] = {}
+        self.channels: dict[str, "NetworkMesh"] = {}
+        self._send_seq: dict[tuple[str, str], int] = {}  # (peer, channel)
+        self._recv_seq: dict[tuple[str, str], int] = {}  # (sender, channel)
+        self._server: asyncio.base_events.Server | None = None
+        self._inbound: set[asyncio.StreamWriter] = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Bind the inbound server; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._serve_conn, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    def set_peers(self, peers: dict[str, tuple[str, int]]) -> None:
+        """Declare the peer table and dial every peer not yet linked."""
+        for peer_id, (host, port) in peers.items():
+            if peer_id == self.local_id or peer_id in self.links:
+                continue
+            self.peers[peer_id] = (host, port)
+            link = PeerLink(
+                self,
+                peer_id,
+                host,
+                port,
+                backoff_initial=self.backoff_initial,
+                backoff_max=self.backoff_max,
+            )
+            self.links[peer_id] = link
+            link.start()
+
+    async def stop(self) -> None:
+        for link in self.links.values():
+            await link.close()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._inbound):
+            writer.close()
+        self._inbound.clear()
+
+    # -- channels ------------------------------------------------------------
+
+    def channel(self, name: str) -> "NetworkMesh":
+        mesh = self.channels.get(name)
+        if mesh is None:
+            mesh = NetworkMesh(name, self)
+            self.channels[name] = mesh
+        return mesh
+
+    # -- sending -------------------------------------------------------------
+
+    def ship(
+        self, peer_id: str, channel: str, sender: str, payload: object, sent_at: float
+    ) -> bool:
+        """Frame ``payload`` for ``peer_id`` and write it to the link.
+
+        The sequence number advances even when the link is down, so the
+        receiver's gap counter accounts for the loss after reconnect.
+        """
+        key = (peer_id, channel)
+        seq = self._send_seq.get(key, 0) + 1
+        self._send_seq[key] = seq
+        data = encode_frame(
+            WireFrame(
+                channel=channel,
+                sender=sender,
+                recipient=peer_id,
+                seq=seq,
+                sent_at=sent_at,
+                payload=payload,
+            )
+        )
+        link = self.links.get(peer_id)
+        if link is None or not link.send(data):
+            self.stats.send_failures += 1
+            return False
+        self.stats.frames_sent += 1
+        return True
+
+    # -- receiving -----------------------------------------------------------
+
+    async def _serve_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._inbound.add(writer)
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                try:
+                    frames = decoder.feed(data)
+                except Exception:  # noqa: BLE001 - corrupt stream, cut it
+                    self.stats.decode_errors += 1
+                    break
+                for frame in frames:
+                    self._deliver(frame)
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # Normal shutdown path: asyncio.run() cancels pending tasks and
+            # the streams machinery inspects task.exception() — swallow so
+            # teardown stays silent.
+            pass
+        finally:
+            self._inbound.discard(writer)
+            writer.close()
+
+    def _deliver(self, frame: WireFrame) -> None:
+        key = (frame.sender, frame.channel)
+        last = self._recv_seq.get(key, 0)
+        if frame.seq <= last:
+            self.stats.duplicates += 1
+            return
+        if frame.seq > last + 1:
+            self.stats.gaps += frame.seq - last - 1
+        self._recv_seq[key] = frame.seq
+        self.stats.frames_received += 1
+        mesh = self.channels.get(frame.channel)
+        if mesh is None:
+            self.stats.unroutable += 1
+            return
+        mesh._on_frame(frame)
+
+
+class NetworkMesh(BroadcastChannel):
+    """The :class:`BroadcastChannel` contract over a :class:`NodeTransport`.
+
+    Local members (normally exactly one: the co-located node) join with
+    a handler; every configured peer is a remote member.  ``faults``
+    defaults to :class:`NoFaults` but is assignable, and ``should_drop``
+    runs on the *outbound* path — loopback tests inject message loss
+    this way without touching sockets.
+    """
+
+    def __init__(self, name: str, transport: NodeTransport):
+        self.name = name
+        self.transport = transport
+        self.scheduler = transport.scheduler
+        self.stats = MeshStats()
+        self.observers: list[MeshObserver] = []
+        self.faults: FaultInjector = NoFaults()
+        self.rng = seeded_stream(f"netmesh:{transport.local_id}:{name}")
+        self._local: dict[str, Handler] = {}
+
+    def _notify(self, event: str, **info) -> None:
+        for observer in self.observers:
+            observer(event, info)
+
+    # -- membership ----------------------------------------------------------
+
+    @property
+    def members(self) -> list[str]:
+        remote = [p for p in self.transport.peers if p not in self._local]
+        return list(self._local) + remote
+
+    def join(self, node_id: str, handler: Handler) -> None:
+        self._local[node_id] = handler
+
+    def leave(self, node_id: str) -> None:
+        self._local.pop(node_id, None)
+
+    def is_member(self, node_id: str) -> bool:
+        return node_id in self._local or node_id in self.transport.peers
+
+    # -- sending -------------------------------------------------------------
+
+    def broadcast(self, sender: str, payload: object) -> int:
+        self._require_member(sender)
+        self.stats.broadcasts += 1
+        now = self.scheduler.now()
+        if self.faults.is_crashed(now, sender):
+            return 0
+        scheduled = 0
+        for peer_id in list(self.transport.peers):
+            if peer_id == sender:
+                continue
+            self._ship(sender, peer_id, payload, now)
+            scheduled += 1
+        for local_id in list(self._local):
+            if local_id == sender or local_id in self.transport.peers:
+                continue
+            self._deliver_local(sender, local_id, payload, now)
+            scheduled += 1
+        return scheduled
+
+    def send(self, sender: str, recipient: str, payload: object) -> None:
+        self._require_member(sender)
+        self.stats.unicasts += 1
+        now = self.scheduler.now()
+        if not self.is_member(recipient):
+            self.stats.undeliverable += 1
+            return
+        if self.faults.is_crashed(now, sender):
+            return
+        if recipient in self._local and recipient != sender:
+            self._deliver_local(sender, recipient, payload, now)
+        elif recipient in self.transport.peers:
+            self._ship(sender, recipient, payload, now)
+        else:  # unicast to self: same zero-latency local path
+            self._deliver_local(sender, recipient, payload, now)
+
+    # -- internal ------------------------------------------------------------
+
+    def _require_member(self, node_id: str) -> None:
+        if node_id not in self._local:
+            raise NotInMeshError(node_id, self.name)
+
+    def _drop_check(self, sender: str, recipient: str, payload: object, now: float) -> bool:
+        self.stats.count_payload(payload)
+        if self.faults.should_drop(now, self.name, sender, recipient, self.rng, payload):
+            self.stats.dropped += 1
+            self._notify(
+                "drop",
+                channel=self.name,
+                sender=sender,
+                recipient=recipient,
+                payload=type(payload).__name__,
+                at=now,
+            )
+            return True
+        return False
+
+    def _ship(self, sender: str, recipient: str, payload: object, now: float) -> None:
+        if self._drop_check(sender, recipient, payload, now):
+            return
+        if not self.transport.ship(recipient, self.name, sender, payload, now):
+            # Link down: the frame is lost exactly like a dropped
+            # message; the protocol's timeouts recover.
+            self.stats.dropped += 1
+            self._notify(
+                "drop",
+                channel=self.name,
+                sender=sender,
+                recipient=recipient,
+                payload=type(payload).__name__,
+                at=now,
+            )
+
+    def _deliver_local(
+        self, sender: str, recipient: str, payload: object, now: float
+    ) -> None:
+        """Zero-copy delivery between members sharing this transport."""
+        if self._drop_check(sender, recipient, payload, now):
+            return
+        self.scheduler.call_soon(
+            lambda: self._handle(
+                WireFrame(self.name, sender, recipient, 0, now, payload)
+            )
+        )
+
+    def _on_frame(self, frame: WireFrame) -> None:
+        # Decouple handler execution from the socket-reader task so
+        # runtime callbacks never run inside the transport read loop.
+        self.scheduler.call_soon(lambda: self._handle(frame))
+
+    def _handle(self, frame: WireFrame) -> None:
+        delivered_at = self.scheduler.now()
+        handler = self._local.get(frame.recipient)
+        if handler is None or self.faults.is_crashed(delivered_at, frame.recipient):
+            self.stats.undeliverable += 1
+            self._notify(
+                "undeliverable",
+                channel=self.name,
+                sender=frame.sender,
+                recipient=frame.recipient,
+                payload=type(frame.payload).__name__,
+                at=delivered_at,
+            )
+            return
+        self.stats.deliveries += 1
+        self._notify(
+            "deliver",
+            channel=self.name,
+            sender=frame.sender,
+            recipient=frame.recipient,
+            payload=type(frame.payload).__name__,
+            at=delivered_at,
+        )
+        handler(
+            Envelope(
+                channel=self.name,
+                sender=frame.sender,
+                recipient=frame.recipient,
+                payload=frame.payload,
+                sent_at=frame.sent_at,
+                delivered_at=delivered_at,
+            )
+        )
+
+
+class NetworkMeshPair:
+    """The runtime's two channels over one :class:`NodeTransport`.
+
+    Mirrors :class:`repro.net.mesh.MeshPair` — "The GUESSTIMATE runtime
+    uses two meshes, one for sending signals and another for passing
+    operations" — multiplexed over the node's single server and links.
+    """
+
+    def __init__(self, transport: NodeTransport):
+        self.transport = transport
+        self.signals = transport.channel("signals")
+        self.operations = transport.channel("operations")
+
+    def join(self, node_id: str, signal_handler: Handler, ops_handler: Handler) -> None:
+        self.signals.join(node_id, signal_handler)
+        self.operations.join(node_id, ops_handler)
+
+    def leave(self, node_id: str) -> None:
+        self.signals.leave(node_id)
+        self.operations.leave(node_id)
+
+    @property
+    def members(self) -> list[str]:
+        return self.signals.members

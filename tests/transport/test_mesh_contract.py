@@ -1,0 +1,181 @@
+"""BroadcastChannel conformance, parametrized over both transports.
+
+The runtime is written against :class:`repro.net.interface.BroadcastChannel`;
+this suite pins the delivery semantics both implementations must share
+(see the interface module docstring): no self-delivery, asynchronous
+handlers, ``NotInMeshError`` for non-member senders, undeliverable
+counting instead of exceptions, observer events, assignable faults.
+
+The simulated :class:`~repro.net.mesh.Mesh` runs on the deterministic
+event loop; :class:`~repro.transport.netmesh.NetworkMesh` runs on a real
+asyncio loop (members here are co-located on one transport, which is the
+same local-delivery path a node shares with its own channel — socket
+crossing is covered by ``test_netmesh.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.errors import NotInMeshError
+from repro.net.faults import ProbabilisticDrops
+from repro.net.interface import BroadcastChannel
+from repro.net.latency import ConstantLatency
+from repro.net.mesh import Mesh
+from repro.sim.eventloop import EventLoop
+from repro.transport.netmesh import NetworkMesh, NodeTransport
+from repro.transport.scheduler import AsyncioScheduler
+
+
+class SimHarness:
+    """The simulated mesh on virtual time."""
+
+    def __init__(self):
+        self.loop = EventLoop()
+        self.mesh = Mesh(
+            "test", self.loop, ConstantLatency(0.01), None, rng=random.Random(0)
+        )
+
+    def run(self):
+        self.loop.run()
+
+    def close(self):
+        pass
+
+
+class NetHarness:
+    """The socket transport's channel on a real asyncio loop."""
+
+    def __init__(self):
+        self.aio_loop = asyncio.new_event_loop()
+        scheduler = AsyncioScheduler(self.aio_loop)
+        self.transport = NodeTransport("host", port=0, scheduler=scheduler)
+        self.aio_loop.run_until_complete(self.transport.start())
+        self.mesh = self.transport.channel("test")
+
+    def run(self):
+        self.aio_loop.run_until_complete(asyncio.sleep(0.05))
+
+    def close(self):
+        self.aio_loop.run_until_complete(self.transport.stop())
+        self.aio_loop.close()
+
+
+@pytest.fixture(params=["sim", "network"])
+def harness(request):
+    h = SimHarness() if request.param == "sim" else NetHarness()
+    yield h
+    h.close()
+
+
+class TestConformance:
+    def test_is_a_broadcast_channel(self, harness):
+        assert isinstance(harness.mesh, BroadcastChannel)
+
+    def test_broadcast_reaches_all_others_never_sender(self, harness):
+        received = {name: [] for name in "abc"}
+        for name in "abc":
+            harness.mesh.join(name, lambda env, n=name: received[n].append(env.payload))
+        harness.mesh.broadcast("a", "hello")
+        harness.run()
+        assert received == {"a": [], "b": ["hello"], "c": ["hello"]}
+
+    def test_delivery_is_asynchronous(self, harness):
+        # The handler must run after broadcast() returned, never inside it.
+        order = []
+        harness.mesh.join("a", lambda env: None)
+        harness.mesh.join("b", lambda env: order.append("delivered"))
+        harness.mesh.broadcast("a", "x")
+        order.append("returned")
+        harness.run()
+        assert order == ["returned", "delivered"]
+
+    def test_broadcast_from_non_member_raises(self, harness):
+        with pytest.raises(NotInMeshError):
+            harness.mesh.broadcast("ghost", "x")
+
+    def test_send_from_non_member_raises(self, harness):
+        harness.mesh.join("a", lambda env: None)
+        with pytest.raises(NotInMeshError):
+            harness.mesh.send("ghost", "a", "x")
+
+    def test_unicast_reaches_only_target(self, harness):
+        received = {name: [] for name in "abc"}
+        for name in "abc":
+            harness.mesh.join(name, lambda env, n=name: received[n].append(env.payload))
+        harness.mesh.send("a", "c", "direct")
+        harness.run()
+        assert received == {"a": [], "b": [], "c": ["direct"]}
+
+    def test_send_to_absent_recipient_is_counted_not_raised(self, harness):
+        harness.mesh.join("a", lambda env: None)
+        harness.mesh.send("a", "ghost", "x")
+        harness.run()
+        assert harness.mesh.stats.undeliverable == 1
+
+    def test_leave_stops_delivery(self, harness):
+        got = []
+        harness.mesh.join("a", lambda env: None)
+        harness.mesh.join("b", lambda env: got.append(env.payload))
+        harness.mesh.broadcast("a", "first")
+        harness.run()
+        harness.mesh.leave("b")
+        harness.mesh.broadcast("a", "second")
+        harness.run()
+        assert got == ["first"]
+
+    def test_membership_queries(self, harness):
+        harness.mesh.join("a", lambda env: None)
+        harness.mesh.join("b", lambda env: None)
+        assert harness.mesh.is_member("a")
+        assert not harness.mesh.is_member("ghost")
+        assert set(harness.mesh.members) >= {"a", "b"}
+
+    def test_envelope_fields(self, harness):
+        envelopes = []
+        harness.mesh.join("a", lambda env: None)
+        harness.mesh.join("b", envelopes.append)
+        harness.mesh.broadcast("a", {"k": 1})
+        harness.run()
+        env = envelopes[0]
+        assert env.sender == "a" and env.recipient == "b"
+        assert env.channel == "test" and env.payload == {"k": 1}
+
+    def test_stats_counters(self, harness):
+        harness.mesh.join("a", lambda env: None)
+        harness.mesh.join("b", lambda env: None)
+        harness.mesh.broadcast("a", "x")
+        harness.mesh.send("a", "b", "y")
+        harness.run()
+        assert harness.mesh.stats.broadcasts == 1
+        assert harness.mesh.stats.unicasts == 1
+        assert harness.mesh.stats.deliveries == 2
+
+    def test_observers_see_deliveries(self, harness):
+        events = []
+        harness.mesh.observers.append(lambda event, info: events.append(event))
+        harness.mesh.join("a", lambda env: None)
+        harness.mesh.join("b", lambda env: None)
+        harness.mesh.broadcast("a", "x")
+        harness.run()
+        assert events.count("deliver") == 1
+
+    def test_faults_are_assignable_and_drop_outbound(self, harness):
+        got = []
+        harness.mesh.join("a", lambda env: None)
+        harness.mesh.join("b", lambda env: got.append(env))
+        harness.mesh.faults = ProbabilisticDrops(1.0)
+        harness.mesh.broadcast("a", "x")
+        harness.run()
+        assert got == []
+        assert harness.mesh.stats.dropped == 1
+
+    def test_payload_counts_by_type(self, harness):
+        harness.mesh.join("a", lambda env: None)
+        harness.mesh.join("b", lambda env: None)
+        harness.mesh.broadcast("a", "x")
+        harness.run()
+        assert harness.mesh.stats.payload_counts == {"str": 1}
