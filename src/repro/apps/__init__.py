@@ -18,14 +18,29 @@ completion routines.
 * :mod:`repro.apps.microblog` — a small twitter-like application.
 * :mod:`repro.apps.accounts` — shared registration/sign-in component
   used by the five non-Sudoku applications (the blocking pattern).
+
+The workload zoo (adversarial convergence testing, see
+``docs/TESTING.md``) adds three more applications chosen for their
+*conflict structure* rather than paper fidelity:
+
+* :mod:`repro.apps.listdoc` — collaborative list/text editor; dense
+  positional insert/delete conflicts.
+* :mod:`repro.apps.presence` — shared counters + presence roster; high
+  fan-in on one object, with a counter-sum conservation law.
+* :mod:`repro.apps.marketplace` — escrowed trading where money moves
+  only inside Atomic/OrElse compositions, giving the all-or-nothing
+  probe a conservation law to check.
 """
 
 from repro.apps.accounts import AccountClient, UserDirectory
 from repro.apps.auction import AuctionClient, AuctionHouse
 from repro.apps.carpool import CarPool, CarPoolClient
 from repro.apps.event_planner import EventPlanner, PlannerClient
+from repro.apps.listdoc import DocClient, SharedDoc
+from repro.apps.marketplace import Marketplace, MarketClient
 from repro.apps.message_board import BoardClient, MessageBoard
 from repro.apps.microblog import MicroBlog, MicroBlogClient
+from repro.apps.presence import PresenceClient, PresenceCounters
 from repro.apps.sudoku import SudokuBoard, SudokuClient
 
 __all__ = [
@@ -35,11 +50,17 @@ __all__ = [
     "BoardClient",
     "CarPool",
     "CarPoolClient",
+    "DocClient",
     "EventPlanner",
+    "MarketClient",
+    "Marketplace",
     "MessageBoard",
     "MicroBlog",
     "MicroBlogClient",
     "PlannerClient",
+    "PresenceClient",
+    "PresenceCounters",
+    "SharedDoc",
     "SudokuBoard",
     "SudokuClient",
     "UserDirectory",

@@ -1,0 +1,342 @@
+"""Marketplace with Atomic/OrElse escrow flows (workload-zoo application).
+
+Money and items move only through composed operations: a purchase is
+``Atomic{debit(buyer); take_offer(item); credit(seller)}`` — all three
+legs land or none do — and a bargain hunt is ``OrElse`` over two such
+atomics.  Listing an item moves it into the *offers* table, which acts
+as escrow: a listed item belongs to nobody's stock until it is bought
+or delisted.
+
+Because every coin enters circulation through ``mint`` (which tallies
+``minted``) and every later movement is a balanced debit/credit pair
+inside an Atomic, two conservation laws hold on every committed store:
+
+* ``sum(balances) == minted`` — money is neither created nor destroyed
+  by trading;
+* every item sits in exactly one place (one stock list or one offer).
+
+A broken all-or-nothing implementation (an Atomic that keeps the legs
+it managed to run before a failure) violates the first law on the very
+first lost race, which is what
+:func:`repro.simtest.probes.atomic_probe` checks.
+"""
+
+from __future__ import annotations
+
+from repro.core.guesstimate import Guesstimate, IssueTicket
+from repro.core.serialization import shared_type
+from repro.core.shared_object import GSharedObject
+from repro.spec import ensures, invariant, modifies
+
+
+def _balances_valid(self: "Marketplace") -> bool:
+    return all(
+        isinstance(value, int) and not isinstance(value, bool) and value >= 0
+        for value in self.balances.values()
+    )
+
+
+def _offers_valid(self: "Marketplace") -> bool:
+    return all(
+        isinstance(offer, list)
+        and len(offer) == 2
+        and isinstance(offer[0], str)
+        and isinstance(offer[1], int)
+        and offer[1] >= 1
+        for offer in self.offers.values()
+    )
+
+
+def _items_unique(self: "Marketplace") -> bool:
+    seen: set[str] = set()
+    for items in self.stock.values():
+        for item in items:
+            if item in seen:
+                return False
+            seen.add(item)
+    return not (seen & set(self.offers))
+
+
+@invariant(_balances_valid, "balances are non-negative ints")
+@invariant(_offers_valid, "every offer is a [seller, price >= 1] pair")
+@invariant(_items_unique, "every item exists in exactly one place")
+@shared_type
+class Marketplace(GSharedObject):
+    """Shared state: balances, per-user stock, escrowed offers."""
+
+    def __init__(self):
+        self.balances: dict[str, int] = {}
+        self.stock: dict[str, list[str]] = {}
+        self.offers: dict[str, list] = {}  # item -> [seller, price]
+        self.minted: int = 0
+
+    def copy_from(self, src: "Marketplace") -> None:
+        self.balances = dict(src.balances)
+        self.stock = {user: list(items) for user, items in src.stock.items()}
+        self.offers = {item: offer[:] for item, offer in src.offers.items()}
+        self.minted = src.minted
+
+    # -- accounts ----------------------------------------------------------------
+
+    @ensures(
+        lambda old, self, result, user: (not result)
+        or (user in self.balances and user not in old["balances"]),
+        "on success the account is newly registered",
+    )
+    @modifies("balances", "stock")
+    def register(self, user: str) -> bool:
+        """Open an account with an empty purse and stock."""
+        if not isinstance(user, str) or not user:
+            return False
+        if user in self.balances:
+            return False
+        self.balances[user] = 0
+        self.stock[user] = []
+        return True
+
+    @ensures(
+        lambda old, self, result, user, amount: (not result)
+        or self.minted == old["minted"] + amount,
+        "on success minted grew by exactly the minted amount",
+    )
+    @modifies("balances", "minted")
+    def mint(self, user: str, amount: int) -> bool:
+        """Issue new coins to a registered user (the only money source)."""
+        if user not in self.balances:
+            return False
+        if not isinstance(amount, int) or isinstance(amount, bool) or amount < 1:
+            return False
+        self.balances[user] += amount
+        self.minted += amount
+        return True
+
+    # -- money legs (only ever issued inside balanced Atomics) -------------------
+
+    @ensures(
+        lambda old, self, result, user, amount: (not result)
+        or self.balances[user] == old["balances"][user] - amount,
+        "on success the purse shrank by exactly the debited amount",
+    )
+    @modifies("balances")
+    def debit(self, user: str, amount: int) -> bool:
+        """Take coins from a purse; fails on insufficient funds."""
+        if user not in self.balances:
+            return False
+        if not isinstance(amount, int) or isinstance(amount, bool) or amount < 1:
+            return False
+        if self.balances[user] < amount:
+            return False
+        self.balances[user] -= amount
+        return True
+
+    @ensures(
+        lambda old, self, result, user, amount: (not result)
+        or self.balances[user] == old["balances"][user] + amount,
+        "on success the purse grew by exactly the credited amount",
+    )
+    @modifies("balances")
+    def credit(self, user: str, amount: int) -> bool:
+        """Add coins to a purse."""
+        if user not in self.balances:
+            return False
+        if not isinstance(amount, int) or isinstance(amount, bool) or amount < 1:
+            return False
+        self.balances[user] += amount
+        return True
+
+    # -- items and escrow ---------------------------------------------------------
+
+    @ensures(
+        lambda old, self, result, user, item: (not result)
+        or item in self.stock[user],
+        "on success the user holds the new item",
+    )
+    @modifies("stock")
+    def stock_item(self, user: str, item: str) -> bool:
+        """Bring a brand-new item into existence in ``user``'s stock."""
+        if user not in self.stock:
+            return False
+        if not isinstance(item, str) or not item:
+            return False
+        if item in self.offers or any(
+            item in items for items in self.stock.values()
+        ):
+            return False
+        self.stock[user].append(item)
+        return True
+
+    @ensures(
+        lambda old, self, result, seller, item, price: (not result)
+        or (item in self.offers and item not in old["offers"]),
+        "on success the item is newly escrowed",
+    )
+    @modifies("stock", "offers")
+    def list_item(self, seller: str, item: str, price: int) -> bool:
+        """Escrow an owned item at ``price``."""
+        if seller not in self.stock or item not in self.stock[seller]:
+            return False
+        if not isinstance(price, int) or isinstance(price, bool) or price < 1:
+            return False
+        self.stock[seller].remove(item)
+        self.offers[item] = [seller, price]
+        return True
+
+    @ensures(
+        lambda old, self, result, seller, item: (not result)
+        or item not in self.offers,
+        "on success the item left escrow",
+    )
+    @modifies("stock", "offers")
+    def delist(self, seller: str, item: str) -> bool:
+        """Pull an own offer back out of escrow."""
+        offer = self.offers.get(item)
+        if offer is None or offer[0] != seller:
+            return False
+        del self.offers[item]
+        self.stock[seller].append(item)
+        return True
+
+    @ensures(
+        lambda old, self, result, item, buyer, max_price: (not result)
+        or (item not in self.offers and item in self.stock[buyer]),
+        "on success the item moved from escrow to the buyer",
+    )
+    @modifies("stock", "offers")
+    def take_offer(self, item: str, buyer: str, max_price: int) -> bool:
+        """Claim an escrowed item (the item leg of a purchase).
+
+        Moves only the item; the money legs are separate debit/credit
+        operations the client bundles into one Atomic.  Fails when the
+        offer is gone (lost race), priced above ``max_price``, or the
+        buyer is the seller.
+        """
+        offer = self.offers.get(item)
+        if offer is None or buyer not in self.stock:
+            return False
+        if not isinstance(max_price, int) or isinstance(max_price, bool):
+            return False
+        if offer[1] > max_price or offer[0] == buyer:
+            return False
+        del self.offers[item]
+        self.stock[buyer].append(item)
+        return True
+
+    # -- queries -------------------------------------------------------------------
+
+    def balance_of(self, user: str) -> int:
+        return self.balances.get(user, 0)
+
+    def holdings(self, user: str) -> list[str]:
+        return list(self.stock.get(user, []))
+
+    def open_offers(self) -> list[tuple[str, str, int]]:
+        """(item, seller, price) for every escrowed item."""
+        return sorted(
+            (item, offer[0], offer[1]) for item, offer in self.offers.items()
+        )
+
+
+class MarketClient:
+    """One trader's machine-local view of the marketplace."""
+
+    def __init__(self, api: Guesstimate, market: Marketplace, user: str):
+        self.api = api
+        self.market = market
+        self.user = user
+        self.bought: list[str] = []
+        self.lost_races: int = 0
+
+    # -- account lifecycle --------------------------------------------------------
+
+    def register(self) -> IssueTicket:
+        return self.api.invoke(self.market, "register", self.user)
+
+    def mint(self, amount: int) -> IssueTicket:
+        return self.api.invoke(self.market, "mint", self.user, amount)
+
+    # -- escrow flows -------------------------------------------------------------
+
+    def sell(self, item: str, price: int) -> IssueTicket:
+        return self.api.invoke(self.market, "list_item", self.user, item, price)
+
+    def delist(self, item: str) -> IssueTicket:
+        return self.api.invoke(self.market, "delist", self.user, item)
+
+    def _purchase_op(self, item: str, seller: str, price: int):
+        """Atomic{debit; take_offer; credit} — the escrow settlement.
+
+        The debit leg runs first so a broken Atomic implementation that
+        keeps partial effects visibly destroys money (the conservation
+        law the atomic probe checks).
+        """
+        return self.api.create_atomic(
+            [
+                self.api.create_operation(self.market, "debit", self.user, price),
+                self.api.create_operation(
+                    self.market, "take_offer", item, self.user, price
+                ),
+                self.api.create_operation(self.market, "credit", seller, price),
+            ]
+        )
+
+    def buy(self, item: str) -> IssueTicket | None:
+        """Settle one escrowed offer atomically; None if not listed."""
+        with self.api.reading(self.market) as market:
+            offer = market.offers.get(item)
+            if offer is None:
+                return None
+            seller, price = offer[0], offer[1]
+        return self.api.issue_when_possible(
+            self._purchase_op(item, seller, price), self._completion(item)
+        )
+
+    def buy_one_of(self, first: str, second: str) -> IssueTicket | None:
+        """Bargain hunt: settle the first offer, OrElse the second."""
+        with self.api.reading(self.market) as market:
+            offers = {
+                item: market.offers[item]
+                for item in (first, second)
+                if item in market.offers
+            }
+        if not offers:
+            return None
+        ops = [
+            self._purchase_op(item, offer[0], offer[1])
+            for item, offer in offers.items()
+        ]
+        op = ops[0] if len(ops) == 1 else self.api.create_or_else(ops[0], ops[1])
+
+        def completion(ok: bool) -> None:
+            if ok:
+                with self.api.reading(self.market) as market:
+                    for item in offers:
+                        if item in market.holdings(self.user):
+                            self.bought.append(item)
+                            break
+            else:
+                self.lost_races += 1
+
+        return self.api.issue_when_possible(op, completion)
+
+    def _completion(self, item: str):
+        def completion(ok: bool) -> None:
+            if ok:
+                self.bought.append(item)
+            else:
+                self.lost_races += 1
+
+        return completion
+
+    # -- reads --------------------------------------------------------------------
+
+    def balance(self) -> int:
+        with self.api.reading(self.market) as market:
+            return market.balance_of(self.user)
+
+    def my_items(self) -> list[str]:
+        with self.api.reading(self.market) as market:
+            return market.holdings(self.user)
+
+    def offers(self) -> list[tuple[str, str, int]]:
+        with self.api.reading(self.market) as market:
+            return market.open_offers()

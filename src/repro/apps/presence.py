@@ -1,0 +1,189 @@
+"""Shared counters + presence roster (workload-zoo application).
+
+One shared object absorbs traffic from *every* machine — the high
+fan-in profile the paper's applications never stress.  Two families of
+operations live side by side:
+
+* **counters** — named non-negative tallies mutated by ``bump`` (any
+  sign, create-on-first-use) and ``transfer`` (conserving moves between
+  tallies).  The sum over all counters obeys a conservation law: it
+  equals the net of all successfully committed bumps, because
+  transfers only move value around.  That law is checked from the
+  committed op stream by
+  :func:`repro.simtest.probes.counter_conservation_probe`.
+* **presence** — a check-in/check-out roster.  ``check_in`` fails when
+  the user is already present, so two machines racing the same user's
+  check-in produce a clean guess-vs-commit conflict instead of a
+  duplicate entry.
+"""
+
+from __future__ import annotations
+
+from repro.core.guesstimate import Guesstimate, IssueTicket
+from repro.core.serialization import shared_type
+from repro.core.shared_object import GSharedObject
+from repro.spec import ensures, invariant, modifies
+
+
+@invariant(
+    lambda self: all(
+        isinstance(value, int) and not isinstance(value, bool) and value >= 0
+        for value in self.counters.values()
+    ),
+    "every counter is a non-negative int",
+)
+@invariant(
+    lambda self: all(
+        isinstance(user, str) and isinstance(seq, int)
+        for user, seq in self.present.items()
+    ),
+    "the roster maps user names to arrival sequence numbers",
+)
+@shared_type
+class PresenceCounters(GSharedObject):
+    """Shared state: named tallies plus a who-is-here roster."""
+
+    def __init__(self):
+        self.counters: dict[str, int] = {}
+        self.present: dict[str, int] = {}  # user -> arrival sequence
+        self.arrivals: int = 0
+
+    def copy_from(self, src: "PresenceCounters") -> None:
+        self.counters = dict(src.counters)
+        self.present = dict(src.present)
+        self.arrivals = src.arrivals
+
+    # -- counter operations ----------------------------------------------------
+
+    @ensures(
+        lambda old, self, result, name, amount: (not result)
+        or self.counters[name] == old["counters"].get(name, 0) + amount,
+        "on success the counter moved by exactly the bumped amount",
+    )
+    @modifies("counters")
+    def bump(self, name: str, amount: int) -> bool:
+        """Adjust a counter by ``amount``; fails if it would go negative."""
+        if not isinstance(name, str) or not name:
+            return False
+        if not isinstance(amount, int) or isinstance(amount, bool) or amount == 0:
+            return False
+        value = self.counters.get(name, 0) + amount
+        if value < 0:
+            return False
+        self.counters[name] = value
+        return True
+
+    @ensures(
+        lambda old, self, result, src, dst, amount: (not result)
+        or self.counters[src] == old["counters"][src] - amount,
+        "on success the source lost exactly the transferred amount",
+    )
+    @modifies("counters")
+    def transfer(self, src: str, dst: str, amount: int) -> bool:
+        """Move value between counters (conserves the total sum)."""
+        if not (isinstance(src, str) and src and isinstance(dst, str) and dst):
+            return False
+        if src == dst:
+            return False
+        if not isinstance(amount, int) or isinstance(amount, bool) or amount < 1:
+            return False
+        if self.counters.get(src, 0) < amount:
+            return False
+        self.counters[src] -= amount
+        self.counters[dst] = self.counters.get(dst, 0) + amount
+        return True
+
+    # -- presence operations ---------------------------------------------------
+
+    @ensures(
+        lambda old, self, result, user: (not result)
+        or (user in self.present and user not in old["present"]),
+        "on success the user is newly present",
+    )
+    @modifies("present", "arrivals")
+    def check_in(self, user: str) -> bool:
+        """Join the roster; fails if already present."""
+        if not isinstance(user, str) or not user:
+            return False
+        if user in self.present:
+            return False
+        self.arrivals += 1
+        self.present[user] = self.arrivals
+        return True
+
+    @ensures(
+        lambda old, self, result, user: (not result)
+        or user not in self.present,
+        "on success the user is no longer present",
+    )
+    @modifies("present")
+    def check_out(self, user: str) -> bool:
+        """Leave the roster; fails unless present."""
+        if user not in self.present:
+            return False
+        del self.present[user]
+        return True
+
+    # -- queries ---------------------------------------------------------------
+
+    def total(self) -> int:
+        return sum(self.counters.values())
+
+    def present_users(self) -> list[str]:
+        return sorted(self.present)
+
+
+class PresenceClient:
+    """One machine's view of the shared tallies + roster."""
+
+    def __init__(self, api: Guesstimate, hub: PresenceCounters, user: str):
+        self.api = api
+        self.hub = hub
+        self.user = user
+        self.here: bool = False  # λ state, maintained by completions
+        self.conflicts: int = 0
+
+    def bump(self, name: str, amount: int) -> IssueTicket:
+        return self.api.invoke(
+            self.hub, "bump", name, amount, completion=self._count_conflict
+        )
+
+    def transfer(self, src: str, dst: str, amount: int) -> IssueTicket:
+        return self.api.invoke(
+            self.hub, "transfer", src, dst, amount,
+            completion=self._count_conflict,
+        )
+
+    def check_in(self) -> IssueTicket:
+        def completion(ok: bool) -> None:
+            if ok:
+                self.here = True
+            else:
+                self.conflicts += 1
+
+        return self.api.invoke(
+            self.hub, "check_in", self.user, completion=completion
+        )
+
+    def check_out(self) -> IssueTicket:
+        def completion(ok: bool) -> None:
+            if ok:
+                self.here = False
+            else:
+                self.conflicts += 1
+
+        return self.api.invoke(
+            self.hub, "check_out", self.user, completion=completion
+        )
+
+    def total(self) -> int:
+        with self.api.reading(self.hub) as hub:
+            return hub.total()
+
+    def roster(self) -> list[str]:
+        with self.api.reading(self.hub) as hub:
+            return hub.present_users()
+
+    def _count_conflict(self, ok: bool) -> None:
+        if not ok:
+            self.conflicts += 1

@@ -33,6 +33,7 @@ from repro.evalkit.experiments import (
     scaling,
     specreport,
     syncscale,
+    zoo,
 )
 
 
@@ -43,6 +44,20 @@ def _run_syncscale(quick: bool) -> str:
     )
     path = syncscale.write_bench_json(result)
     return f"{syncscale.format_report(result)}\n\n  wrote {path}"
+
+def _run_zoo(quick: bool) -> str:
+    result = zoo.run(
+        seeds_per_workload=1 if quick else 3,
+        duration=20.0 if quick else 45.0,
+    )
+    path = zoo.write_bench_json(result)
+    report = f"{zoo.format_report(result)}\n\n  wrote {path}"
+    if not result.clean:
+        # The zoo doubles as a convergence gate: CI runs this command
+        # directly, so probe violations must fail the process.
+        raise SystemExit(f"zoo: probe violations\n{report}")
+    return report
+
 
 def _run_refresh(quick: bool) -> str:
     result = refreshbench.run(
@@ -125,6 +140,11 @@ EXPERIMENTS = {
         _run_refresh,
         "Versioned stores: objects copied per guess refresh, "
         "delta vs full copy (BENCH_refresh.json)",
+    ),
+    "zoo": (
+        _run_zoo,
+        "Workload zoo: per-workload conflict/override/completion "
+        "profile under the full probe set (BENCH_workloads.json)",
     ),
 }
 

@@ -21,6 +21,11 @@ from repro.errors import GatewayError
 
 MAX_REQUEST_BODY = 4 * 1024 * 1024
 MAX_HEADER_BYTES = 64 * 1024
+#: Largest client→server WebSocket payload we will buffer.  Clients only
+#: ever send pings and close frames; a declared length beyond this is a
+#: hostile frame and drops the connection instead of waiting on (or
+#: allocating) gigabytes.
+MAX_WS_PAYLOAD = 1024 * 1024
 
 _WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
 
@@ -70,8 +75,11 @@ async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
         headers[name.strip().lower()] = value.strip()
     parts = urlsplit(target)
     body = b""
-    length = int(headers.get("content-length", "0") or "0")
-    if length > MAX_REQUEST_BODY:
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        return None
+    if length < 0 or length > MAX_REQUEST_BODY:
         return None
     if length:
         try:
@@ -176,6 +184,8 @@ async def ws_read_frame(
             (length,) = struct.unpack(">H", await reader.readexactly(2))
         elif length == 127:
             (length,) = struct.unpack(">Q", await reader.readexactly(8))
+        if length > MAX_WS_PAYLOAD:
+            return None
         mask_key = await reader.readexactly(4) if masked else b""
         payload = await reader.readexactly(length) if length else b""
     except (asyncio.IncompleteReadError, ConnectionError):

@@ -65,6 +65,15 @@ _STATUS_MAP = {
 }
 
 
+def _json_object(request: HttpRequest) -> dict:
+    """The request body as a JSON *object* (a list or scalar is a
+    client error, not a reason to drop the connection)."""
+    body = request.json()
+    if not isinstance(body, dict):
+        raise GatewayError("request body must be a JSON object")
+    return body
+
+
 class _Subscriber:
     """One WebSocket client: an outbound queue + per-object versions."""
 
@@ -160,6 +169,16 @@ class GatewayServer:
             return 400, {"error": str(exc)}
         except GuesstimateError as exc:
             return 500, {"error": str(exc)}
+        except (TypeError, ValueError) as exc:
+            # A client-shaped failure from inside an operation — e.g. a
+            # stale-spec client invoking with the wrong arity or wrong
+            # argument types.  The op raised before it was enqueued, so
+            # nothing reached the protocol; the client just loses.
+            return 400, {"error": f"{type(exc).__name__}: {exc}"}
+        except Exception as exc:  # noqa: BLE001 - the gateway must answer
+            # Whatever happened, a hostile request must never take the
+            # daemon's connection handler down without a response.
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
 
     def _dispatch(self, request: HttpRequest) -> tuple[int, dict]:
         method, path = request.method, request.path.rstrip("/") or "/"
@@ -178,7 +197,7 @@ class GatewayServer:
         if method == "GET" and len(parts) == 2 and parts[0] == "objects":
             return 200, self._object_info(parts[1])
         if method == "POST" and path == "/instances":
-            return self._create_instance(request.json())
+            return self._create_instance(_json_object(request))
         if (
             method == "POST"
             and len(parts) == 3
@@ -188,7 +207,7 @@ class GatewayServer:
             obj = self.node.api.join_instance(parts[1])
             return 200, {"id": parts[1], "type": type(obj).__name__}
         if method == "POST" and path == "/operations":
-            return self._issue_operation(request.json())
+            return self._issue_operation(_json_object(request))
         if method == "GET" and len(parts) == 2 and parts[0] == "tickets":
             return self._ticket_info(parts[1])
         return 404, {"error": f"no route for {method} {path}"}

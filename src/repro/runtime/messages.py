@@ -132,10 +132,20 @@ class Hello:
     it already holds.  The master then welcomes it with just the
     committed backlog past that point instead of a full state snapshot.
     ``None`` means no durable state — the ordinary join.
+
+    ``recovered_tail`` is the ``(machine_id, op_number)`` key of the
+    last entry in the recovered completed sequence (``None`` when the
+    recovery replayed no WAL entries).  A count alone cannot prove the
+    recovered history is a prefix of the global order — a machine that
+    logged rounds out of order holds the right *number* of entries in
+    the wrong positions — so the master cross-checks the tail against
+    its own completed sequence before serving a delta backlog, and
+    falls back to a full snapshot on mismatch.
     """
 
     machine_id: str
     recovered_count: int | None = None
+    recovered_tail: tuple | None = None
 
 
 @dataclass(frozen=True)

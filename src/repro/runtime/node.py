@@ -64,6 +64,10 @@ class GuesstimateNode(Host):
         #: Hello so the master can welcome it with a committed-op backlog
         #: instead of a full snapshot; None = no recovered state.
         self._recovered_count: int | None = None
+        #: (machine_id, op_number) of the last recovered completed entry,
+        #: announced alongside the count so the master can verify the
+        #: recovered history really is a prefix of the global order.
+        self._recovered_tail: tuple | None = None
 
         self.state = GuesstimateNode.STATE_STOPPED
         self.completed_offset = 0  # |C| at our last (re)join; aligns comparisons
@@ -137,7 +141,10 @@ class GuesstimateNode(Host):
         if self.state != GuesstimateNode.STATE_JOINING:
             return
         self.signals_mesh.broadcast(
-            self.machine_id, msg.Hello(self.machine_id, self._recovered_count)
+            self.machine_id,
+            msg.Hello(
+                self.machine_id, self._recovered_count, self._recovered_tail
+            ),
         )
         self.scheduler.call_later(self.config.stall_timeout, self._announce)
 
@@ -238,6 +245,11 @@ class GuesstimateNode(Host):
             self._recovered_count = (
                 recovered.base_offset + self.model.completed_count
             )
+            if self.model.completed:
+                tail_key = self.model.completed[-1].key
+                self._recovered_tail = (tail_key.machine_id, tail_key.op_number)
+            else:
+                self._recovered_tail = None
             self.metrics.crash_recoveries += 1
             self.metrics.recovery_replay_entries = sum(
                 len(commit.entries) for commit in recovered.commits
@@ -251,6 +263,7 @@ class GuesstimateNode(Host):
         else:
             self.model = MachineModel(self.machine_id)
             self._recovered_count = None
+            self._recovered_tail = None
         self.model._op_counter = max(op_counter, self.model._op_counter)
         self.api = Guesstimate(self.model, host=self)
         self.api.read_locks = self.read_locks
@@ -325,15 +338,25 @@ class GuesstimateNode(Host):
                 # catch up on commits our snapshot predates.
                 self._load_superseding_welcome(welcome)
             return
-        if (
-            welcome.backlog_from is not None
-            and self._recovered_count is not None
-            and welcome.backlog_from == self._recovered_count
-        ):
-            self._load_welcome_backlog(welcome)
+        if welcome.backlog_from is not None:
+            # Delta Welcome: only loadable when its backlog actually
+            # covers our recovered position.  A stale one (built from a
+            # previous Hello's count before our newest announcement
+            # arrived) must be ignored, NOT treated as a snapshot
+            # Welcome — its snapshot field is empty, and rebasing the
+            # durable log to an empty snapshot silently destroys the
+            # recovered history.  The _announce retry loop keeps
+            # re-sending Hello, so a matching Welcome follows.
+            if self._recovered_count is None:
+                return
+            skip = self._recovered_count - welcome.backlog_from
+            if not 0 <= skip <= len(welcome.backlog):
+                return
+            self._load_welcome_backlog(welcome, skip)
         else:
             self._load_welcome_snapshot(welcome)
         self._recovered_count = None
+        self._recovered_tail = None
         # A crash can wipe the op counter while the cluster commits our
         # last flush; resume numbering above everything ever committed.
         self.model._op_counter = max(self.model._op_counter, welcome.op_floor)
@@ -371,6 +394,17 @@ class GuesstimateNode(Host):
         """
         local_total = self.completed_offset + self.model.completed_count
         if welcome.completed_count > local_total:
+            if (
+                welcome.backlog_from is not None
+                and welcome.backlog_from > local_total
+            ):
+                # A delta Welcome whose backlog starts past our
+                # position cannot be loaded (its snapshot is empty, so
+                # the snapshot path would corrupt both the live offset
+                # and the durable log).  Rejoin through recovery: the
+                # fresh Hello announces our true position.
+                self.restart()
+                return
             if (
                 welcome.backlog_from is not None
                 and welcome.backlog_from <= local_total
@@ -433,16 +467,20 @@ class GuesstimateNode(Host):
         # The durable log is superseded by the snapshot we just took.
         self.storage.rebase(dict(welcome.snapshot), welcome.completed_count)
 
-    def _load_welcome_backlog(self, welcome: msg.Welcome) -> None:
+    def _load_welcome_backlog(self, welcome: msg.Welcome, skip: int = 0) -> None:
         """Crash-recovery catch-up: replay only the missed commits.
 
         The recovered committed state plus this backlog is, by the
         global ordering, byte-identical to every survivor's ``sc`` —
         and unlike the snapshot path the node keeps its completed
-        sequence, extended by the missed suffix.
+        sequence, extended by the missed suffix.  ``skip`` drops
+        leading backlog entries the recovered state already holds
+        (a Welcome built from an older Hello's position overlaps).
         """
         logged: list[tuple] = []
-        for machine_id, op_number, payload, result, committed_at in welcome.backlog:
+        for machine_id, op_number, payload, result, committed_at in welcome.backlog[
+            skip:
+        ]:
             op = decode_op(payload)
             op.execute(self.model.committed)
             self.model.committed.mark_dirty(op.object_ids())

@@ -133,6 +133,13 @@ class Synchronizer:
         #: highest round id we have seen SyncComplete for — stale
         #: signals for rounds at or below this must not resurrect them
         self.last_done_round: int = 0
+        #: set once this node learns it missed a committed round (the
+        #: master removed it mid-round, or a SyncComplete arrived for a
+        #: round it never applied).  From that moment its committed
+        #: prefix has a hole: applying any later round would log a
+        #: gapped history to the WAL, which recovery would then announce
+        #: as a clean prefix.  All applies stop until restart/reset.
+        self.evicted: bool = False
 
     # -- message dispatch -----------------------------------------------------
 
@@ -400,6 +407,8 @@ class Synchronizer:
                 break  # _apply recurses if further rounds are ready
 
     def _try_apply(self, round_state: RoundState) -> None:
+        if self.evicted:
+            return  # our committed prefix has a hole; wait for Restart
         if round_state.applied or round_state.done or not round_state.complete():
             return
         if self._earlier_round_open(round_state):
@@ -569,13 +578,25 @@ class Synchronizer:
     def _on_sync_complete(self, done: msg.SyncComplete) -> None:
         self.last_done_round = max(self.last_done_round, done.round_id)
         round_state = self.rounds.pop(done.round_id, None)
+        missed_commit = round_state is not None and not round_state.applied
         if round_state is not None:
             round_state.done = True
             if round_state.missing_timer is not None:
                 round_state.missing_timer.cancel()  # type: ignore[attr-defined]
         self.last_flush.pop(done.round_id, None)
         self.op_buffer.pop(done.round_id, None)
-        # Dropping an unapplied round can unblock a pipelined successor.
+        if missed_commit:
+            # The cluster committed a round we never applied (the master
+            # can only finish a round after our ApplyAck or our removal,
+            # so our ParticipantRemoved must have been lost).  Our
+            # committed prefix now has a hole: skipping ahead to later
+            # pipelined rounds would durably log a gapped history, so
+            # stop applying until the master's Restart rejoins us.
+            self.evicted = True
+            self.node.trace(
+                Tracer.RECOVERY, action="missed_commit", round=done.round_id
+            )
+            return
         self._nudge_later_rounds(done.round_id)
 
     def _on_participant_removed(self, removed: msg.ParticipantRemoved) -> None:
@@ -583,10 +604,16 @@ class Synchronizer:
         if round_state is None:
             return
         if removed.machine_id == self.node.machine_id:
-            # We were removed while alive (our signals were lost); stop
-            # participating — a Restart follows.
+            # We were removed while alive (our signals were lost).  The
+            # round will commit everywhere without us, leaving a hole in
+            # our prefix — applying later pipelined rounds over that
+            # hole would durably log a gapped history, so stop applying
+            # entirely; the Restart that follows rejoins us cleanly.
             round_state.done = True
-            self._nudge_later_rounds(round_state.round_id)
+            self.evicted = True
+            self.node.trace(
+                Tracer.RECOVERY, action="evicted", round=round_state.round_id
+            )
             return
         if removed.drop_ops:
             # Removed before its flush was published: its ops are not
@@ -635,6 +662,7 @@ class Synchronizer:
         self.last_flush.clear()
         self.in_flight.clear()
         self.pending_completions.clear()
+        self.evicted = False
 
 
 class MasterControl:
@@ -660,6 +688,9 @@ class MasterControl:
         #: joiners that announced durable recovered state: id -> global
         #: |C| they already hold (served a backlog Welcome if possible)
         self.recovered_counts: dict[str, int] = {}
+        #: id -> (machine_id, op_number) tail key of that recovered
+        #: history, cross-checked before a delta Welcome is served
+        self.recovered_tails: dict[str, tuple] = {}
         self._progress_seq = 0
         self._next_round_timer: object | None = None
         self._stopped = False
@@ -863,8 +894,15 @@ class MasterControl:
         self.awaiting_restart.discard(hello.machine_id)
         if hello.recovered_count is not None:
             self.recovered_counts[hello.machine_id] = hello.recovered_count
+            if hello.recovered_tail is not None:
+                self.recovered_tails[hello.machine_id] = tuple(
+                    hello.recovered_tail
+                )
+            else:
+                self.recovered_tails.pop(hello.machine_id, None)
         else:
             self.recovered_counts.pop(hello.machine_id, None)
+            self.recovered_tails.pop(hello.machine_id, None)
         if hello.machine_id in self.participants:
             # A standing participant saying Hello has rebooted out from
             # under us (silent crash, quick recovery): its old standing
@@ -889,6 +927,7 @@ class MasterControl:
             return
         self.awaiting_ack.discard(ack.machine_id)
         self.recovered_counts.pop(ack.machine_id, None)
+        self.recovered_tails.pop(ack.machine_id, None)
         if ack.machine_id not in self.participants:
             self.participants.append(ack.machine_id)
         self.node.trace(Tracer.MEMBERSHIP, joined=ack.machine_id)
@@ -917,12 +956,26 @@ class MasterControl:
     def _build_welcome(self, machine_id: str) -> msg.Welcome:
         """Full-snapshot Welcome, or a committed-op backlog when the
         joiner announced durable recovered state this master can extend
-        (its recovered |C| falls inside our held history)."""
+        (its recovered |C| falls inside our held history and its tail
+        key matches our entry at that position — a count alone cannot
+        prove the recovered history is a prefix of the global order)."""
         node = self.node
         recovered_count = self.recovered_counts.get(machine_id)
         offset = node.completed_offset
         total = offset + node.model.completed_count
         op_floor = node.model.op_high_water.get(machine_id, 0)
+        if recovered_count is not None and not self._tail_matches(
+            machine_id, recovered_count, offset
+        ):
+            # The joiner's recovered history is NOT the global prefix it
+            # claims (e.g. it logged pipelined rounds around a hole
+            # before crashing).  Serving a backlog would cement the
+            # divergence; fall back to the full snapshot, which also
+            # rebases its durable log to a clean prefix.
+            self.node.trace(
+                Tracer.RECOVERY, action="stale_recovery", machine=machine_id
+            )
+            recovered_count = None
         if recovered_count is not None and offset <= recovered_count <= total:
             backlog = tuple(
                 (
@@ -950,6 +1003,20 @@ class MasterControl:
             completed_count=node.model.completed_count,
             op_floor=op_floor,
         )
+
+    def _tail_matches(
+        self, machine_id: str, recovered_count: int, offset: int
+    ) -> bool:
+        """True when the joiner's announced tail key agrees with our
+        completed entry at its claimed position (or no tail to check)."""
+        tail = self.recovered_tails.get(machine_id)
+        if tail is None:
+            return True  # snapshot-only recovery holds no entries
+        index = recovered_count - offset - 1
+        if index < 0 or index >= self.node.model.completed_count:
+            return True  # outside our history; the bounds check decides
+        entry = self.node.model.completed[index]
+        return (entry.key.machine_id, entry.key.op_number) == tail
 
     def _nudge_restarts(self) -> None:
         """Re-send Restart to machines that have not re-entered yet."""

@@ -3,10 +3,14 @@
 Subcommands::
 
     simfuzz run --seeds 100 [--start N] [--max-time S] [--trace-dir DIR]
-                [--transport sim|loopback]
-    simfuzz replay <seed> [--mutation NAME]
-    simfuzz shrink <seed> [--mutation NAME]
-    simfuzz selftest [--mutation NAME] [--max-seeds N]
+                [--transport sim|loopback] [--workload NAME]
+    simfuzz replay <seed> [--mutation NAME] [--workload NAME]
+    simfuzz shrink <seed> [--mutation NAME] [--workload NAME]
+    simfuzz selftest [--mutation NAME] [--max-seeds N] [--workload NAME]
+
+``--workload`` pins every generated scenario to one workload (any of
+:data:`repro.simtest.scenario.WORKLOADS`); without it each seed draws
+its own workload from the full zoo.
 
 Exit status 0 means the invariants held (or the self-test passed);
 1 means violations were found (or the self-test failed) — so CI can
@@ -21,8 +25,17 @@ import sys
 
 from repro.simtest import fuzz
 from repro.simtest.mutations import MUTATIONS
-from repro.simtest.scenario import generate_scenario
+from repro.simtest.scenario import WORKLOADS, generate_scenario
 from repro.simtest.shrink import shrink
+
+
+def _add_workload_flag(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--workload",
+        choices=WORKLOADS,
+        default=None,
+        help="pin scenarios to one workload (default: draw per seed)",
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -48,6 +61,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             max_time=args.max_time,
             trace_dir=args.trace_dir,
             progress=progress,
+            workload=args.workload,
         )
     else:
         report = fuzz.run_seeds(
@@ -57,6 +71,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             mutation=args.mutation,
             trace_dir=args.trace_dir,
             progress=progress,
+            workload=args.workload,
         )
     print(
         f"\n{report.seeds_run} seed(s) run, {len(report.failures)} failing"
@@ -70,7 +85,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
-    report = fuzz.replay(args.seed, mutation=args.mutation)
+    report = fuzz.replay(args.seed, mutation=args.mutation, workload=args.workload)
     print(f"seed {report.seed}: trace digest {report.digest}")
     if report.identical:
         print("replay is bit-identical")
@@ -82,7 +97,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 
 def _cmd_shrink(args: argparse.Namespace) -> int:
-    spec = generate_scenario(args.seed)
+    spec = generate_scenario(args.seed, workload=args.workload)
     try:
         result = shrink(spec, mutation=args.mutation, max_runs=args.max_runs)
     except ValueError as exc:
@@ -104,7 +119,9 @@ def _cmd_shrink(args: argparse.Namespace) -> int:
 
 def _cmd_selftest(args: argparse.Namespace) -> int:
     print(f"self-test: fuzzing with injected mutation {args.mutation!r} ...")
-    report = fuzz.selftest(mutation=args.mutation, max_seeds=args.max_seeds)
+    report = fuzz.selftest(
+        mutation=args.mutation, max_seeds=args.max_seeds, workload=args.workload
+    )
     if report.caught_seed is None:
         print(f"FAIL: no violation found in {args.max_seeds} seeds")
         return 1
@@ -143,22 +160,26 @@ def build_parser() -> argparse.ArgumentParser:
         default="sim",
         help="sim: deterministic event loop; loopback: real TCP on 127.0.0.1",
     )
+    _add_workload_flag(run)
     run.set_defaults(func=_cmd_run)
 
     rep = sub.add_parser("replay", help="run one seed twice, compare traces")
     rep.add_argument("seed", type=int)
     rep.add_argument("--mutation", choices=sorted(MUTATIONS), default=None)
+    _add_workload_flag(rep)
     rep.set_defaults(func=_cmd_replay)
 
     shr = sub.add_parser("shrink", help="minimize a failing seed")
     shr.add_argument("seed", type=int)
     shr.add_argument("--mutation", choices=sorted(MUTATIONS), default=None)
     shr.add_argument("--max-runs", type=int, default=150)
+    _add_workload_flag(shr)
     shr.set_defaults(func=_cmd_shrink)
 
     selft = sub.add_parser("selftest", help="verify the fuzzer catches bugs")
     selft.add_argument("--mutation", choices=sorted(MUTATIONS), default="commit_order")
     selft.add_argument("--max-seeds", type=int, default=20)
+    _add_workload_flag(selft)
     selft.set_defaults(func=_cmd_selftest)
 
     return parser

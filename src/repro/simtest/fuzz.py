@@ -85,13 +85,15 @@ def run_seeds(
     trace_dir: str | None = None,
     record_traces: bool = True,
     progress=None,
+    workload: str | None = None,
 ) -> FuzzReport:
     """Fuzz seeds ``start .. start+n_seeds-1``.
 
     ``max_time`` bounds *wall-clock* seconds (for CI smoke jobs); the
     sweep stops cleanly after the scenario that crosses the budget.
     Failing seeds get ``seed-<n>.json`` + ``seed-<n>.trace.jsonl``
-    artifacts under ``trace_dir`` if one is given.
+    artifacts under ``trace_dir`` if one is given.  ``workload`` pins
+    every scenario to one workload (zoo coverage sweeps).
     """
     report = FuzzReport()
     clock_start = time.monotonic()
@@ -99,7 +101,7 @@ def run_seeds(
         if max_time is not None and time.monotonic() - clock_start > max_time:
             report.stopped_early = True
             break
-        spec = generate_scenario(seed)
+        spec = generate_scenario(seed, workload=workload)
         result = run_scenario(spec, record_trace=record_traces, mutation=mutation)
         outcome = SeedOutcome(
             seed=seed,
@@ -120,9 +122,11 @@ def run_seeds(
     return report
 
 
-def replay(seed: int, mutation: str | None = None) -> ReplayReport:
+def replay(
+    seed: int, mutation: str | None = None, workload: str | None = None
+) -> ReplayReport:
     """Run ``seed`` twice; identical traces or it's a determinism bug."""
-    spec = generate_scenario(seed)
+    spec = generate_scenario(seed, workload=workload)
     first = run_scenario(spec, record_trace=True, mutation=mutation)
     second = run_scenario(spec, record_trace=True, mutation=mutation)
     assert first.trace is not None and second.trace is not None
@@ -156,13 +160,19 @@ class SelftestReport:
         )
 
 
-def selftest(mutation: str = "commit_order", max_seeds: int = 20) -> SelftestReport:
+def selftest(
+    mutation: str = "commit_order",
+    max_seeds: int = 20,
+    workload: str | None = None,
+) -> SelftestReport:
     """Inject ``mutation`` and prove the pipeline catches it end to end."""
     caught: int | None = None
     violations: list[str] = []
     for seed in range(max_seeds):
         result = run_scenario(
-            generate_scenario(seed), record_trace=False, mutation=mutation
+            generate_scenario(seed, workload=workload),
+            record_trace=False,
+            mutation=mutation,
         )
         if result.violations:
             caught = seed
@@ -170,8 +180,8 @@ def selftest(mutation: str = "commit_order", max_seeds: int = 20) -> SelftestRep
             break
     if caught is None:
         return SelftestReport(mutation, None, [], False, None)
-    replay_report = replay(caught, mutation=mutation)
-    shrunk = shrink(generate_scenario(caught), mutation=mutation)
+    replay_report = replay(caught, mutation=mutation, workload=workload)
+    shrunk = shrink(generate_scenario(caught, workload=workload), mutation=mutation)
     return SelftestReport(
         mutation=mutation,
         caught_seed=caught,

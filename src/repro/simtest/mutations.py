@@ -1,56 +1,142 @@
-"""Protocol mutations for fuzzer self-tests.
+"""Protocol and application mutations for fuzzer self-tests.
 
 A fuzzer that has never seen a bug proves nothing.  Each mutation here
-is a small, named, *known* protocol violation patched into the runtime
-for the duration of one run; the self-test
-(:func:`repro.simtest.fuzz.selftest`) asserts that fuzzing with the
-mutation active reports an invariant violation, that the failing seed
-replays bit-identically, and that the shrinker reduces it to a tiny
-scenario.
+is a small, named, *known* violation patched into the runtime for the
+duration of one run; the self-test (:func:`repro.simtest.fuzz.selftest`)
+asserts that fuzzing with the mutation active reports a violation, that
+the failing seed replays bit-identically, and that the shrinker reduces
+it to a tiny scenario.
 
-All mutations patch :func:`repro.runtime.synchronizer.consolidated_order`
-— the single seam through which every machine derives the global apply
-order for a round — because mis-ordering there breaks exactly the
-paper's core agreement guarantee (C(i) = C(j), sc(i) = sc(j)) without
-touching unrelated machinery.
+Two families:
+
+* **protocol mutations** (``commit_order``, ``double_apply``) patch
+  :func:`repro.runtime.synchronizer.consolidated_order` — the single
+  seam through which every machine derives the global apply order —
+  breaking the paper's core agreement guarantee (C(i) = C(j),
+  sc(i) = sc(j)).  The classic probes (checkpoint agreement, formal
+  invariants, replay) catch these.
+* **semantic mutations** (``list_drift``, ``counter_leak``,
+  ``atomic_partial``) patch an *application or operation-algebra
+  method* so that every replica computes the same wrong answer.
+  Agreement holds perfectly — only the workload-zoo convergence probes
+  (independent oracle, conservation laws) can see them, which is
+  exactly what their planted-mutation tests demonstrate.
+
+Each registry entry is ``(holder, attribute, factory)``: ``factory``
+receives the pristine attribute and returns the mutant bound in its
+place while :func:`apply_mutation` is active.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 
+from repro.apps.listdoc import SharedDoc
+from repro.apps.presence import PresenceCounters
+from repro.core.operations import AtomicOp
 from repro.runtime import synchronizer as sync_mod
 
-_pristine_order = sync_mod.consolidated_order
 
-
-def _commit_order(node, round_state):
+def _commit_order(pristine):
     """Slaves apply each round in *reversed* consolidated order.
 
     With two or more ops in a round, slave committed stores and
     completed sequences diverge from the master's.
     """
-    keys = _pristine_order(node, round_state)
-    if not node.is_master and len(keys) > 1:
-        return list(reversed(keys))
-    return keys
+
+    def mutant(node, round_state):
+        keys = pristine(node, round_state)
+        if not node.is_master and len(keys) > 1:
+            return list(reversed(keys))
+        return keys
+
+    return mutant
 
 
-def _double_apply(node, round_state):
+def _double_apply(pristine):
     """Slaves apply the first op of a multi-op round twice.
 
     Duplicate keys in C and a diverged sc — caught by both the
     runtime checks and the replay oracle.
     """
-    keys = _pristine_order(node, round_state)
-    if not node.is_master and len(keys) > 1:
-        return [keys[0]] + keys
-    return keys
+
+    def mutant(node, round_state):
+        keys = pristine(node, round_state)
+        if not node.is_master and len(keys) > 1:
+            return [keys[0]] + keys
+        return keys
+
+    return mutant
 
 
+def _list_drift(pristine):
+    """Interior inserts land one position late — on *every* replica.
+
+    The classic OT off-by-one: results, contracts ("grew by one") and
+    cross-machine agreement all still hold, because every machine makes
+    the same mistake.  Only replaying the committed stream against the
+    independent oracle (:func:`repro.simtest.probes.list_oracle_probe`)
+    exposes the drift.
+    """
+
+    def mutant(self, index, author, text):
+        if (
+            isinstance(index, int)
+            and not isinstance(index, bool)
+            and 0 < index < len(self.lines)
+        ):
+            return pristine(self, index + 1, author, text)
+        return pristine(self, index, author, text)
+
+    return mutant
+
+
+def _counter_leak(pristine):
+    """Transfers of more than one unit leak one unit in flight.
+
+    The destination receives ``amount - 1``: the ``@ensures`` contract
+    only pins the *source* leg, both replicas agree on the (wrong)
+    state, and the roster invariants still hold — but the counter sum
+    no longer equals the net of committed bumps, which is exactly the
+    flow law :func:`repro.simtest.probes.counter_conservation_probe`
+    checks.
+    """
+
+    def mutant(self, src, dst, amount):
+        ok = pristine(self, src, dst, amount)
+        if ok and isinstance(amount, int) and amount > 1:
+            self.counters[dst] -= 1
+        return ok
+
+    return mutant
+
+
+def _atomic_partial(pristine):
+    """Atomic keeps the legs that ran before the first failure.
+
+    The textbook broken transaction: children execute directly against
+    the backing view instead of a copy-on-write buffer, so an aborted
+    purchase leaves the buyer debited with no item.  Money conservation
+    (:func:`repro.simtest.probes.atomic_probe`) breaks on the first
+    lost race.
+    """
+
+    def mutant(self, view):
+        for child in self.children:
+            if not child.execute(view):
+                return False
+        return True
+
+    return mutant
+
+
+#: name -> (holder, attribute, mutant factory)
 MUTATIONS = {
-    "commit_order": _commit_order,
-    "double_apply": _double_apply,
+    "commit_order": (sync_mod, "consolidated_order", _commit_order),
+    "double_apply": (sync_mod, "consolidated_order", _double_apply),
+    "list_drift": (SharedDoc, "insert_at", _list_drift),
+    "counter_leak": (PresenceCounters, "transfer", _counter_leak),
+    "atomic_partial": (AtomicOp, "execute", _atomic_partial),
 }
 
 
@@ -61,13 +147,14 @@ def apply_mutation(name: str | None):
         yield
         return
     try:
-        mutant = MUTATIONS[name]
+        holder, attribute, factory = MUTATIONS[name]
     except KeyError:
         raise ValueError(
             f"unknown mutation {name!r}; known: {sorted(MUTATIONS)}"
         ) from None
-    sync_mod.consolidated_order = mutant
+    pristine = getattr(holder, attribute)
+    setattr(holder, attribute, factory(pristine))
     try:
         yield
     finally:
-        sync_mod.consolidated_order = _pristine_order
+        setattr(holder, attribute, pristine)

@@ -16,6 +16,26 @@ Three layers, from cheapest to deepest:
   store and replaying must reproduce exactly the committed state and
   global position the live node holds.
 
+The workload zoo adds four *convergence* probes, each tuned to one
+workload's conflict structure but safe to run in any scenario:
+
+* :func:`guess_divergence_probe` — pairwise bound on guess-state
+  divergence: two active machines may disagree on an object only while
+  one of them has unsettled activity on it (pending or in-flight
+  operations, an unrefreshed apply, or commits the other has not
+  applied yet).  Objects outside that set must be byte-identical.
+* :func:`list_oracle_probe` — linearization check: the committed edit
+  stream of every :class:`~repro.apps.listdoc.SharedDoc` is replayed
+  against an independent pure-Python oracle; every committed result
+  and the final document must match.
+* :func:`counter_conservation_probe` — flow check: the counter sum of
+  every :class:`~repro.apps.presence.PresenceCounters` equals the net
+  of its successfully committed bumps (transfers only move value).
+* :func:`atomic_probe` — all-or-nothing check: every
+  :class:`~repro.apps.marketplace.Marketplace` replica satisfies the
+  money-conservation law ``sum(balances) == minted`` and item
+  uniqueness — the laws a partially-applied Atomic breaks first.
+
 Each probe returns a list of human-readable violation strings (empty =
 all invariants hold), so the runner can aggregate across probes without
 aborting mid-scenario.
@@ -23,9 +43,14 @@ aborting mid-scenario.
 
 from __future__ import annotations
 
+import itertools
 import json
 from typing import TYPE_CHECKING
 
+from repro.apps.listdoc import SharedDoc
+from repro.apps.marketplace import Marketplace
+from repro.apps.presence import PresenceCounters
+from repro.core.operations import AtomicOp, CreateObjectOp, PrimitiveOp, SharedOp
 from repro.errors import GuesstimateError
 from repro.model.simulation_relation import replay_check
 from repro.semantics import invariants as formal
@@ -160,4 +185,284 @@ def storage_probe(system: "DistributedSystem") -> list[str]:
                 f"storage replay of {node.machine_id} stops at global "
                 f"position {durable_position}, live node is at {live_position}"
             )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Workload-zoo convergence probes
+# ---------------------------------------------------------------------------
+
+
+def _unsettled_ids(node: "GuesstimateNode") -> set[str]:
+    """Objects on which ``node``'s guess may legitimately lead or lag:
+    targets of pending and in-flight operations, plus applied rounds
+    whose guess refresh has not run yet (the apply/refresh callback
+    gap)."""
+    ids = set(node.synchronizer.refresh_backlog)
+    for entry in node.model.pending:
+        ids |= entry.op.object_ids()
+    for entry in node.synchronizer.in_flight.values():
+        ids |= entry.op.object_ids()
+    return ids
+
+
+def guess_divergence_probe(system: "DistributedSystem") -> list[str]:
+    """Pairwise guess-state divergence bound (safe at any time).
+
+    For every pair of *active* machines, an object the two guess stores
+    disagree on must be explained by unsettled activity: one side has
+    pending/in-flight/unrefreshed operations touching it, or holds
+    commits past the pair's common global position.  Anything else is a
+    guess replica that silently drifted — the bug class the per-round
+    refresh oracle can only see on the node it runs on, never *across*
+    machines.
+    """
+    nodes = [node for node in system.nodes.values() if node.state == "active"]
+    if len(nodes) < 2:
+        return []
+    snapshots = {
+        node.machine_id: node.model.guess.snapshot_states() for node in nodes
+    }
+    unsettled = {node.machine_id: _unsettled_ids(node) for node in nodes}
+    position = {
+        node.machine_id: node.completed_offset + node.model.completed_count
+        for node in nodes
+    }
+    violations = []
+    for left, right in itertools.combinations(nodes, 2):
+        allowed = unsettled[left.machine_id] | unsettled[right.machine_id]
+        common = min(position[left.machine_id], position[right.machine_id])
+        for node in (left, right):
+            for index, entry in enumerate(node.model.completed):
+                if node.completed_offset + index >= common:
+                    allowed |= entry.op.object_ids()
+        left_snap = snapshots[left.machine_id]
+        right_snap = snapshots[right.machine_id]
+        for uid in sorted(set(left_snap) | set(right_snap)):
+            if uid in allowed:
+                continue
+            if left_snap.get(uid) != right_snap.get(uid):
+                violations.append(
+                    f"guess divergence on {uid}: {left.machine_id} and "
+                    f"{right.machine_id} disagree with no pending, in-flight, "
+                    "unrefreshed or unshared-commit activity on it"
+                )
+    return violations
+
+
+class _DocOracle:
+    """Pure-Python mirror of :class:`SharedDoc` (no contracts, no
+    stores): the independent implementation the committed edit stream
+    is linearized against."""
+
+    def __init__(self):
+        self.lines: list[list[str]] = []
+        self.line_limit = 400
+
+    @staticmethod
+    def _valid_line(author, text) -> bool:
+        return isinstance(author, str) and bool(author) and isinstance(text, str)
+
+    @staticmethod
+    def _valid_index(index) -> bool:
+        return isinstance(index, int) and not isinstance(index, bool)
+
+    def apply(self, method: str, args: tuple) -> bool | None:
+        """Run one edit; returns its result, or None if unmodelled."""
+        try:
+            if method == "insert_at":
+                index, author, text = args
+                if not self._valid_line(author, text) or not self._valid_index(index):
+                    return False
+                if not 0 <= index <= len(self.lines):
+                    return False
+                if len(self.lines) >= self.line_limit:
+                    return False
+                self.lines.insert(index, [author, text])
+                return True
+            if method == "delete_at":
+                index, author = args
+                if not (isinstance(author, str) and author):
+                    return False
+                if not self._valid_index(index) or not 0 <= index < len(self.lines):
+                    return False
+                del self.lines[index]
+                return True
+            if method == "replace_at":
+                index, author, text = args
+                if not self._valid_line(author, text) or not self._valid_index(index):
+                    return False
+                if not 0 <= index < len(self.lines):
+                    return False
+                self.lines[index] = [author, text]
+                return True
+            if method == "append_line":
+                author, text = args
+                if not self._valid_line(author, text):
+                    return False
+                if len(self.lines) >= self.line_limit:
+                    return False
+                self.lines.append([author, text])
+                return True
+        except (TypeError, ValueError):
+            return None
+        return None
+
+
+def list_oracle_probe(system: "DistributedSystem") -> list[str]:
+    """Linearize committed ``SharedDoc`` edits against a fresh oracle.
+
+    On every active full-history node, replay the committed operation
+    stream (which is the one global serialization of all edits) through
+    :class:`_DocOracle`; each committed result and the final document
+    must agree with the oracle.  Documents touched by composed or
+    unmodelled operations are skipped rather than guessed at.
+    """
+    violations = []
+    for node in system.nodes.values():
+        if node.state != "active" or node.completed_offset != 0:
+            continue
+        docs: dict[str, _DocOracle] = {}
+        tainted: set[str] = set()
+        for index, entry in enumerate(node.model.completed):
+            op = entry.op
+            if isinstance(op, CreateObjectOp) and op.cls is SharedDoc:
+                if entry.result and op.init_state is None:
+                    docs[op.object_id] = _DocOracle()
+                else:
+                    tainted.add(op.object_id)
+                continue
+            if isinstance(op, PrimitiveOp):
+                oracle = docs.get(op.object_id)
+                if oracle is None or op.object_id in tainted:
+                    continue
+                expected = oracle.apply(op.method_name, op.args)
+                if expected is None:
+                    tainted.add(op.object_id)
+                elif expected != entry.result:
+                    violations.append(
+                        f"list oracle divergence on {node.machine_id} at "
+                        f"global position {index}: {op.describe()} committed "
+                        f"{entry.result}, oracle says {expected}"
+                    )
+                    tainted.add(op.object_id)
+            else:
+                tainted |= op.object_ids() & set(docs)
+        for uid, oracle in docs.items():
+            if uid in tainted or not node.model.committed.has(uid):
+                continue
+            live = node.model.committed.get(uid).lines
+            if live != oracle.lines:
+                violations.append(
+                    f"list oracle divergence on {node.machine_id}: {uid} "
+                    f"committed lines {live!r} != oracle lines {oracle.lines!r}"
+                )
+    return violations
+
+
+def _net_bumps(op: SharedOp, uid: str, result: bool) -> tuple[int, bool]:
+    """(counter-sum delta, tainted) contributed by one committed op.
+
+    Transfers and presence ops never change the sum; an aborted Atomic
+    contributes nothing; an ``OrElse`` touching the hub is ambiguous
+    (the committed result does not say which branch ran), so the hub is
+    tainted instead of guessed at.
+    """
+    if isinstance(op, PrimitiveOp):
+        if op.object_id != uid:
+            return 0, False
+        if op.method_name == "bump":
+            return (op.args[1] if result else 0), False
+        if op.method_name in ("transfer", "check_in", "check_out"):
+            return 0, False
+        return 0, True
+    if isinstance(op, AtomicOp):
+        if not result:
+            return 0, False  # aborted: all-or-nothing means nothing
+        delta = 0
+        for child in op.children:
+            child_delta, child_tainted = _net_bumps(child, uid, True)
+            if child_tainted:
+                return 0, True
+            delta += child_delta
+        return delta, False
+    return (0, True) if uid in op.object_ids() else (0, False)
+
+
+def counter_conservation_probe(system: "DistributedSystem") -> list[str]:
+    """Counter sums equal the net of successfully committed bumps.
+
+    ``bump`` is the only operation that changes a
+    :class:`PresenceCounters` sum; ``transfer`` conserves it.  A leaky
+    transfer (or any lost/duplicated delta in the commit pipeline)
+    breaks the equality even though every replica still *agrees* — this
+    is a flow law, not an agreement law, so no pairwise comparison can
+    see it.
+    """
+    violations = []
+    for node in system.nodes.values():
+        if node.state != "active" or node.completed_offset != 0:
+            continue
+        expected: dict[str, int] = {}
+        tainted: set[str] = set()
+        for entry in node.model.completed:
+            op = entry.op
+            if isinstance(op, CreateObjectOp) and op.cls is PresenceCounters:
+                if entry.result and op.init_state is None:
+                    expected[op.object_id] = 0
+                else:
+                    tainted.add(op.object_id)
+                continue
+            for uid in op.object_ids() & set(expected):
+                delta, bad = _net_bumps(op, uid, entry.result)
+                if bad:
+                    tainted.add(uid)
+                else:
+                    expected[uid] += delta
+        for uid, net in expected.items():
+            if uid in tainted or not node.model.committed.has(uid):
+                continue
+            live = sum(node.model.committed.get(uid).counters.values())
+            if live != net:
+                violations.append(
+                    f"counter conservation broken on {node.machine_id}: {uid} "
+                    f"sums to {live}, net of committed bumps is {net}"
+                )
+    return violations
+
+
+def atomic_probe(system: "DistributedSystem") -> list[str]:
+    """Marketplace conservation laws on every replica (committed and
+    guess stores of every clean node).
+
+    Money enters only through ``mint`` and every later movement is a
+    balanced debit/credit pair inside one Atomic, so
+    ``sum(balances) == minted`` holds at every observable point — an
+    Atomic that keeps partial effects breaks it on the first lost race.
+    Item uniqueness (stock xor escrow) breaks the same way.
+    """
+    violations = []
+    for node in system.nodes.values():
+        if node.state not in ("active", "offline"):
+            continue
+        for store_name in ("committed", "guess"):
+            store = getattr(node.model, store_name)
+            for uid, obj in store:
+                if not isinstance(obj, Marketplace):
+                    continue
+                total = sum(obj.balances.values())
+                if total != obj.minted:
+                    violations.append(
+                        f"atomic all-or-nothing broken on {node.machine_id} "
+                        f"({store_name}): {uid} holds {total} coins but "
+                        f"minted {obj.minted}"
+                    )
+                placed: list[str] = [
+                    item for items in obj.stock.values() for item in items
+                ] + list(obj.offers)
+                if len(placed) != len(set(placed)):
+                    violations.append(
+                        f"atomic all-or-nothing broken on {node.machine_id} "
+                        f"({store_name}): {uid} has duplicated items"
+                    )
     return violations

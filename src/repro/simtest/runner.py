@@ -30,13 +30,37 @@ from repro.errors import GuesstimateError, RuntimeFailure
 from repro.runtime.config import RuntimeConfig, SyncConfig
 from repro.runtime.system import DistributedSystem
 from repro.simtest.mutations import apply_mutation
-from repro.simtest.probes import checkpoint_probe, quiescence_probe, storage_probe
+from repro.simtest.probes import (
+    atomic_probe,
+    checkpoint_probe,
+    counter_conservation_probe,
+    guess_divergence_probe,
+    list_oracle_probe,
+    quiescence_probe,
+    storage_probe,
+)
 from repro.simtest.scenario import ScenarioSpec, build_faults
 from repro.simtest.trace import SimTrace, SimTraceRecorder
 from repro.simtest.workload import build_workload
 
 #: Probe cadence in simulated seconds while the workload runs.
 CHECKPOINT_EVERY = 5.0
+
+#: The workload-zoo convergence probes, all safe at arbitrary times:
+#: they run at every checkpoint and again at final quiescence.
+CONVERGENCE_PROBES = (
+    guess_divergence_probe,
+    list_oracle_probe,
+    counter_conservation_probe,
+    atomic_probe,
+)
+
+
+def _convergence_violations(system: DistributedSystem) -> list[str]:
+    violations: list[str] = []
+    for probe in CONVERGENCE_PROBES:
+        violations.extend(probe(system))
+    return violations
 
 
 @dataclass
@@ -50,6 +74,11 @@ class RunResult:
     committed_total: int = 0
     actions: int = 0
     virtual_end: float = 0.0
+    #: whole-system operation counters (issued / rejected-at-issue /
+    #: committed-ok / committed-failed / conflicts), aggregated from
+    #: :class:`~repro.runtime.metrics.SystemMetrics` — the raw material
+    #: of the evalkit's per-workload conflict report.
+    op_metrics: dict[str, int] = field(default_factory=dict)
 
     @property
     def failed(self) -> bool:
@@ -104,6 +133,14 @@ def run_scenario(
     result.virtual_end = system.loop.now()
     master = system.master_node
     result.committed_total = master.completed_offset + master.model.completed_count
+    nodes = system.metrics.node_metrics.values()
+    result.op_metrics = {
+        "issued": system.metrics.total_issued(),
+        "rejected_at_issue": sum(n.ops_rejected_at_issue for n in nodes),
+        "committed_ok": sum(n.ops_committed_ok for n in nodes),
+        "committed_failed": sum(n.ops_committed_failed for n in nodes),
+        "conflicts": system.metrics.total_conflicts(),
+    }
     return result
 
 
@@ -125,7 +162,12 @@ def _execute(system: DistributedSystem, spec: ScenarioSpec, result: RunResult) -
     while loop.now() < end - 1e-9:
         system.run_for(min(CHECKPOINT_EVERY, end - loop.now()))
         now = loop.now()
-        for violation in checkpoint_probe(system) + storage_probe(system):
+        checks = (
+            checkpoint_probe(system)
+            + storage_probe(system)
+            + _convergence_violations(system)
+        )
+        for violation in checks:
             result.violations.append(f"t={now:.2f} {violation}")
 
     workload.stop()
@@ -139,7 +181,12 @@ def _execute(system: DistributedSystem, spec: ScenarioSpec, result: RunResult) -
         result.violations.append(f"t={loop.now():.2f} wedged: {exc}")
         return
     now = loop.now()
-    deep = quiescence_probe(system) + storage_probe(system) + checkpoint_probe(system)
+    deep = (
+        quiescence_probe(system)
+        + storage_probe(system)
+        + checkpoint_probe(system)
+        + _convergence_violations(system)
+    )
     result.violations.extend(f"t={now:.2f} {violation}" for violation in deep)
 
 

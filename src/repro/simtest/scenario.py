@@ -42,7 +42,22 @@ DROPPABLE_PAYLOADS = (
     "Welcome",
 )
 
-WORKLOADS = ("sudoku", "board")
+#: All scenario workloads: the paper's two measurement workloads plus
+#: the workload zoo (see :mod:`repro.simtest.workload`).
+WORKLOADS = ("sudoku", "board", "listdoc", "counters", "market", "hostile")
+
+#: Per-workload draw ranges: (think_mean lo/hi, n_grids lo/hi).  The
+#: ``n_grids`` knob is overloaded per workload — Sudoku grids, board
+#: topics, shared docs, counter pots, items stocked per trader — so the
+#: spec shape (and the shrinker) stays workload-agnostic.
+_WORKLOAD_PARAMS = {
+    "sudoku": ((1.5, 4.0), (1, 2)),
+    "board": ((0.8, 2.5), (2, 4)),
+    "listdoc": ((0.8, 2.5), (1, 3)),
+    "counters": ((0.6, 2.0), (2, 4)),
+    "market": ((1.0, 2.5), (2, 3)),
+    "hostile": ((0.6, 1.8), (1, 2)),
+}
 
 
 def machine_name(index: int) -> str:
@@ -173,8 +188,15 @@ class ScenarioSpec:
         )
 
 
-def generate_scenario(seed: int) -> ScenarioSpec:
-    """Derive the complete scenario for ``seed`` (pure and stable)."""
+def generate_scenario(seed: int, workload: str | None = None) -> ScenarioSpec:
+    """Derive the complete scenario for ``seed`` (pure and stable).
+
+    ``workload`` pins the workload instead of drawing it, so sweeps can
+    cover each zoo member with the same seed range; ``(seed, workload)``
+    is just as deterministic as a bare seed.
+    """
+    if workload is not None and workload not in WORKLOADS:
+        raise ValueError(f"unknown workload {workload!r}; known: {WORKLOADS}")
     seeds = SeededSource(seed)
     topo = seeds.stream("topology")
     sync = seeds.stream("sync")
@@ -193,13 +215,11 @@ def generate_scenario(seed: int) -> ScenarioSpec:
     stall_timeout = round(sync.uniform(2.0, 4.0), 3)
     snapshot_interval = sync.choice([0, 2, 4, 8])
 
-    workload = work.choice(list(WORKLOADS))
-    if workload == "sudoku":
-        think_mean = round(work.uniform(1.5, 4.0), 3)
-        n_grids = work.randint(1, 2)
-    else:
-        think_mean = round(work.uniform(0.8, 2.5), 3)
-        n_grids = work.randint(2, 4)  # board: number of topics
+    if workload is None:
+        workload = work.choice(list(WORKLOADS))
+    (think_lo, think_hi), (grids_lo, grids_hi) = _WORKLOAD_PARAMS[workload]
+    think_mean = round(work.uniform(think_lo, think_hi), 3)
+    n_grids = work.randint(grids_lo, grids_hi)
 
     # -- fault plan (slaves only; windows end well before the drain) ----------
     drops = []

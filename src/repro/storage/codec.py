@@ -145,6 +145,11 @@ def _snapshot_dict(value: dict) -> dict:
     return {unique_id: tuple(entry) for unique_id, entry in value.items()}
 
 
+def _optional_pair(value: list | None) -> tuple | None:
+    """Hello.recovered_tail: JSON list back to the OpKey pair (or None)."""
+    return None if value is None else tuple(value)
+
+
 register_wire_type(msg.StartSync, order=_tuple_of_strings)
 register_wire_type(msg.YourTurn, order=_tuple_of_strings)
 register_wire_type(msg.FlushDone)
@@ -154,7 +159,7 @@ register_wire_type(
 register_wire_type(msg.ApplyAck)
 register_wire_type(msg.ResendOpsRequest, have=_tuple_of_pairs)
 register_wire_type(msg.SyncComplete)
-register_wire_type(msg.Hello)
+register_wire_type(msg.Hello, recovered_tail=_optional_pair)
 register_wire_type(msg.Welcome, snapshot=_snapshot_dict, backlog=_tuple_of_pairs)
 register_wire_type(msg.WelcomeAck)
 register_wire_type(msg.Goodbye)

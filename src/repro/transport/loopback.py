@@ -356,6 +356,7 @@ def sweep_seeds(
     max_time: float | None = None,
     trace_dir: str | None = None,
     progress=None,
+    workload: str | None = None,
 ) -> LoopbackReport:
     """Run a seed range over loopback sockets (CI's transport sweep)."""
     from repro.simtest.scenario import generate_scenario
@@ -366,7 +367,7 @@ def sweep_seeds(
         if max_time is not None and time.monotonic() - clock_start > max_time:
             report.stopped_early = True
             break
-        spec = generate_scenario(seed)
+        spec = generate_scenario(seed, workload=workload)
         outcome = run_scenario_loopback(spec)
         report.seeds_run += 1
         report.outcomes.append(outcome)

@@ -1,0 +1,77 @@
+"""GL002 list-editor lookalikes that must stay clean.
+
+The collaborative list editor is wall-to-wall positional list mutation
+— exactly the surface GL002 watches — so this fixture pins the shapes
+the real :mod:`repro.apps.listdoc` uses: framed ``insert``/``del``
+/ ``[:]`` writes, per-line copies inside ``copy_from``, mutation of
+*local* snapshots while computing diffs, and read-only clients that
+splice copies of shared lines.  None of these may be flagged.
+"""
+
+from repro.core.shared_object import GSharedObject
+from repro.spec import modifies
+
+
+class MiniDoc(GSharedObject):
+    def __init__(self):
+        self.lines = []
+        self.tombstones = []
+
+    def copy_from(self, src):
+        # Per-element copies inside copy_from are the contract, not a leak.
+        self.lines = [line[:] for line in src.lines]
+        self.tombstones = list(src.tombstones)
+
+    @modifies("lines")
+    def insert_at(self, index, author, text):
+        if not 0 <= index <= len(self.lines):
+            return False
+        self.lines.insert(index, [author, text])
+        return True
+
+    @modifies("lines", "tombstones")
+    def delete_at(self, index):
+        if not 0 <= index < len(self.lines):
+            return False
+        self.tombstones.append(self.lines[index])
+        del self.lines[index]
+        return True
+
+    @modifies("lines")
+    def replace_at(self, index, author, text):
+        if not 0 <= index < len(self.lines):
+            return False
+        self.lines[index] = [author, text]
+        return True
+
+    @modifies("lines")
+    def truncate(self, keep):
+        self.lines[keep:] = []
+        return True
+
+    def rendered(self):
+        # A diff buffer built from copies: mutated freely, never shared.
+        scratch = [line[:] for line in self.lines]
+        scratch.reverse()
+        scratch.insert(0, ["header", "---"])
+        return ["/".join(line) for line in scratch]
+
+    def authors(self):
+        seen = []
+        for author, _text in self.lines:
+            if author not in seen:
+                seen.append(author)  # local accumulator, not shared state
+        return seen
+
+
+def read_only_review(api, doc_id):
+    with api.reading(api.join_instance(doc_id)) as doc:
+        excerpt = [line[:] for line in doc.lines[:5]]
+        excerpt.append(["reviewer", "trailing note"])
+        return excerpt
+
+
+def setup(api):
+    doc = api.create_instance(MiniDoc)
+    api.invoke(doc, "insert_at", 0, "founder", "first line")
+    return doc

@@ -25,7 +25,7 @@ class TestLoader:
         modules = load_paths([FIXTURES, FIXTURES / "gl001_bad.py"])
         names = [m.path.name for m in modules]
         assert "gl001_bad.py" in names
-        assert len(names) == len(set(names)) == 10
+        assert len(names) == len(set(names)) == 11
 
     def test_display_paths_anchor_to_root(self):
         module = load_paths([FIXTURES / "gl001_bad.py"], root=FIXTURES)[0]

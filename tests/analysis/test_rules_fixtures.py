@@ -59,6 +59,13 @@ class TestCleanFixtures:
         report = analyze_paths([fixture], rule_ids=[rule_id], root=FIXTURES)
         assert report.findings == []
 
+    def test_list_editor_lookalikes_stay_clean(self):
+        # The workload zoo's list editor mutates shared lists on every
+        # method; its framed/local/copy shapes must not trip GL002.
+        fixture = FIXTURES / "gl002_listdoc_clean.py"
+        report = analyze_paths([fixture], rule_ids=["GL002"], root=FIXTURES)
+        assert report.findings == []
+
     def test_clean_fixtures_clean_under_all_rules_jointly(self):
         # Clean fixtures must not trip *any* rule, not just their own.
         paths = sorted(FIXTURES.glob("*_clean.py"))

@@ -1,0 +1,98 @@
+"""SharedDoc (collaborative list editor) tests."""
+
+from repro.apps.listdoc import DocClient, SharedDoc
+from tests.helpers import quick_system
+
+
+def doc_system(n=3):
+    system = quick_system(n)
+    doc = system.apis()[0].create_instance(SharedDoc)
+    system.run_until_quiesced()
+    clients = [
+        DocClient(api, api.join_instance(doc.unique_id), f"user{i}")
+        for i, api in enumerate(system.apis())
+    ]
+    return system, clients
+
+
+class TestDocUnit:
+    def test_insert_bounds(self):
+        doc = SharedDoc()
+        assert doc.insert_at(0, "a", "first")
+        assert doc.insert_at(1, "a", "last")
+        assert doc.insert_at(1, "a", "middle")
+        assert [text for _, text in doc.lines] == ["first", "middle", "last"]
+        assert not doc.insert_at(4, "a", "oob")
+        assert not doc.insert_at(-1, "a", "oob")
+
+    def test_insert_validates_arguments(self):
+        doc = SharedDoc()
+        assert not doc.insert_at("0", "a", "x")
+        assert not doc.insert_at(True, "a", "x")
+        assert not doc.insert_at(0, "", "x")
+        assert not doc.insert_at(0, "a", 7)
+
+    def test_delete_and_replace(self):
+        doc = SharedDoc()
+        doc.insert_at(0, "a", "one")
+        doc.insert_at(1, "b", "two")
+        assert doc.replace_at(0, "c", "uno")
+        assert doc.lines[0] == ["c", "uno"]
+        assert doc.delete_at(0, "b")  # anyone may delete any line
+        assert doc.lines == [["b", "two"]]
+        assert not doc.delete_at(1, "b")
+        assert not doc.replace_at(5, "b", "x")
+
+    def test_line_limit(self):
+        doc = SharedDoc()
+        doc.line_limit = 2
+        assert doc.append_line("a", "1")
+        assert doc.insert_at(0, "a", "2")
+        assert not doc.append_line("a", "3")
+        assert not doc.insert_at(0, "a", "3")
+
+    def test_queries(self):
+        doc = SharedDoc()
+        doc.append_line("a", "x")
+        assert doc.line_count() == 1
+        assert doc.line_at(0) == ["a", "x"]
+        assert doc.line_at(1) is None
+
+
+class TestDistributedDoc:
+    def test_concurrent_inserts_converge(self):
+        system, clients = doc_system()
+        for client in clients:
+            client.insert(0, f"hello from {client.user}")
+        system.run_until_quiesced()
+        reference = clients[0].read_lines()
+        assert len(reference) == 3
+        assert all(client.read_lines() == reference for client in clients)
+
+    def test_positional_conflict_detected(self):
+        """Two deletes of the same position: one wins, one conflicts."""
+        system, clients = doc_system(2)
+        clients[0].append("only line")
+        system.run_until_quiesced()
+        clients[0].delete(0)
+        clients[1].delete(0)
+        system.run_until_quiesced()
+        assert clients[0].read_lines() == []
+        assert clients[0].conflicted + clients[1].conflicted == 1
+        assert clients[0].applied + clients[1].applied == 2  # append + one delete
+        system.check_all_invariants()
+
+    def test_insert_into_shrunk_doc_conflicts(self):
+        system, clients = doc_system(2)
+        for i in range(3):
+            clients[0].append(f"line{i}")
+        system.run_until_quiesced()
+        # user1 inserts at index 3 while user0 deletes two lines; if the
+        # deletes commit first the insert is out of range and must fail.
+        clients[0].delete(0)
+        clients[0].delete(0)
+        clients[1].insert(3, "tail")
+        system.run_until_quiesced()
+        reference = clients[0].read_lines()
+        assert all(client.read_lines() == reference for client in clients)
+        system.check_all_invariants()

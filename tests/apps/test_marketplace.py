@@ -1,0 +1,123 @@
+"""Marketplace (Atomic/OrElse escrow) tests."""
+
+from repro.apps.marketplace import Marketplace, MarketClient
+from tests.helpers import quick_system
+
+
+def market_system(n=3):
+    system = quick_system(n)
+    market = system.apis()[0].create_instance(Marketplace)
+    system.run_until_quiesced()
+    clients = [
+        MarketClient(api, api.join_instance(market.unique_id), f"user{i}")
+        for i, api in enumerate(system.apis())
+    ]
+    for client in clients:
+        client.register()
+        client.mint(100)
+    system.run_until_quiesced()
+    return system, clients
+
+
+def conserved(market: Marketplace) -> bool:
+    return sum(market.balances.values()) == market.minted
+
+
+class TestMarketUnit:
+    def test_register_and_mint(self):
+        market = Marketplace()
+        assert market.register("a")
+        assert not market.register("a")
+        assert market.mint("a", 50)
+        assert not market.mint("ghost", 50)
+        assert not market.mint("a", 0)
+        assert market.balance_of("a") == 50
+        assert conserved(market)
+
+    def test_money_legs(self):
+        market = Marketplace()
+        market.register("a")
+        market.mint("a", 10)
+        assert market.debit("a", 4)
+        assert not market.debit("a", 7)
+        assert market.credit("a", 1)
+        assert market.balance_of("a") == 7
+        assert not market.debit("ghost", 1)
+        assert not market.credit("a", -1)
+
+    def test_escrow_lifecycle(self):
+        market = Marketplace()
+        market.register("seller")
+        market.register("buyer")
+        assert market.stock_item("seller", "sword")
+        assert not market.stock_item("buyer", "sword")  # items are unique
+        assert market.list_item("seller", "sword", 5)
+        assert "sword" not in market.holdings("seller")  # escrowed
+        assert not market.list_item("seller", "sword", 5)
+        assert not market.stock_item("buyer", "sword")  # escrow still owns it
+        assert market.take_offer("sword", "buyer", 5)
+        assert market.holdings("buyer") == ["sword"]
+        assert not market.take_offer("sword", "buyer", 5)
+
+    def test_take_offer_guards(self):
+        market = Marketplace()
+        market.register("seller")
+        market.register("buyer")
+        market.stock_item("seller", "gem")
+        market.list_item("seller", "gem", 10)
+        assert not market.take_offer("gem", "buyer", 9)  # price cap
+        assert not market.take_offer("gem", "seller", 10)  # self-buy
+        assert not market.take_offer("gem", "ghost", 10)
+        assert market.delist("seller", "gem")
+        assert market.holdings("seller") == ["gem"]
+
+
+class TestDistributedMarket:
+    def test_purchase_settles_atomically(self):
+        system, clients = market_system(2)
+        seller, buyer = clients
+        system.apis()[0].invoke(seller.market, "stock_item", seller.user, "amulet")
+        seller.sell("amulet", 30)
+        system.run_until_quiesced()
+        ticket = buyer.buy("amulet")
+        assert ticket is not None
+        system.run_until_quiesced()
+        assert buyer.my_items() == ["amulet"]
+        assert buyer.balance() == 70
+        assert seller.balance() == 130
+        with seller.api.reading(seller.market) as market:
+            assert conserved(market)
+
+    def test_racing_buyers_one_wins_money_conserved(self):
+        system, clients = market_system(3)
+        seller, first, second = clients
+        system.apis()[0].invoke(seller.market, "stock_item", seller.user, "relic")
+        seller.sell("relic", 25)
+        system.run_until_quiesced()
+        first.buy("relic")
+        second.buy("relic")
+        system.run_until_quiesced()
+        winners = [c for c in (first, second) if "relic" in c.my_items()]
+        assert len(winners) == 1
+        assert first.lost_races + second.lost_races == 1
+        # The loser's Atomic rolled back completely: no coins vanished.
+        with seller.api.reading(seller.market) as market:
+            assert conserved(market)
+            assert market.balance_of(seller.user) == 125
+        system.check_all_invariants()
+
+    def test_buy_one_of_falls_back(self):
+        system, clients = market_system(3)
+        seller, sniper, hunter = clients
+        for item in ("lamp", "rug"):
+            system.apis()[0].invoke(seller.market, "stock_item", seller.user, item)
+        seller.sell("lamp", 10)
+        seller.sell("rug", 10)
+        system.run_until_quiesced()
+        sniper.buy("lamp")
+        hunter.buy_one_of("lamp", "rug")
+        system.run_until_quiesced()
+        assert sniper.my_items() == ["lamp"]
+        assert hunter.my_items() == ["rug"] or hunter.my_items() == ["lamp"]
+        with seller.api.reading(seller.market) as market:
+            assert conserved(market)

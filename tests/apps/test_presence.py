@@ -1,0 +1,79 @@
+"""PresenceCounters (shared tallies + roster) tests."""
+
+from repro.apps.presence import PresenceClient, PresenceCounters
+from tests.helpers import quick_system
+
+
+def presence_system(n=3):
+    system = quick_system(n)
+    hub = system.apis()[0].create_instance(PresenceCounters)
+    system.run_until_quiesced()
+    clients = [
+        PresenceClient(api, api.join_instance(hub.unique_id), f"user{i}")
+        for i, api in enumerate(system.apis())
+    ]
+    return system, clients
+
+
+class TestPresenceUnit:
+    def test_bump_creates_and_guards_zero(self):
+        hub = PresenceCounters()
+        assert hub.bump("gold", 5)
+        assert hub.counters["gold"] == 5
+        assert hub.bump("gold", -5)
+        assert hub.counters["gold"] == 0
+        assert not hub.bump("gold", -1)
+        assert not hub.bump("gold", 0)
+        assert not hub.bump("", 1)
+        assert not hub.bump("gold", True)
+
+    def test_transfer_conserves_sum(self):
+        hub = PresenceCounters()
+        hub.bump("a", 10)
+        assert hub.transfer("a", "b", 4)
+        assert hub.counters == {"a": 6, "b": 4}
+        assert hub.total() == 10
+        assert not hub.transfer("a", "b", 7)
+        assert not hub.transfer("a", "a", 1)
+        assert not hub.transfer("missing", "b", 1)
+
+    def test_check_in_out(self):
+        hub = PresenceCounters()
+        assert hub.check_in("alice")
+        assert not hub.check_in("alice")
+        assert hub.present_users() == ["alice"]
+        assert hub.check_out("alice")
+        assert not hub.check_out("alice")
+        assert hub.check_in("alice")
+        assert hub.arrivals == 2
+
+
+class TestDistributedPresence:
+    def test_high_fan_in_bumps_converge(self):
+        system, clients = presence_system()
+        for round_index in range(3):
+            for client in clients:
+                client.bump("hits", 1)
+            system.run_for(0.7)
+        system.run_until_quiesced()
+        assert clients[0].total() == 9
+        assert all(client.total() == 9 for client in clients)
+
+    def test_racing_check_in_conflicts(self):
+        system, clients = presence_system(2)
+        clients[0].user = clients[1].user = "shared-account"
+        clients[0].check_in()
+        clients[1].check_in()
+        system.run_until_quiesced()
+        assert clients[0].roster() == ["shared-account"]
+        assert clients[0].conflicts + clients[1].conflicts == 1
+
+    def test_transfers_conserve_under_concurrency(self):
+        system, clients = presence_system()
+        clients[0].bump("pot-a", 30)
+        system.run_until_quiesced()
+        for client in clients:
+            client.transfer("pot-a", "pot-b", 5)
+        system.run_until_quiesced()
+        assert all(client.total() == 30 for client in clients)
+        system.check_all_invariants()

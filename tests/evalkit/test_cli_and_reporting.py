@@ -36,6 +36,7 @@ class TestCli:
             "syncscale",
             "durability",
             "refresh",
+            "zoo",
         }
 
     def test_report_command_writes_files(self, tmp_path, capsys, monkeypatch):

@@ -4,6 +4,8 @@ These check each experiment *reproduces the paper's qualitative shape*
 at reduced scale; the benchmarks run them at full scale.
 """
 
+import json
+
 import pytest
 
 from repro.evalkit.experiments import (
@@ -187,3 +189,57 @@ class TestAppSizes:
         result = appsizes.run()
         total_apps = sum(sloc for _n, _l, sloc in result.rows)
         assert total_apps < result.runtime_sloc
+
+
+class TestZoo:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.evalkit.experiments import zoo
+
+        return zoo.run(seeds_per_workload=1, duration=15.0)
+
+    def test_covers_every_workload(self, result):
+        from repro.simtest.scenario import WORKLOADS
+
+        assert [p.workload for p in result.points] == list(WORKLOADS)
+
+    def test_all_runs_converge(self, result):
+        assert result.clean
+        for point in result.points:
+            assert point.violations == []
+            assert point.actions > 0
+
+    def test_counters_reconcile(self, result):
+        # issued excludes issue-time rejections, so the commit-side
+        # split can never exceed it — and every rate stays in [0, 1].
+        for point in result.points:
+            assert point.committed_ok + point.committed_failed <= point.issued
+            assert point.conflicts <= point.committed_failed
+            assert point.attempts == point.issued + point.rejected_at_issue
+            for rate in (point.reject_rate, point.conflict_rate, point.completion_rate):
+                assert 0.0 <= rate <= 1.0
+
+    def test_hostile_rejects_most(self, result):
+        # The hostile profile exists to exercise the reject path; it
+        # must actually hit it, and much harder than the honest apps.
+        hostile = result.point("hostile")
+        assert hostile.rejected_at_issue > 0
+
+    def test_bench_json_schema(self, result, tmp_path):
+        from repro.evalkit.experiments import zoo
+
+        path = tmp_path / "BENCH_workloads.json"
+        zoo.write_bench_json(result, str(path))
+        payload = json.loads(path.read_text())
+        assert payload["benchmark"] == "workload_zoo"
+        assert payload["clean"] is True
+        for name, row in payload["workloads"].items():
+            assert row["attempts"] == row["ops_issued"] + row["rejected_at_issue"]
+            assert 0.0 <= row["completion_rate"] <= 1.0
+
+    def test_report_format(self, result):
+        from repro.evalkit.experiments import zoo
+
+        text = zoo.format_report(result)
+        assert "hostile" in text and "complete%" in text
+        assert "no probe violations" in text

@@ -1,42 +1,16 @@
 """Gateway end-to-end: REST + WebSocket over a threaded loopback cluster.
 
-A 3-node :class:`LoopbackCluster` runs its asyncio loop on a daemon
-thread while the test drives the gateway from the main thread with the
-blocking :class:`GatewayClient` — the same shape as a real deployment
-(daemons on their own loops, external clients over HTTP).  Covers the
-ISSUE's gateway arc: create instance → issue operation → ticket promotes
+Uses the ``gateway_cluster`` fixture from ``conftest.py``.  Covers the
+gateway arc: create instance → issue operation → ticket promotes
 guessed → committed → delta stream carries the new state.
 """
 
 from __future__ import annotations
 
-import asyncio
-
 import pytest
 
 from repro.errors import GatewayError
-from repro.gateway import GatewayServer
-from repro.gateway.client import GatewayClient
-from repro.runtime.config import RuntimeConfig
-from repro.transport.loopback import LoopbackCluster
 from tests.helpers import Counter  # registers the Counter shared type
-
-
-@pytest.fixture()
-def gateway_cluster():
-    """(cluster, client): threaded loopback cluster + blocking client."""
-    cluster = LoopbackCluster(3, config=RuntimeConfig(sync_interval=0.1))
-    cluster.boot()
-    cluster.start(first_sync_delay=0.05)
-    gateway = GatewayServer(cluster.master_node, port=0, poll_interval=0.02)
-    cluster.run_in_thread()
-    asyncio.run_coroutine_threadsafe(gateway.start(), cluster.aio_loop).result(10)
-    client = GatewayClient(f"http://127.0.0.1:{gateway.port}", timeout=10.0)
-    try:
-        yield cluster, client
-    finally:
-        asyncio.run_coroutine_threadsafe(gateway.stop(), cluster.aio_loop).result(10)
-        cluster.shutdown()
 
 
 class TestRest:

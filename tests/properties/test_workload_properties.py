@@ -1,0 +1,82 @@
+"""Properties of the workload zoo's operation-stream sampler.
+
+Two guarantees the zoo's reproducibility story rests on:
+
+* :func:`sample_op_stream` is a pure function of ``(workload, seed,
+  count)`` — the fuzzer's replay/shrink loop assumes a seed pins the
+  workload's behaviour exactly;
+* every op the sampler can emit survives the registry codec — the same
+  ``encode_op``/``decode_op`` pair the mesh applies to every flushed
+  batch — so nothing a workload issues is unshippable.
+
+Op classes are plain (no ``__eq__``), so equality is checked on the
+canonical encoded form: ``encode ∘ decode ∘ encode == encode``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.serialization import encode_op, roundtrip_op
+from repro.simtest.workload import SAMPLED_WORKLOADS, sample_op_stream
+
+WORKLOADS_ST = st.sampled_from(SAMPLED_WORKLOADS)
+SEEDS_ST = st.integers(min_value=0, max_value=2**31 - 1)
+COUNTS_ST = st.integers(min_value=0, max_value=60)
+
+
+def _canonical(ops) -> list[dict]:
+    return [encode_op(op) for op in ops]
+
+
+class TestDeterminism:
+    @settings(max_examples=60, deadline=None)
+    @given(workload=WORKLOADS_ST, seed=SEEDS_ST, count=COUNTS_ST)
+    def test_stream_is_a_pure_function_of_its_inputs(self, workload, seed, count):
+        first = sample_op_stream(workload, seed, count)
+        second = sample_op_stream(workload, seed, count)
+        assert len(first) == count
+        assert _canonical(first) == _canonical(second)
+
+    @settings(max_examples=30, deadline=None)
+    @given(workload=WORKLOADS_ST, seed=SEEDS_ST)
+    def test_prefix_stability(self, workload, seed):
+        """Asking for fewer ops yields a prefix of the longer stream —
+        shrinking a scenario never rewrites the ops it keeps."""
+        long = _canonical(sample_op_stream(workload, seed, 30))
+        short = _canonical(sample_op_stream(workload, seed, 10))
+        assert long[:10] == short
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=SEEDS_ST)
+    def test_workloads_draw_from_distinct_streams(self, seed):
+        """The same seed must not make every workload issue the same
+        ops — each samples its own named stream."""
+        streams = {
+            workload: _canonical(sample_op_stream(workload, seed, 20))
+            for workload in SAMPLED_WORKLOADS
+        }
+        assert len({json.dumps(s, sort_keys=True) for s in streams.values()}) == len(
+            streams
+        )
+
+
+class TestCodecRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(workload=WORKLOADS_ST, seed=SEEDS_ST)
+    def test_every_sampled_op_survives_the_registry_codec(self, workload, seed):
+        for op in sample_op_stream(workload, seed, 25):
+            encoded = encode_op(op)
+            assert encode_op(roundtrip_op(op)) == encoded
+
+    @settings(max_examples=40, deadline=None)
+    @given(workload=WORKLOADS_ST, seed=SEEDS_ST)
+    def test_encoded_ops_are_json_stable(self, workload, seed):
+        """What the mesh actually ships is the JSON of the encoding;
+        dumping and reloading must be the identity on the payload."""
+        for op in sample_op_stream(workload, seed, 25):
+            payload = encode_op(op)
+            assert json.loads(json.dumps(payload)) == payload

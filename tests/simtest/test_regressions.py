@@ -1,0 +1,184 @@
+"""Fuzzer-found protocol bugs, pinned as named regression tests.
+
+Each test here documents one bug the workload-zoo seed sweeps surfaced,
+at two levels: the mechanism (a focused unit test on the exact seam
+that was wrong) and, where cheap enough, the original failing scenario
+replayed end to end.
+
+Bug 1 — **gapped WAL after mid-round eviction** (counters seed 58).
+    A slave stalled in pipelined round *k* was removed by the master's
+    watchdog.  On receiving its own ``ParticipantRemoved`` it marked
+    the round done and *kept applying* round *k+1*, durably logging a
+    committed history with a hole at round *k*.  Recovery then
+    announced that gapped history's *count* as a global position, the
+    master served a delta backlog from the count, and the hole became
+    permanent committed-prefix divergence (plus a duplicated tail
+    entry).  Fixed by (a) the synchronizer's ``evicted`` latch — a node
+    that learns it missed a committed round stops applying until the
+    Restart rejoins it — and (b) ``Hello.recovered_tail``: the master
+    cross-checks the recovered history's tail key before serving a
+    backlog, falling back to a full snapshot on mismatch.
+
+Bug 2 — **stale delta Welcome destroys the durable log** (counters
+    seed 56, hash-order dependent).
+    A node that restarted twice in quick succession could receive a
+    delta Welcome built from its *previous* Hello's recovered count.
+    The mismatch fell through to the snapshot-Welcome path — but a
+    delta Welcome's snapshot field is empty, so the node rebased its
+    WAL to an empty snapshot at a non-zero offset: live state stayed
+    healthy while recovery would silently come back empty.  Fixed by
+    aligning overlapping backlogs by position and ignoring Welcomes
+    that cannot be aligned (the Hello retry loop gets a fresh one).
+"""
+
+from repro.runtime import messages as msg
+from repro.simtest.runner import run_scenario
+from repro.simtest.scenario import generate_scenario
+from repro.storage.codec import decode_line, encode_line
+from tests.helpers import quick_system, shared_counter
+
+
+def _active_pair(n: int = 2):
+    system = quick_system(n)
+    replicas, uid = shared_counter(system)
+    system.apis()[0].invoke(uid, "increment", 10)
+    system.apis()[1].invoke(uid, "increment", 10)
+    system.run_until_quiesced()
+    ids = system.machine_ids()
+    return system, system.nodes[ids[0]], system.nodes[ids[1]]
+
+
+class TestEvictionLatch:
+    """Bug 1 mechanism: a node removed mid-round must stop applying."""
+
+    def test_self_removal_blocks_later_pipelined_rounds(self):
+        system, master, slave = _active_pair()
+        sync = slave.synchronizer
+        order = (master.machine_id, slave.machine_id)
+        stalled = sync._ensure_round(101, order)
+        successor = sync._ensure_round(102, order)
+        successor.counts = {}  # fully collected: would apply if nudged
+
+        sync.handle_signal(msg.ParticipantRemoved(101, slave.machine_id, False))
+
+        assert sync.evicted
+        assert stalled.done
+        assert not successor.applied  # the old code applied it here
+
+    def test_sync_complete_for_unapplied_round_evicts(self):
+        """The ParticipantRemoved itself can be lost; the SyncComplete
+        for a round we never applied carries the same information."""
+        system, master, slave = _active_pair()
+        sync = slave.synchronizer
+        order = (master.machine_id, slave.machine_id)
+        missed = sync._ensure_round(103, order)
+        successor = sync._ensure_round(104, order)
+        successor.counts = {}
+        assert not missed.applied
+
+        sync.handle_signal(msg.SyncComplete(103))
+
+        assert sync.evicted
+        assert not successor.applied
+
+    def test_restart_clears_the_latch(self):
+        system, master, slave = _active_pair()
+        sync = slave.synchronizer
+        sync._ensure_round(101, (master.machine_id, slave.machine_id))
+        sync.handle_signal(msg.ParticipantRemoved(101, slave.machine_id, False))
+        assert sync.evicted
+        sync.reset()
+        assert not sync.evicted
+
+
+class TestRecoveryTailVerification:
+    """Bug 1 backstop: the master refuses a delta backlog when the
+    joiner's recovered history is not the prefix its count claims."""
+
+    def test_mismatched_tail_falls_back_to_snapshot(self):
+        system, master, slave = _active_pair()
+        control = master.master
+        control.recovered_counts[slave.machine_id] = 2
+        control.recovered_tails[slave.machine_id] = ("m99", 42)
+        welcome = control._build_welcome(slave.machine_id)
+        assert welcome.backlog_from is None
+        assert welcome.snapshot  # full state, not a delta
+
+    def test_matching_tail_still_gets_the_backlog(self):
+        system, master, slave = _active_pair()
+        control = master.master
+        entry = master.model.completed[1]
+        control.recovered_counts[slave.machine_id] = 2
+        control.recovered_tails[slave.machine_id] = (
+            entry.key.machine_id,
+            entry.key.op_number,
+        )
+        welcome = control._build_welcome(slave.machine_id)
+        assert welcome.backlog_from == 2
+        assert not welcome.snapshot
+
+    def test_hello_tail_survives_the_wire(self):
+        hello = msg.Hello("m07", recovered_count=9, recovered_tail=("m02", 4))
+        revived = decode_line(encode_line(hello))
+        assert revived == hello
+        assert revived.recovered_tail == ("m02", 4)
+        bare = decode_line(encode_line(msg.Hello("m07")))
+        assert bare.recovered_tail is None
+
+
+class TestStaleDeltaWelcome:
+    """Bug 2 mechanism: a delta Welcome that cannot be aligned with the
+    node's recovered position must be ignored, never loaded as an
+    (empty) snapshot."""
+
+    def _joining(self, slave, recovered_count):
+        slave.state = slave.STATE_JOINING
+        slave._recovered_count = recovered_count
+        return slave
+
+    def test_unalignable_backlog_is_ignored(self):
+        system, master, slave = _active_pair()
+        self._joining(slave, recovered_count=7)
+        before_offset = slave.completed_offset
+        stale = msg.Welcome(
+            machine_id=slave.machine_id,
+            master_id=master.machine_id,
+            snapshot={},
+            completed_count=9,
+            backlog_from=2,
+            backlog=((master.machine_id, 3, {"k": "PrimitiveOp"}, True, 1.0),),
+        )
+        slave.load_welcome(stale)  # backlog [2, 3) cannot reach position 7
+        assert slave.state == slave.STATE_JOINING  # not activated
+        assert slave.completed_offset == before_offset
+        assert slave._recovered_count == 7  # still announced on retry
+
+    def test_backlog_welcome_without_recovered_state_is_ignored(self):
+        system, master, slave = _active_pair()
+        self._joining(slave, recovered_count=None)
+        stale = msg.Welcome(
+            machine_id=slave.machine_id,
+            master_id=master.machine_id,
+            snapshot={},
+            completed_count=9,
+            backlog_from=5,
+            backlog=(),
+        )
+        slave.load_welcome(stale)
+        assert slave.state == slave.STATE_JOINING
+
+
+class TestOriginalFailingSeeds:
+    """The sweep scenarios that exposed both bugs, replayed end to end
+    (forced counters workload, full probe set, refresh oracle on)."""
+
+    def test_counters_seed_58_converges(self):
+        spec = generate_scenario(58, workload="counters")
+        result = run_scenario(spec, record_trace=False)
+        assert result.violations == []
+
+    def test_counters_seed_56_converges(self):
+        spec = generate_scenario(56, workload="counters")
+        result = run_scenario(spec, record_trace=False)
+        assert result.violations == []
+        assert result.actions > 0

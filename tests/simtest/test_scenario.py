@@ -2,7 +2,10 @@
 
 from dataclasses import replace
 
+import pytest
+
 from repro.simtest.scenario import (
+    WORKLOADS,
     ScenarioSpec,
     build_faults,
     generate_scenario,
@@ -29,7 +32,19 @@ class TestGeneration:
             assert spec.sync_interval > 0
             assert spec.stall_timeout > spec.sync_interval
             assert spec.duration >= 30.0
-            assert spec.workload in ("sudoku", "board")
+            assert spec.workload in WORKLOADS
+
+    def test_seed_range_covers_every_workload(self):
+        drawn = {generate_scenario(seed).workload for seed in range(60)}
+        assert drawn == set(WORKLOADS)
+
+    def test_forced_workload(self):
+        for workload in WORKLOADS:
+            spec = generate_scenario(11, workload=workload)
+            assert spec.workload == workload
+            assert spec == generate_scenario(11, workload=workload)
+        with pytest.raises(ValueError):
+            generate_scenario(11, workload="kitchen-sink")
 
     def test_master_is_never_faulted(self):
         """m01 runs the master; the fuzzer exercises slave failures."""
