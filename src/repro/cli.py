@@ -30,6 +30,7 @@ from repro.evalkit.experiments import (
     reexec,
     refreshbench,
     responsiveness,
+    roundprof,
     scaling,
     specreport,
     syncscale,
@@ -57,6 +58,16 @@ def _run_zoo(quick: bool) -> str:
         # directly, so probe violations must fail the process.
         raise SystemExit(f"zoo: probe violations\n{report}")
     return report
+
+
+def _run_roundprof(quick: bool) -> str:
+    result = roundprof.run(
+        machines=4 if quick else 8,
+        duration=10.0 if quick else 20.0,
+        micro_repeats=500 if quick else 2000,
+    )
+    path = roundprof.write_bench_json(result)
+    return f"{roundprof.format_report(result)}\n\n  wrote {path}"
 
 
 def _run_refresh(quick: bool) -> str:
@@ -129,6 +140,11 @@ EXPERIMENTS = {
         _run_syncscale,
         "Sync pipeline: round latency and commit throughput, "
         "sequential vs concurrent+batched collection (BENCH_sync.json)",
+    ),
+    "roundprof": (
+        _run_roundprof,
+        "Phase-attributed round profiler: encode/transport/apply/refresh "
+        "wall time + hot-path microbenchmarks (BENCH_phases.json)",
     ),
     "durability": (
         lambda quick: durability.format_report(

@@ -19,7 +19,7 @@ from repro.core.store import ObjectStore
 CompletionFn = Callable[[bool], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingEntry:
     """One entry of the pending sequence P.
 
@@ -27,6 +27,10 @@ class PendingEntry:
     key, the operation tree, the completion routine (run on the issuing
     machine only), and bookkeeping used by the evaluation (issue-time
     result and virtual timestamps).
+
+    ``absorbed`` holds entries this one superseded during op-log
+    compaction (``SyncConfig.compact_flush``): they never ride the
+    round, but their completions fire with this entry's commit result.
     """
 
     key: OpKey
@@ -35,9 +39,10 @@ class PendingEntry:
     issue_result: bool
     issued_at: float
     executions: int = 1  # issue counts as the first execution
+    absorbed: tuple = ()
 
 
-@dataclass
+@dataclass(slots=True)
 class CompletedEntry:
     """One entry of the completed sequence C (identical on all machines)."""
 

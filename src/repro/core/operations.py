@@ -26,7 +26,7 @@ from repro.core.shared_object import GSharedObject
 from repro.core.store import StateView, TransactionView
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class OpKey:
     """Global identity of an issued operation: (machineID, operation number).
 

@@ -1,0 +1,96 @@
+"""CI regression gate over the round phase profile.
+
+``phase-budgets.json`` (committed at the repo root) holds wall-clock
+ceilings for each round phase's mean span cost and for the hot-path
+microbenchmarks ``roundprof`` measures.  The budgets carry an order of
+magnitude of headroom over a developer-laptop baseline — the gate is
+not a precision benchmark, it exists to catch *structural* regressions
+(an accidental per-peer re-encode, a dict-copy sneaking back into the
+decode path, a quadratic refresh) that blow past any reasonable
+constant factor, while staying robust to noisy shared CI runners.
+
+Usage (what the bench-smoke CI job runs)::
+
+    python -m repro.cli roundprof --quick        # writes BENCH_phases.json
+    python -m repro.evalkit.phasegate            # compares, exit 1 on breach
+
+Re-baselining after an intentional change: regenerate
+``BENCH_phases.json``, eyeball the new means, and commit ceilings of
+roughly 10x the observed values (see ``docs/PROFILING.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+DEFAULT_BENCH = "BENCH_phases.json"
+DEFAULT_BUDGETS = "phase-budgets.json"
+
+
+def check(bench: dict, budgets: dict) -> list[str]:
+    """Every budget the profile breaches, as human-readable strings."""
+    violations: list[str] = []
+    phases = bench.get("phases", {})
+    for phase, ceiling in sorted(budgets.get("phase_mean_us", {}).items()):
+        stats = phases.get(phase)
+        if stats is None or not stats.get("calls"):
+            violations.append(
+                f"phase {phase}: no samples in the profile (hook removed?)"
+            )
+            continue
+        actual = stats.get("mean_us", 0.0)
+        if actual > ceiling:
+            violations.append(
+                f"phase {phase}: mean {actual:.1f}us/span exceeds "
+                f"budget {ceiling:.1f}us"
+            )
+    micro = bench.get("micro", {})
+    for name, ceiling in sorted(budgets.get("micro_us", {}).items()):
+        actual = micro.get(name)
+        if actual is None:
+            violations.append(f"micro {name}: missing from the profile")
+        elif actual > ceiling:
+            violations.append(
+                f"micro {name}: {actual:.1f}us/call exceeds budget "
+                f"{ceiling:.1f}us"
+            )
+    min_speedup = budgets.get("min_fanout_speedup")
+    if min_speedup is not None:
+        actual = micro.get("fanout_speedup", 0.0)
+        if actual < min_speedup:
+            violations.append(
+                f"fanout encode-once speedup {actual:.2f}x is below the "
+                f"required {min_speedup:.2f}x (per-peer re-encode crept back?)"
+            )
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="phasegate",
+        description="Fail if BENCH_phases.json breaches phase-budgets.json.",
+    )
+    parser.add_argument("--bench", default=DEFAULT_BENCH)
+    parser.add_argument("--budgets", default=DEFAULT_BUDGETS)
+    args = parser.parse_args(argv)
+    with open(args.bench, encoding="utf-8") as handle:
+        bench = json.load(handle)
+    with open(args.budgets, encoding="utf-8") as handle:
+        budgets = json.load(handle)
+    violations = check(bench, budgets)
+    if violations:
+        print(f"phasegate: {len(violations)} budget violation(s):")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    checked = len(budgets.get("phase_mean_us", {})) + len(
+        budgets.get("micro_us", {})
+    )
+    print(f"phasegate: ok ({checked} budgets checked)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -74,16 +74,27 @@ def _json_object(request: HttpRequest) -> dict:
     return body
 
 
+def _encode_ws_event(event: dict) -> bytes:
+    """Serialize one event to a ready-to-write WebSocket text frame.
+
+    Fan-out paths call this once per event and enqueue the same bytes
+    to every subscriber, instead of re-running ``json.dumps`` + frame
+    assembly per connection.
+    """
+    return ws_text_frame(json.dumps(event, sort_keys=True))
+
+
 class _Subscriber:
     """One WebSocket client: an outbound queue + per-object versions."""
 
     def __init__(self, writer: asyncio.StreamWriter):
         self.writer = writer
+        #: queue of pre-encoded frames (bytes) or raw event dicts
         self.queue: asyncio.Queue = asyncio.Queue()
         self.seen: dict[str, int] = {}  # object id -> last pushed version
         self.closed = False
 
-    def push(self, event: dict) -> None:
+    def push(self, event: dict | bytes) -> None:
         if not self.closed:
             self.queue.put_nowait(event)
 
@@ -343,16 +354,24 @@ class GatewayServer:
     async def _ws_sender(self, subscriber: _Subscriber) -> None:
         while not subscriber.closed:
             event = await subscriber.queue.get()
+            data = (
+                event
+                if isinstance(event, (bytes, bytearray))
+                else _encode_ws_event(event)
+            )
             try:
-                subscriber.writer.write(ws_text_frame(json.dumps(event, sort_keys=True)))
+                subscriber.writer.write(data)
                 await subscriber.writer.drain()
             except (ConnectionError, OSError):
                 subscriber.closed = True
                 return
 
     def _broadcast_event(self, event: dict) -> None:
+        if not self.subscribers:
+            return
+        data = _encode_ws_event(event)
         for subscriber in self.subscribers:
-            subscriber.push(event)
+            subscriber.push(data)
 
     async def _delta_pump(self) -> None:
         """Push guess-store changes to every subscriber.
@@ -368,25 +387,35 @@ class GatewayServer:
                 continue
             store = self.node.model.guess
             current_ids = set(store.ids())
+            # One scan encodes each changed object once — state encode,
+            # JSON render and WS framing are all shared; subscribers
+            # differ only in *which* cached frames they are behind on.
+            frame_cache: dict[tuple[str, int], bytes] = {}
+            removed_cache: dict[str, bytes] = {}
             for subscriber in list(self.subscribers):
-                encoded_cache: dict[str, dict] = {}
                 for unique_id in sorted(current_ids):
                     version = store.version(unique_id)
                     if subscriber.seen.get(unique_id) == version:
                         continue
-                    if unique_id not in encoded_cache:
-                        encoded_cache[unique_id] = encode_state(store.get(unique_id))
-                    encoded = encoded_cache[unique_id]
+                    data = frame_cache.get((unique_id, version))
+                    if data is None:
+                        encoded = encode_state(store.get(unique_id))
+                        data = _encode_ws_event(
+                            {
+                                "event": "delta",
+                                "object": unique_id,
+                                "version": version,
+                                "type": encoded["type"],
+                                "state": encoded["state"],
+                            }
+                        )
+                        frame_cache[(unique_id, version)] = data
                     subscriber.seen[unique_id] = version
-                    subscriber.push(
-                        {
-                            "event": "delta",
-                            "object": unique_id,
-                            "version": version,
-                            "type": encoded["type"],
-                            "state": encoded["state"],
-                        }
-                    )
+                    subscriber.push(data)
                 for gone in [u for u in subscriber.seen if u not in current_ids]:
                     del subscriber.seen[gone]
-                    subscriber.push({"event": "removed", "object": gone})
+                    data = removed_cache.get(gone)
+                    if data is None:
+                        data = _encode_ws_event({"event": "removed", "object": gone})
+                        removed_cache[gone] = data
+                    subscriber.push(data)

@@ -50,11 +50,31 @@ class SyncConfig:
       overlapping collection with the previous round's commit+ack
       latency.  Slaves always apply rounds in round-id order, so the
       committed sequence is unaffected.  Depth 1 disables pipelining.
+    * ``scheduled_rounds`` — the master pre-announces the next round's
+      StartSync (with a ``start_at`` timestamp) during the idle gap, so
+      every participant flushes *at* the round boundary instead of one
+      network hop after it.  Removes the StartSync hop from the
+      critical path.  Concurrent collection only; ignored elsewhere.
+    * ``speculative_apply`` — a slave holding a FlushDone from every
+      participant self-assembles the authoritative counts and applies
+      without waiting for the master's BeginApply, acking with a counts
+      fingerprint the master validates (mismatch evicts + restarts the
+      speculator).  Removes the BeginApply hop from the critical path.
+      Concurrent collection only; ignored elsewhere.
+    * ``compact_flush`` — before a flush rides the wire, pending
+      operations superseded by a later absorbing operation (see
+      :func:`repro.core.shared_object.absorbing`) on the same
+      (object, key) from the same issuer are coalesced: only the final
+      write is flushed, absorbed completions fire with its commit
+      result.
     """
 
     collection: str | None = None
     batch_max_ops: int = 64
     pipeline_depth: int = 1
+    scheduled_rounds: bool = False
+    speculative_apply: bool = False
+    compact_flush: bool = False
 
     def __post_init__(self):
         if self.collection is not None and self.collection not in COLLECTION_MODES:

@@ -34,19 +34,26 @@ from dataclasses import dataclass, field
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StartSync:
     """Master → all: a synchronization round begins; ``order`` is the
     turn order (master first).  With ``parallel`` set (the section-9
     extension) every machine flushes immediately instead of waiting for
-    its turn."""
+    its turn.
+
+    ``start_at`` is set on *pre-announced* rounds (the
+    ``scheduled_rounds`` optimization): the round does not begin now
+    but at that virtual time — every participant arms a flush timer
+    for ``start_at`` instead of flushing on receipt, which removes the
+    StartSync network hop from the round's critical path."""
 
     round_id: int
     order: tuple[str, ...]
     parallel: bool = False
+    start_at: float | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class YourTurn:
     """Master → one machine: flush your pending operations now.
 
@@ -60,7 +67,7 @@ class YourTurn:
     order: tuple[str, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlushDone:
     """One machine → all: my flush finished; I sent ``count`` operations."""
 
@@ -74,7 +81,7 @@ class FlushDone:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BeginApply:
     """Master → all: stage 1 done; apply.  ``counts`` maps every
     participating machine to the number of operations it flushed, which
@@ -85,15 +92,23 @@ class BeginApply:
     counts: tuple[tuple[str, int], ...]  # sorted (machine_id, count) pairs
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ApplyAck:
-    """One machine → all (master consumes): I applied every operation."""
+    """One machine → all (master consumes): I applied every operation.
+
+    ``counts`` is the fingerprint of the per-machine operation counts
+    this machine applied.  It is only set on *speculative* acks (the
+    ``speculative_apply`` optimization, where a slave assembles counts
+    from FlushDones itself instead of waiting for BeginApply); the
+    master validates it against the authoritative counts and evicts a
+    speculator that applied the wrong round composition."""
 
     round_id: int
     machine_id: str
+    counts: tuple[tuple[str, int], ...] | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ResendOpsRequest:
     """A machine missing operations asks their origins to resend.
 
@@ -111,7 +126,7 @@ class ResendOpsRequest:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SyncComplete:
     """Master → all: the round is over."""
 
@@ -123,7 +138,7 @@ class SyncComplete:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Hello:
     """A machine entering the system announces itself.
 
@@ -148,7 +163,7 @@ class Hello:
     recovered_tail: tuple | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Welcome:
     """Master → new machine: the snapshot needed to initialize.
 
@@ -177,14 +192,14 @@ class Welcome:
     op_floor: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WelcomeAck:
     """New machine → master: initialized; include me from the next round."""
 
     machine_id: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Goodbye:
     """A machine leaving the system (graceful)."""
 
@@ -196,7 +211,7 @@ class Goodbye:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ParticipantRemoved:
     """Master → all: ``machine_id`` is out of round ``round_id``.
 
@@ -210,7 +225,7 @@ class ParticipantRemoved:
     drop_ops: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Restart:
     """Master → one machine: shut down and re-enter the system."""
 
@@ -222,7 +237,7 @@ class Restart:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpMessage:
     """One operation in flight: the paper's (machineID, opnumber, op) triple.
 
@@ -236,7 +251,7 @@ class OpMessage:
     payload: dict = field(hash=False)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpBatch:
     """A size-capped frame of flushed operations from one machine.
 

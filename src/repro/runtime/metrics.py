@@ -18,7 +18,7 @@ from repro.core.operations import OpKey
 from repro.storage.wal import StorageStats
 
 
-@dataclass
+@dataclass(slots=True)
 class SyncRecord:
     """Master-side record of one synchronization round."""
 
@@ -44,9 +44,16 @@ class SyncRecord:
         return self.resends > 0 or self.removals > 0
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeMetrics:
-    """Per-machine counters."""
+    """Per-machine counters.
+
+    ``__slots__``: these counters are bumped per message / per op in
+    the synchronizer's hot loop, so attribute access is slot-indexed
+    rather than a ``__dict__`` probe, and the synchronizer holds a
+    direct reference to this object instead of going through the
+    ``SystemMetrics.node()`` dict lookup on every increment.
+    """
 
     machine_id: str
     ops_issued: int = 0
@@ -82,6 +89,17 @@ class NodeMetrics:
     #: per-round decode memo, vs. decodes actually performed
     decode_cache_hits: int = 0
     decode_cache_misses: int = 0
+    #: pending ops coalesced away by flush compaction
+    #: (``SyncConfig.compact_flush``): superseded by a later absorbing
+    #: write to the same slot, so they never rode a round
+    ops_compacted: int = 0
+    #: rounds whose StartSync rode the idle gap
+    #: (``SyncConfig.scheduled_rounds``); master-side counter
+    rounds_preannounced: int = 0
+    #: blocks committed by the streaming apply *before* the master's
+    #: BeginApply pinned the authoritative counts
+    #: (``SyncConfig.speculative_apply``)
+    blocks_streamed: int = 0
 
     def record_execution(self, key: OpKey) -> None:
         self.executions[key] = self.executions.get(key, 0) + 1
@@ -196,3 +214,6 @@ class SystemMetrics:
 
     def total_decode_cache_misses(self) -> int:
         return sum(m.decode_cache_misses for m in self.node_metrics.values())
+
+    def total_ops_compacted(self) -> int:
+        return sum(m.ops_compacted for m in self.node_metrics.values())

@@ -21,6 +21,7 @@ from repro.net.interface import BroadcastChannel, Envelope
 from repro.runtime import messages as msg
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.metrics import NodeMetrics, SystemMetrics
+from repro.runtime.profiling import NULL_PROFILER, PhaseProfiler
 from repro.runtime.synchronizer import MasterControl, Synchronizer
 from repro.runtime.tracing import Tracer
 from repro.sim.scheduler import Scheduler
@@ -50,6 +51,13 @@ class GuesstimateNode(Host):
         self.meshes = meshes
         self.config = config
         self.metrics_system = metrics_system
+        #: this node's counters, resolved once — the synchronizer bumps
+        #: them per message, so the per-access ``node()`` dict lookup
+        #: the old property did is off the hot path now
+        self.metrics: NodeMetrics = metrics_system.node(machine_id)
+        #: wall-clock phase profiler; NULL_PROFILER (disabled) unless a
+        #: harness attaches a live one (DistributedSystem.attach_profiler)
+        self.profiler: PhaseProfiler = NULL_PROFILER
         self.tracer = tracer if tracer is not None else Tracer(enabled=config.tracing)
 
         self.model = MachineModel(machine_id)
@@ -91,10 +99,6 @@ class GuesstimateNode(Host):
     @property
     def is_master(self) -> bool:
         return self.master is not None
-
-    @property
-    def metrics(self) -> NodeMetrics:
-        return self.metrics_system.node(self.machine_id)
 
     def trace(self, kind: str, **detail) -> None:
         self.tracer.emit(self.scheduler.now(), self.machine_id, kind, **detail)
@@ -167,7 +171,7 @@ class GuesstimateNode(Host):
         if self.meshes.signals.is_member(self.machine_id):
             self.meshes.leave(self.machine_id)
         if self.master is not None:
-            self.master.stop()
+            self.master.stop(hard=True)
         self.storage.close()
         self.state = GuesstimateNode.STATE_STOPPED
         self.trace(Tracer.MEMBERSHIP, state="halted")
@@ -234,11 +238,21 @@ class GuesstimateNode(Host):
         """
         self.metrics.restarts += 1
         self.trace(Tracer.RECOVERY, action="restart")
+        # A suspect WAL (speculatively streamed blocks of a round the
+        # cluster committed differently) must not be announced as a
+        # recovered prefix: rejoin through the full-snapshot Welcome,
+        # which rebases the store.
+        wal_suspect = self.synchronizer.wal_suspect
+        self.synchronizer.wal_suspect = False
         self.synchronizer.reset()
         # Operation numbering must survive the restart: reusing keys
         # would collide with this machine's already-committed history.
         op_counter = self.model._op_counter
-        recovered = self.storage.recover()
+        if wal_suspect:
+            self.trace(Tracer.STORAGE, action="suspect_wal_discarded")
+            recovered = None
+        else:
+            recovered = self.storage.recover()
         if recovered is not None:
             self.model = self._rebuild_from_storage(recovered)
             self.completed_offset = recovered.base_offset
@@ -648,7 +662,13 @@ class GuesstimateNode(Host):
     # -- introspection -------------------------------------------------------------------
 
     def quiesced(self) -> bool:
-        """True when nothing is pending locally or in flight."""
+        """True when nothing is pending locally or in flight.
+
+        Rounds the cluster still has in flight are accounted for by
+        :func:`repro.runtime.system.cluster_quiesced` against the
+        master's round table — a per-node check cannot tell a live
+        round from one whose SyncComplete was lost to a fault.
+        """
         return (
             not self.model.pending
             and not self.synchronizer.in_flight

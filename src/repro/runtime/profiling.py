@@ -1,0 +1,94 @@
+"""Phase-attributed wall-clock profiler for the commit round.
+
+Every synchronization round spends its *wall* time (as opposed to the
+simulator's virtual time) in four places:
+
+* ``encode`` — serializing operations and protocol messages to the
+  wire format (codec + framing);
+* ``transport`` — pushing payloads through the broadcast channel
+  (per-peer scheduling on the sim mesh, frame writes on sockets);
+* ``apply`` — decoding and executing the consolidated operation list
+  against the committed store;
+* ``refresh`` — rebuilding the guesstimated state after apply (delta
+  copy + pending replay + completions).
+
+:class:`PhaseProfiler` attributes time to those phases with
+``perf_counter`` spans.  The hooks in the synchronizer, node and mesh
+are guarded by a single ``profiler.enabled`` flag test, and every node
+defaults to the shared :data:`NULL_PROFILER` (disabled), so the
+instrumentation costs one attribute load + branch per hook when off.
+
+``roundprof`` (:mod:`repro.evalkit.experiments.roundprof`) attaches a
+live profiler via :meth:`DistributedSystem.attach_profiler
+<repro.runtime.system.DistributedSystem.attach_profiler>`, drives a
+workload, and writes the per-phase breakdown to ``BENCH_phases.json``;
+``docs/PROFILING.md`` explains how to read it.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+#: The round phases, in pipeline order.
+PHASES = ("encode", "transport", "apply", "refresh")
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock seconds and call counts per phase.
+
+    Usage on a hot path (two lines, zero cost when disabled)::
+
+        if profiler.enabled:
+            _t0 = profiler.begin()
+        ...work...
+        if profiler.enabled:
+            profiler.end("encode", _t0)
+    """
+
+    __slots__ = ("enabled", "seconds", "calls")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.seconds: dict[str, float] = dict.fromkeys(PHASES, 0.0)
+        self.calls: dict[str, int] = dict.fromkeys(PHASES, 0)
+
+    def begin(self) -> float:
+        """Start a span; pass the returned stamp to :meth:`end`."""
+        return perf_counter()
+
+    def end(self, phase: str, started: float) -> None:
+        """Close a span and charge it to ``phase``."""
+        self.seconds[phase] += perf_counter() - started
+        self.calls[phase] += 1
+
+    def add(self, phase: str, seconds: float, calls: int = 1) -> None:
+        """Charge pre-measured time (merging a sub-profile)."""
+        self.seconds[phase] += seconds
+        self.calls[phase] += calls
+
+    def reset(self) -> None:
+        for phase in PHASES:
+            self.seconds[phase] = 0.0
+            self.calls[phase] = 0
+
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Plain-dict view: phase -> {seconds, calls, mean_us}."""
+        out: dict[str, dict[str, float]] = {}
+        for phase in PHASES:
+            calls = self.calls[phase]
+            seconds = self.seconds[phase]
+            out[phase] = {
+                "seconds": seconds,
+                "calls": calls,
+                "mean_us": (seconds / calls * 1e6) if calls else 0.0,
+            }
+        return out
+
+
+#: Shared disabled profiler: the default for every node, so hot-path
+#: hooks reduce to one flag test.  Never enable this instance — attach
+#: a fresh PhaseProfiler instead.
+NULL_PROFILER = PhaseProfiler(enabled=False)

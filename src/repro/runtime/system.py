@@ -16,6 +16,7 @@ from repro.net.mesh import MeshPair
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.metrics import SystemMetrics
 from repro.runtime.node import GuesstimateNode
+from repro.runtime.profiling import NULL_PROFILER, PhaseProfiler
 from repro.runtime.tracing import Tracer
 from repro.sim.eventloop import EventLoop
 from repro.sim.rand import SeededSource
@@ -37,16 +38,28 @@ def cluster_quiesced(master_node: GuesstimateNode, nodes) -> bool:
     Empty in-flight rounds do not count as work: with pipelining the
     master can cycle op-less control rounds back to back without the
     pipeline ever going idle, yet every issued operation has long
-    since committed everywhere.  A round carrying operations (its
-    collected counts are nonzero) still blocks quiescence; rounds
-    whose ops are mid-flush are caught by the per-node checks below.
+    since committed everywhere.  A round carrying operations blocks
+    quiescence whatever its stage — under speculative apply a slave
+    pops its in-flight entries the moment it *locally* stream-commits
+    its block, which can be while the master is still collecting, so
+    neither per-node bookkeeping nor the published counts alone can be
+    trusted: we also look for op payloads any live node has received
+    for a round the master still tracks.
     """
     master = master_node.master
     if master is None:  # pragma: no cover
         return False
-    for round_ in master.inflight.values():
-        if round_.stage != "flush" and sum(round_.counts.values()) > 0:
+    for round_id, round_ in master.inflight.items():
+        if sum(round_.counts.values()) > 0:
             return False
+        for node in nodes:
+            if node.state != GuesstimateNode.STATE_ACTIVE:
+                continue
+            state = node.synchronizer.rounds.get(round_id)
+            if state is not None and (
+                state.received or any(state.stream_done.values())
+            ):
+                return False
     if master.join_queue or master.awaiting_ack:
         return False
     if any(node.state == GuesstimateNode.STATE_JOINING for node in nodes):
@@ -152,6 +165,10 @@ class DistributedSystem:
             rng=self.seeds.stream("net"),
         )
 
+        #: wall-clock phase profiler shared by every node; stays the
+        #: disabled NULL_PROFILER unless attach_profiler() swaps it
+        self.profiler = NULL_PROFILER
+
         self.nodes: dict[str, GuesstimateNode] = {}
         for index in range(n_machines):
             self._build_node(is_master=(index == 0), founding=True)
@@ -174,6 +191,7 @@ class DistributedSystem:
             is_master=is_master,
         )
         self.nodes[machine_id] = node
+        node.profiler = self.profiler
         node.start(founding=founding)
         if founding and not is_master:
             # Founding members are participants from round one; late
@@ -184,6 +202,18 @@ class DistributedSystem:
     def start(self, first_sync_delay: float | None = None) -> None:
         """Begin periodic synchronization (master schedules round 1)."""
         self.master_node.master.start(first_sync_delay)  # type: ignore[union-attr]
+
+    def attach_profiler(self, profiler: PhaseProfiler) -> PhaseProfiler:
+        """Attribute every node's hot-path wall time to ``profiler``.
+
+        Applies to current nodes and any machine added later; returns
+        the profiler for chaining.  The ``roundprof`` experiment is the
+        canonical caller.
+        """
+        self.profiler = profiler
+        for node in self.nodes.values():
+            node.profiler = profiler
+        return profiler
 
     def add_machine(self) -> GuesstimateNode:
         """A new machine enters the running system (Hello/Welcome path)."""

@@ -94,6 +94,9 @@ def build_config(spec: ScenarioSpec) -> RuntimeConfig:
             collection=spec.collection,
             batch_max_ops=spec.batch_max_ops,
             pipeline_depth=spec.pipeline_depth,
+            scheduled_rounds=spec.scheduled_rounds,
+            speculative_apply=spec.speculative_apply,
+            compact_flush=spec.compact_flush,
         ),
         durability="memory",
         snapshot_interval=spec.snapshot_interval,

@@ -30,6 +30,12 @@ from repro.runtime import messages as msg
 #: type name -> (class, {field name: reviver})
 _WIRE_REGISTRY: dict[str, tuple[type, dict[str, Callable[[Any], Any]]]] = {}
 
+#: type name -> tuple of field names, resolved once per class — the
+#: hot encode path runs per message per peer, so the per-call
+#: ``dataclasses.fields`` walk (descriptor lookups + tuple build) is
+#: measurable; see docs/PROFILING.md.
+_FIELD_CACHE: dict[str, tuple[str, ...]] = {}
+
 
 def register_wire_type(
     cls: Type | None = None, **revivers: Callable[[Any], Any]
@@ -79,7 +85,11 @@ def encode_wire(obj: Any) -> dict[str, Any]:
         raise SerializationError(
             f"{name!r} is not a registered wire type; call register_wire_type"
         )
-    data = {f.name: getattr(obj, f.name) for f in fields(obj)}
+    names = _FIELD_CACHE.get(name)
+    if names is None:
+        names = tuple(f.name for f in fields(entry[0]))
+        _FIELD_CACHE[name] = names
+    data = {field_name: getattr(obj, field_name) for field_name in names}
     return {"t": name, "d": data}
 
 
@@ -87,16 +97,23 @@ def decode_wire(payload: dict[str, Any]) -> Any:
     """Decode the output of :func:`encode_wire` back to an instance."""
     try:
         name = payload["t"]
-        data = dict(payload["d"])
+        data = payload["d"]
     except (TypeError, KeyError):
         raise SerializationError(f"malformed wire payload: {payload!r}") from None
+    if not isinstance(data, dict):
+        raise SerializationError(f"malformed wire payload: {payload!r}")
     entry = _WIRE_REGISTRY.get(name)
     if entry is None:
         raise SerializationError(f"unknown wire type {name!r}")
     cls, revivers = entry
-    for field_name, revive in revivers.items():
-        if field_name in data:
-            data[field_name] = revive(data[field_name])
+    if revivers:
+        # Only classes with revivers need the defensive copy; for the
+        # rest the payload dict is consumed as-is (it is always fresh
+        # from json.loads on the decode path).
+        data = dict(data)
+        for field_name, revive in revivers.items():
+            if field_name in data:
+                data[field_name] = revive(data[field_name])
     try:
         return cls(**data)
     except TypeError as exc:
@@ -150,13 +167,18 @@ def _optional_pair(value: list | None) -> tuple | None:
     return None if value is None else tuple(value)
 
 
+def _optional_pairs(value: list | None) -> tuple[tuple, ...] | None:
+    """ApplyAck.counts: a speculative ack's fingerprint (or None)."""
+    return None if value is None else tuple(tuple(item) for item in value)
+
+
 register_wire_type(msg.StartSync, order=_tuple_of_strings)
 register_wire_type(msg.YourTurn, order=_tuple_of_strings)
 register_wire_type(msg.FlushDone)
 register_wire_type(
     msg.BeginApply, order=_tuple_of_strings, counts=_tuple_of_pairs
 )
-register_wire_type(msg.ApplyAck)
+register_wire_type(msg.ApplyAck, counts=_optional_pairs)
 register_wire_type(msg.ResendOpsRequest, have=_tuple_of_pairs)
 register_wire_type(msg.SyncComplete)
 register_wire_type(msg.Hello, recovered_tail=_optional_pair)

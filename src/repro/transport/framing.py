@@ -40,7 +40,7 @@ PREFIX_BYTES = _PREFIX.size
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WireFrame:
     """One transport message: routing envelope plus decoded payload."""
 
@@ -72,6 +72,60 @@ def encode_frame(frame: WireFrame) -> bytes:
             f"frame payload of type {type(frame.payload).__name__} is not "
             f"JSON-encodable: {exc}"
         ) from None
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame body of {len(body)} bytes exceeds MAX_FRAME_BYTES"
+        )
+    return _PREFIX.pack(len(body)) + body
+
+
+def encode_payload(payload: Any) -> str:
+    """Serialize just the ``p`` member of a frame body.
+
+    Broadcasts fan one payload out to many peers; encoding it per peer
+    redoes the expensive part (the codec walk + JSON render) N times
+    for identical bytes.  Encode once with this, then stamp the cheap
+    per-peer envelope around it with
+    :func:`encode_frame_with_payload`.
+    """
+    try:
+        return json.dumps(
+            encode_wire(payload), sort_keys=True, separators=(",", ":")
+        )
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"frame payload of type {type(payload).__name__} is not "
+            f"JSON-encodable: {exc}"
+        ) from None
+
+
+def encode_frame_with_payload(
+    channel: str,
+    sender: str,
+    recipient: str,
+    seq: int,
+    sent_at: float,
+    payload_json: str,
+) -> bytes:
+    """Assemble a frame around a pre-encoded payload string.
+
+    Byte-identical to :func:`encode_frame` for the same inputs — the
+    envelope keys are emitted in the sorted order (``c,p,q,r,s,t``)
+    ``json.dumps(sort_keys=True)`` would produce, with each scalar
+    rendered by ``json.dumps`` itself.  The framing Hypothesis property
+    pins the equivalence.
+    """
+    body = (
+        '{"c":%s,"p":%s,"q":%d,"r":%s,"s":%s,"t":%s}'
+        % (
+            json.dumps(channel),
+            payload_json,
+            seq,
+            json.dumps(recipient),
+            json.dumps(sender),
+            json.dumps(sent_at),
+        )
+    ).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
         raise FrameError(
             f"frame body of {len(body)} bytes exceeds MAX_FRAME_BYTES"

@@ -39,7 +39,13 @@ from repro.net.interface import (
     MeshStats,
 )
 from repro.sim.rand import seeded_stream
-from repro.transport.framing import FrameDecoder, WireFrame, encode_frame
+from repro.transport.framing import (
+    FrameDecoder,
+    WireFrame,
+    encode_frame,
+    encode_frame_with_payload,
+    encode_payload,
+)
 from repro.transport.scheduler import AsyncioScheduler
 
 
@@ -268,6 +274,34 @@ class NodeTransport:
         self.stats.frames_sent += 1
         return True
 
+    def ship_encoded(
+        self,
+        peer_id: str,
+        channel: str,
+        sender: str,
+        sent_at: float,
+        payload_json: str,
+    ) -> bool:
+        """:meth:`ship` for a payload already rendered by
+        :func:`~repro.transport.framing.encode_payload`.
+
+        Broadcast fan-out serializes the payload once and calls this
+        per peer — only the cheap envelope (recipient + per-link
+        sequence number) is built here.
+        """
+        key = (peer_id, channel)
+        seq = self._send_seq.get(key, 0) + 1
+        self._send_seq[key] = seq
+        data = encode_frame_with_payload(
+            channel, sender, peer_id, seq, sent_at, payload_json
+        )
+        link = self.links.get(peer_id)
+        if link is None or not link.send(data):
+            self.stats.send_failures += 1
+            return False
+        self.stats.frames_sent += 1
+        return True
+
     # -- receiving -----------------------------------------------------------
 
     async def _serve_conn(
@@ -364,10 +398,13 @@ class NetworkMesh(BroadcastChannel):
         if self.faults.is_crashed(now, sender):
             return 0
         scheduled = 0
-        for peer_id in list(self.transport.peers):
-            if peer_id == sender:
-                continue
-            self._ship(sender, peer_id, payload, now)
+        remote = [p for p in self.transport.peers if p != sender]
+        # Encode-once fan-out: the payload bytes are identical for every
+        # peer, so serialize them a single time and stamp only the
+        # per-peer envelope in the loop.
+        payload_json = encode_payload(payload) if remote else None
+        for peer_id in remote:
+            self._ship(sender, peer_id, payload, now, payload_json)
             scheduled += 1
         for local_id in list(self._local):
             if local_id == sender or local_id in self.transport.peers:
@@ -413,10 +450,23 @@ class NetworkMesh(BroadcastChannel):
             return True
         return False
 
-    def _ship(self, sender: str, recipient: str, payload: object, now: float) -> None:
+    def _ship(
+        self,
+        sender: str,
+        recipient: str,
+        payload: object,
+        now: float,
+        payload_json: str | None = None,
+    ) -> None:
         if self._drop_check(sender, recipient, payload, now):
             return
-        if not self.transport.ship(recipient, self.name, sender, payload, now):
+        if payload_json is not None:
+            shipped = self.transport.ship_encoded(
+                recipient, self.name, sender, now, payload_json
+            )
+        else:
+            shipped = self.transport.ship(recipient, self.name, sender, payload, now)
+        if not shipped:
             # Link down: the frame is lost exactly like a dropped
             # message; the protocol's timeouts recover.
             self.stats.dropped += 1

@@ -34,6 +34,7 @@ class TestCli:
             "appsizes",
             "scaling",
             "syncscale",
+            "roundprof",
             "durability",
             "refresh",
             "zoo",

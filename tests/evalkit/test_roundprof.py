@@ -1,0 +1,162 @@
+"""The phase profiler, the roundprof experiment, and the CI phase gate."""
+
+import json
+
+from repro.evalkit import phasegate
+from repro.evalkit.experiments import roundprof
+from repro.runtime.config import RuntimeConfig, SyncConfig
+from repro.runtime.profiling import NULL_PROFILER, PHASES, PhaseProfiler
+from repro.runtime.system import DistributedSystem
+from tests.helpers import quick_system, shared_counter
+
+
+class TestPhaseProfiler:
+    def test_null_profiler_is_disabled(self):
+        assert NULL_PROFILER.enabled is False
+        assert NULL_PROFILER.total_seconds() == 0.0
+
+    def test_spans_accumulate_per_phase(self):
+        profiler = PhaseProfiler()
+        stamp = profiler.begin()
+        profiler.end("encode", stamp)
+        profiler.end("encode", profiler.begin())
+        profiler.end("apply", profiler.begin())
+        assert profiler.calls["encode"] == 2
+        assert profiler.calls["apply"] == 1
+        assert profiler.calls["transport"] == 0
+        assert profiler.seconds["encode"] > 0.0
+        assert profiler.total_seconds() >= profiler.seconds["encode"]
+
+    def test_add_merges_premeasured_time(self):
+        profiler = PhaseProfiler()
+        profiler.add("refresh", 0.25, calls=5)
+        snapshot = profiler.snapshot()
+        assert snapshot["refresh"]["seconds"] == 0.25
+        assert snapshot["refresh"]["calls"] == 5
+        assert snapshot["refresh"]["mean_us"] == 0.25 / 5 * 1e6
+
+    def test_reset_zeroes_everything(self):
+        profiler = PhaseProfiler()
+        profiler.add("encode", 1.0)
+        profiler.reset()
+        assert profiler.total_seconds() == 0.0
+        assert all(profiler.calls[phase] == 0 for phase in PHASES)
+
+    def test_attached_profiler_sees_every_phase(self):
+        """End to end: a profiled run attributes time to all 4 phases."""
+        system = quick_system(
+            n=3, seed=1, sync=SyncConfig(collection="concurrent")
+        )
+        profiler = system.attach_profiler(PhaseProfiler())
+        replicas, uid = shared_counter(system)
+        for api in system.apis():
+            api.invoke(uid, "increment", 100)
+        system.run_until_quiesced()
+        for phase in PHASES:
+            assert profiler.calls[phase] > 0, f"no {phase} spans recorded"
+
+    def test_nodes_default_to_the_null_profiler(self):
+        system = quick_system(n=2, seed=2)
+        assert all(
+            node.profiler is NULL_PROFILER for node in system.nodes.values()
+        )
+
+
+class TestRoundprofExperiment:
+    def test_tiny_run_produces_a_complete_profile(self, tmp_path):
+        result = roundprof.run(
+            machines=3, duration=6.0, seed=13, micro_repeats=20
+        )
+        assert result.rounds > 0
+        assert result.ops_committed > 0
+        for phase in PHASES:
+            assert result.phases[phase]["calls"] > 0
+        shares = sum(result.share(phase) for phase in PHASES)
+        assert abs(shares - 1.0) < 1e-6
+        assert result.micro["fanout_speedup"] > 0.0
+
+        path = roundprof.write_bench_json(
+            result, path=str(tmp_path / "BENCH_phases.json")
+        )
+        bench = json.loads(open(path, encoding="utf-8").read())
+        assert bench["benchmark"] == "roundprof"
+        assert set(bench["phases"]) == set(PHASES)
+        assert "fanout_speedup" in bench["micro"]
+
+
+def _bench(mean_us=5.0, micro_us=2.0, speedup=4.0):
+    return {
+        "phases": {
+            phase: {"seconds": 0.1, "calls": 100, "mean_us": mean_us}
+            for phase in PHASES
+        },
+        "micro": {
+            "encode_wire_us": micro_us,
+            "fanout_speedup": speedup,
+        },
+    }
+
+
+def _budgets(phase_ceiling=50.0, micro_ceiling=20.0, min_speedup=1.5):
+    return {
+        "phase_mean_us": {phase: phase_ceiling for phase in PHASES},
+        "micro_us": {"encode_wire_us": micro_ceiling},
+        "min_fanout_speedup": min_speedup,
+    }
+
+
+class TestPhaseGate:
+    def test_within_budget_passes(self):
+        assert phasegate.check(_bench(), _budgets()) == []
+
+    def test_phase_breach_is_reported(self):
+        violations = phasegate.check(_bench(mean_us=500.0), _budgets())
+        assert len(violations) == len(PHASES)
+        assert all("exceeds" in v for v in violations)
+
+    def test_missing_phase_is_a_violation(self):
+        bench = _bench()
+        del bench["phases"]["apply"]
+        violations = phasegate.check(bench, _budgets())
+        assert any("apply" in v and "no samples" in v for v in violations)
+
+    def test_micro_breach_and_missing_are_reported(self):
+        violations = phasegate.check(_bench(micro_us=100.0), _budgets())
+        assert any("encode_wire_us" in v for v in violations)
+        bench = _bench()
+        del bench["micro"]["encode_wire_us"]
+        violations = phasegate.check(bench, _budgets())
+        assert any("missing" in v for v in violations)
+
+    def test_fanout_regression_is_caught(self):
+        violations = phasegate.check(_bench(speedup=1.01), _budgets())
+        assert any("encode-once speedup" in v for v in violations)
+
+    def test_cli_gates_on_files(self, tmp_path, capsys):
+        bench_path = tmp_path / "bench.json"
+        budget_path = tmp_path / "budgets.json"
+        bench_path.write_text(json.dumps(_bench()))
+        budget_path.write_text(json.dumps(_budgets()))
+        assert phasegate.main(
+            ["--bench", str(bench_path), "--budgets", str(budget_path)]
+        ) == 0
+        bench_path.write_text(json.dumps(_bench(mean_us=999.0)))
+        assert phasegate.main(
+            ["--bench", str(bench_path), "--budgets", str(budget_path)]
+        ) == 1
+        assert "budget violation" in capsys.readouterr().out
+
+    def test_committed_budgets_cover_the_published_profile_schema(self):
+        """The repo's phase-budgets.json names only real phases/micros."""
+        with open("phase-budgets.json", encoding="utf-8") as handle:
+            budgets = json.load(handle)
+        assert set(budgets["phase_mean_us"]) == set(PHASES)
+        result_micros = {
+            "encode_wire_us",
+            "decode_wire_us",
+            "encode_frame_us",
+            "fanout_naive_us",
+            "fanout_encode_once_us",
+        }
+        assert set(budgets["micro_us"]) <= result_micros
+        assert budgets["min_fanout_speedup"] >= 1.0

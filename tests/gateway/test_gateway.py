@@ -114,3 +114,46 @@ class TestWebSocket:
                     break
         finally:
             ws.close()
+
+
+class TestBroadcastFanout:
+    """WS event fan-out encodes once and enqueues the same bytes."""
+
+    def test_broadcast_event_encodes_once(self, monkeypatch):
+        from repro.gateway import server as server_mod
+
+        gateway = object.__new__(server_mod.GatewayServer)
+        gateway.subscribers = [
+            server_mod._Subscriber(writer=None) for _ in range(4)
+        ]
+        encodes = []
+        real = server_mod._encode_ws_event
+
+        def counting(event):
+            encodes.append(event)
+            return real(event)
+
+        monkeypatch.setattr(server_mod, "_encode_ws_event", counting)
+        server_mod.GatewayServer._broadcast_event(
+            gateway, {"event": "commit", "round": 7}
+        )
+        assert len(encodes) == 1
+        queued = [sub.queue.get_nowait() for sub in gateway.subscribers]
+        assert all(isinstance(data, bytes) for data in queued)
+        # One shared bytes object: the per-subscriber work is a queue
+        # push, not a re-encode.
+        assert len({id(data) for data in queued}) == 1
+
+    def test_broadcast_event_skips_encoding_with_no_subscribers(
+        self, monkeypatch
+    ):
+        from repro.gateway import server as server_mod
+
+        gateway = object.__new__(server_mod.GatewayServer)
+        gateway.subscribers = []
+        monkeypatch.setattr(
+            server_mod,
+            "_encode_ws_event",
+            lambda event: pytest.fail("encoded an event nobody will read"),
+        )
+        server_mod.GatewayServer._broadcast_event(gateway, {"event": "x"})

@@ -1,0 +1,214 @@
+"""Runtime behavior of the hot-path round levers.
+
+``SyncConfig.scheduled_rounds``, ``speculative_apply`` and
+``compact_flush`` each shave latency off the commit round; these tests
+pin (a) that each lever actually engages (via its metrics counter),
+(b) that semantics are unchanged — converged committed state, probe
+agreement — and (c) the protocol hazards the simulation fuzzer found
+while the levers were being built, as named regressions:
+
+* a node crashed before a scheduled round's agreed flush instant must
+  not flush from its (still armed) local timer;
+* streamed blocks are WAL-logged the instant they commit, so durable
+  state replays to the live committed state at *any* probe instant,
+  not just at round boundaries;
+* a Hello/WelcomeAck arriving while a pre-announced round is pending
+  must wait — the announced order is frozen, and a joiner welcomed
+  into the gap would permanently miss that round's commits.
+"""
+
+from repro.apps.listdoc import SharedDoc
+from repro.net.faults import CrashPlan, ScheduledFaults
+from repro.runtime.config import SyncConfig
+from repro.simtest.probes import checkpoint_probe, storage_probe
+from tests.helpers import quick_system, shared_counter
+
+
+def _lever_system(n=3, seed=0, faults=None, **kwargs):
+    sync_kwargs = {"collection": "concurrent"}
+    for key in ("scheduled_rounds", "speculative_apply", "compact_flush"):
+        if key in kwargs:
+            sync_kwargs[key] = kwargs.pop(key)
+    return quick_system(
+        n=n, seed=seed, faults=faults, sync=SyncConfig(**sync_kwargs), **kwargs
+    )
+
+
+def _increment_everywhere(system, uid, times=2, limit=100):
+    for api in system.apis():
+        for _ in range(times):
+            api.invoke(uid, "increment", limit)
+
+
+def _committed_values(system, uid):
+    return {
+        machine_id: node.model.committed.get(uid).value
+        for machine_id, node in system.nodes.items()
+    }
+
+
+class TestScheduledRounds:
+    def test_rounds_are_preannounced_and_converge(self):
+        system = _lever_system(n=4, seed=7, scheduled_rounds=True)
+        replicas, uid = shared_counter(system)
+        _increment_everywhere(system, uid)
+        system.run_until_quiesced()
+        values = _committed_values(system, uid)
+        assert set(values.values()) == {8}
+        master = system.master_node
+        assert master.metrics.rounds_preannounced > 0
+        system.check_all_invariants()
+
+    def test_crash_before_scheduled_instant_is_harmless(self):
+        """Regression (fuzz seed 3): the announced flush timer stays
+        armed on a machine that crashes before the agreed instant; the
+        timer must notice the node is gone instead of flushing."""
+        faults = ScheduledFaults(
+            crashes=[CrashPlan("m03", start=0.9, end=8.0)]
+        )
+        system = _lever_system(
+            n=3, seed=3, faults=faults, scheduled_rounds=True,
+            stall_timeout=2.0,
+        )
+        replicas, uid = shared_counter(system)
+        _increment_everywhere(system, uid)
+        system.run_for(25.0)  # raises NodeCrashedError on the old bug
+        system.run_until_quiesced()
+        assert system.metrics.node("m03").restarts >= 1
+        assert checkpoint_probe(system) == []
+        system.check_all_invariants()
+
+    def test_join_during_announced_gap_waits_for_the_round(self):
+        """Regression (fuzz seed 20): the announced order is frozen, so
+        membership must treat a pending announcement as an in-flight
+        round — a Welcome served inside the gap would predate the
+        announced round's commits and leave a permanent prefix hole."""
+        system = _lever_system(n=2, seed=20, scheduled_rounds=True)
+        replicas, uid = shared_counter(system)
+        _increment_everywhere(system, uid)
+        system.run_for(1.0)
+        system.add_machine()  # Hello lands in/around an announced gap
+        system.run_for(3.0)  # welcome completes between rounds
+        system.apis()[2].join_instance(uid)
+        _increment_everywhere(system, uid)
+        system.run_until_quiesced()
+        assert len(system.nodes) == 3
+        assert all(
+            node.state == node.STATE_ACTIVE for node in system.nodes.values()
+        )
+        assert len(set(_committed_values(system, uid).values())) == 1
+        assert checkpoint_probe(system) == []
+        system.check_all_invariants()
+
+
+class TestSpeculativeApply:
+    def test_blocks_stream_ahead_of_begin_apply(self):
+        system = _lever_system(n=4, seed=11, speculative_apply=True)
+        replicas, uid = shared_counter(system)
+        _increment_everywhere(system, uid)
+        system.run_until_quiesced()
+        values = _committed_values(system, uid)
+        assert set(values.values()) == {8}
+        streamed = sum(
+            node.metrics.blocks_streamed for node in system.nodes.values()
+        )
+        assert streamed > 0
+        system.check_all_invariants()
+
+    def test_streamed_blocks_hit_the_wal_as_they_commit(self):
+        """Regression (fuzz seeds 11/15/23/27/28): with streaming apply
+        spreading commits across the round, durable state must replay
+        to the live committed state at *every* instant — each block is
+        logged pre-ack, not at round finalization."""
+        system = _lever_system(
+            n=4, seed=15, speculative_apply=True, durability="memory"
+        )
+        replicas, uid = shared_counter(system)
+        for _ in range(6):
+            _increment_everywhere(system, uid, times=1)
+            system.run_for(0.7)  # probe mid-stream, not at quiescence
+            assert storage_probe(system) == []
+        system.run_until_quiesced()
+        assert storage_probe(system) == []
+        assert checkpoint_probe(system) == []
+        system.check_all_invariants()
+
+    def test_speculation_survives_a_crash(self):
+        faults = ScheduledFaults(
+            crashes=[CrashPlan("m02", start=1.2, end=9.0)]
+        )
+        system = _lever_system(
+            n=3, seed=23, faults=faults, speculative_apply=True,
+            durability="memory", stall_timeout=2.0,
+        )
+        replicas, uid = shared_counter(system)
+        _increment_everywhere(system, uid)
+        system.run_for(25.0)
+        system.run_until_quiesced()
+        assert system.metrics.node("m02").restarts >= 1
+        assert storage_probe(system) == []
+        assert checkpoint_probe(system) == []
+        system.check_all_invariants()
+
+
+class TestFlushCompaction:
+    def _doc_pair(self, compact, seed=5):
+        system = _lever_system(n=2, seed=seed, compact_flush=compact)
+        apis = system.apis()
+        doc = apis[0].create_instance(SharedDoc)
+        system.run_until_quiesced()
+        apis[1].join_instance(doc.unique_id)
+        apis[0].invoke(doc.unique_id, "append_line", "alice", "v0")
+        system.run_until_quiesced()
+        return system, doc.unique_id
+
+    def test_superseded_replaces_never_ride_the_wire(self):
+        system, uid = self._doc_pair(compact=True)
+        api = system.apis()[0]
+        results = []
+        for i in range(5):
+            api.invoke(
+                uid, "replace_at", 0, "alice", f"v{i + 1}",
+                completion=results.append,
+            )
+        system.run_until_quiesced()
+        # Four of the five pending replaces were absorbed by the last
+        # one; their completions still fired, with its commit result.
+        assert system.metrics.total_ops_compacted() == 4
+        assert results == [True] * 5
+        for node in system.nodes.values():
+            assert node.model.committed.get(uid).lines == [["alice", "v5"]]
+        system.check_all_invariants()
+
+    def test_compacted_run_matches_uncompacted_state(self):
+        def final_lines(compact):
+            system, uid = self._doc_pair(compact=compact, seed=9)
+            apis = system.apis()
+            for i in range(4):
+                apis[0].invoke(uid, "replace_at", 0, "alice", f"a{i}")
+                apis[1].invoke(uid, "append_line", "bob", f"b{i}")
+            system.run_until_quiesced()
+            lines = {
+                tuple(tuple(line) for line in node.model.committed.get(uid).lines)
+                for node in system.nodes.values()
+            }
+            assert len(lines) == 1
+            system.check_all_invariants()
+            return lines.pop()
+
+        assert final_lines(compact=True) == final_lines(compact=False)
+
+
+class TestCombinedLevers:
+    def test_scheduled_plus_speculative_converge(self):
+        system = _lever_system(
+            n=4, seed=42, scheduled_rounds=True, speculative_apply=True
+        )
+        replicas, uid = shared_counter(system)
+        _increment_everywhere(system, uid, times=3)
+        system.run_until_quiesced()
+        assert set(_committed_values(system, uid).values()) == {12}
+        master = system.master_node
+        assert master.metrics.rounds_preannounced > 0
+        assert checkpoint_probe(system) == []
+        system.check_all_invariants()

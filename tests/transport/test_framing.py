@@ -23,6 +23,8 @@ from repro.transport.framing import (
     FrameDecoder,
     WireFrame,
     encode_frame,
+    encode_frame_with_payload,
+    encode_payload,
 )
 
 machine_ids = st.text(
@@ -145,3 +147,36 @@ class TestErrors:
         assert decoder.pending_bytes == PREFIX_BYTES + 3
         assert len(decoder.feed(stream[PREFIX_BYTES + 3 :])) == 1
         assert decoder.pending_bytes == 0
+
+
+class TestEncodeOncePath:
+    """The broadcast fan-out splits encoding into payload + envelope;
+    the split must be invisible on the wire."""
+
+    @given(frame=frames)
+    @settings(max_examples=100, deadline=None)
+    def test_split_encode_is_byte_identical(self, frame):
+        payload_json = encode_payload(frame.payload)
+        assembled = encode_frame_with_payload(
+            frame.channel,
+            frame.sender,
+            frame.recipient,
+            frame.seq,
+            frame.sent_at,
+            payload_json,
+        )
+        assert assembled == encode_frame(frame)
+        assert FrameDecoder().feed(assembled) == [frame]
+
+    def test_payload_encodes_once_per_broadcast(self):
+        payload_json = encode_payload(msg.Hello("m01"))
+        stamped = {
+            peer: encode_frame_with_payload(
+                "signals", "m01", peer, 9, 1.25, payload_json
+            )
+            for peer in ("m02", "m03", "m04")
+        }
+        for peer, data in stamped.items():
+            assert FrameDecoder().feed(data) == [
+                WireFrame("signals", "m01", peer, 9, 1.25, msg.Hello("m01"))
+            ]
