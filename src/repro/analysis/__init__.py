@@ -10,14 +10,32 @@ GL002    in-place mutations must be visible to dirty-tracking
 GL003    completions issue operations, never mutate shared state
 GL004    spec predicates fit the calling convention and are pure
 GL005    no global random state, no unseeded ``random.Random()``
+GL006    declared @modifies frames equal inferred write footprints
+GL007    @commutative markers certify against the interference matrix
+GL008    spec predicates read only state inside the frame
 =======  ==========================================================
+
+GL006–GL008 ride on the interprocedural effect engine
+(:mod:`repro.analysis.effects`), which also publishes the
+machine-readable effects manifest (:mod:`repro.analysis.manifest`)
+the commutativity-aware synchronizer will consume.
 
 Entry points: the ``glint`` console script, ``python -m repro.cli
 lint``, or :func:`analyze_paths` from code.  See ``docs/ANALYSIS.md``.
 """
 
+from repro.analysis.effects import EffectEngine, Footprint, effect_engine, pair_verdict
 from repro.analysis.engine import analyze_modules, analyze_paths
 from repro.analysis.loader import AnalysisUsageError, load_module, load_paths
+from repro.analysis.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    diff_manifests,
+    load_manifest,
+    manifest_from_json,
+    manifest_to_json,
+    write_manifest,
+)
 from repro.analysis.report import (
     REPORT_SCHEMA_VERSION,
     Baseline,
@@ -30,14 +48,25 @@ __all__ = [
     "ALL_RULES",
     "AnalysisUsageError",
     "Baseline",
+    "EffectEngine",
     "Finding",
+    "Footprint",
+    "MANIFEST_SCHEMA_VERSION",
     "REPORT_SCHEMA_VERSION",
     "Report",
     "Rule",
     "analyze_modules",
     "analyze_paths",
+    "build_manifest",
+    "diff_manifests",
+    "effect_engine",
+    "load_manifest",
     "load_module",
     "load_paths",
+    "manifest_from_json",
+    "manifest_to_json",
+    "pair_verdict",
     "rule_by_id",
     "rules_for",
+    "write_manifest",
 ]

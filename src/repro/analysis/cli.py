@@ -3,19 +3,35 @@
 Exit codes follow the usual linter convention:
 
 * ``0`` — clean (no findings after pragma/baseline suppression);
-* ``1`` — findings reported;
+* ``1`` — findings reported (or manifest drift in ``--check-manifest``);
 * ``2`` — usage error: bad paths, unparsable source, unknown rule ids,
   corrupt baseline.
+
+Two fast-path modes ride on the same loader:
+
+* ``--changed [REF]`` — lint only the ``*.py`` files changed since
+  ``REF`` (default ``HEAD``) plus untracked ones, intersected with any
+  given paths.  The pre-push loop: seconds instead of a full tree walk.
+* ``--write-manifest`` / ``--check-manifest`` — emit or diff the
+  machine-readable effects manifest instead of lint findings (the CI
+  drift gate for :mod:`repro.analysis.manifest`).
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 
-from repro.analysis.engine import analyze_paths
-from repro.analysis.loader import AnalysisUsageError
+from repro.analysis.engine import analyze_modules
+from repro.analysis.loader import AnalysisUsageError, load_paths
+from repro.analysis.manifest import (
+    build_manifest,
+    diff_manifests,
+    load_manifest,
+    write_manifest,
+)
 from repro.analysis.report import Baseline
 from repro.analysis.rules.base import ALL_RULES
 
@@ -30,7 +46,7 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "AST-based static analysis for GUESSTIMATE operation code "
             "(determinism, dirty-tracking, completion safety, spec "
-            "conformance, seed plumbing)"
+            "conformance, seed plumbing, effect inference)"
         ),
     )
     parser.add_argument(
@@ -66,11 +82,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="anchor for repo-relative display paths (default: cwd)",
     )
     parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        metavar="REF",
+        help=(
+            "lint only *.py files changed since REF (default HEAD) plus "
+            "untracked ones, intersected with any given paths"
+        ),
+    )
+    parser.add_argument(
+        "--write-manifest",
+        metavar="PATH",
+        help="write the effects manifest for the given paths to PATH and exit",
+    )
+    parser.add_argument(
+        "--check-manifest",
+        metavar="PATH",
+        help=(
+            "rebuild the effects manifest and diff it against the committed "
+            "one at PATH; any drift exits 1"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list the registered rules and exit",
     )
     return parser
+
+
+def _git_lines(repo_args: list[str]) -> list[str]:
+    completed = subprocess.run(
+        ["git", *repo_args],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return [line for line in completed.stdout.splitlines() if line.strip()]
+
+
+def changed_python_files(ref: str) -> list[Path]:
+    """Absolute paths of ``*.py`` files changed since ``ref`` + untracked."""
+    try:
+        toplevel = Path(_git_lines(["rev-parse", "--show-toplevel"])[0])
+    except (subprocess.CalledProcessError, FileNotFoundError, IndexError) as exc:
+        raise AnalysisUsageError(f"--changed needs a git checkout: {exc}") from exc
+    try:
+        _git_lines(["rev-parse", "--verify", "--quiet", f"{ref}^{{commit}}"])
+    except subprocess.CalledProcessError as exc:
+        # The nargs='?' flag eats a following path: --changed src/ puts
+        # 'src/' here.  Say so instead of dumping git's stderr.
+        raise AnalysisUsageError(
+            f"--changed: {ref!r} is not a git revision "
+            f"(paths go before the flag: glint <paths> --changed [REF])"
+        ) from exc
+    try:
+        changed = _git_lines(["diff", "--name-only", ref, "--", "*.py"])
+        untracked = _git_lines(
+            ["ls-files", "--others", "--exclude-standard", "--", "*.py"]
+        )
+    except subprocess.CalledProcessError as exc:
+        raise AnalysisUsageError(f"--changed failed: {exc}") from exc
+    files = []
+    for name in dict.fromkeys(changed + untracked):  # ordered de-dup
+        path = toplevel / name
+        if path.suffix == ".py" and path.is_file():
+            files.append(path)
+    return files
+
+
+def _restrict_to(files: list[Path], scopes: list[str]) -> list[Path]:
+    """Keep files that equal, or live under, one of the given paths."""
+    if not scopes:
+        return files
+    anchors = [Path(scope).resolve() for scope in scopes]
+    kept = []
+    for path in files:
+        resolved = path.resolve()
+        for anchor in anchors:
+            if resolved == anchor or anchor in resolved.parents:
+                kept.append(path)
+                break
+    return kept
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -83,7 +177,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"       {rule.rationale}")
         return EXIT_CLEAN
 
-    if not args.paths:
+    if not args.paths and args.changed is None:
         parser.print_usage(sys.stderr)
         print("glint: error: no paths given", file=sys.stderr)
         return EXIT_USAGE
@@ -94,9 +188,39 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         baseline = Baseline.load(args.baseline) if args.baseline else None
-        report = analyze_paths(
-            args.paths, rule_ids=rule_ids, baseline=baseline, root=args.root
-        )
+        if args.changed is not None:
+            targets = _restrict_to(changed_python_files(args.changed), args.paths)
+            if not targets:
+                print(f"glint: no python files changed since {args.changed}")
+                return EXIT_CLEAN
+        else:
+            targets = args.paths
+        modules = load_paths(targets, root=args.root)
+
+        if args.write_manifest or args.check_manifest:
+            manifest = build_manifest(modules)
+            if args.write_manifest:
+                write_manifest(manifest, args.write_manifest)
+                print(
+                    f"wrote effects manifest for {len(manifest['classes'])} "
+                    f"shared class(es) to {args.write_manifest}"
+                )
+                return EXIT_CLEAN
+            committed = load_manifest(args.check_manifest)
+            drift = diff_manifests(committed, manifest)
+            if drift:
+                print(f"effects manifest drift vs {args.check_manifest}:")
+                for line in drift:
+                    print(f"  {line}")
+                print(
+                    "regenerate with: glint <paths> --write-manifest "
+                    f"{args.check_manifest}"
+                )
+                return EXIT_FINDINGS
+            print(f"effects manifest matches {args.check_manifest}")
+            return EXIT_CLEAN
+
+        report = analyze_modules(modules, rule_ids=rule_ids, baseline=baseline)
         if args.write_baseline:
             Baseline().write(args.write_baseline, report)
             print(
@@ -105,6 +229,9 @@ def main(argv: list[str] | None = None) -> int:
             )
             return EXIT_CLEAN
     except AnalysisUsageError as exc:
+        print(f"glint: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except ValueError as exc:
         print(f"glint: error: {exc}", file=sys.stderr)
         return EXIT_USAGE
 

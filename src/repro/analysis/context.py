@@ -30,6 +30,9 @@ from repro.analysis.loader import SourceModule
 #: decorator names recognized as contract clauses
 SPEC_DECORATORS = {"requires", "ensures", "modifies", "invariant"}
 
+#: the bare marker decorator certified by GL007 (no call, no arguments)
+COMMUTATIVE_DECORATOR = "commutative"
+
 #: methods that are state-transfer / lifecycle machinery, not operations —
 #: they mutate by contract and are excluded from GL002's frame check
 LIFECYCLE_METHODS = {"__init__", "copy_from", "set_state", "get_state", "clone"}
@@ -114,6 +117,10 @@ class MethodInfo:
     #: fields declared via @modifies, or None when no frame is declared
     modifies: tuple[str, ...] | None = None
     has_contracts: bool = False
+    #: carries the bare @commutative marker (certified by GL007)
+    commutative: bool = False
+    #: the @commutative decorator node, for anchoring findings
+    commutative_node: ast.expr | None = None
 
 
 @dataclass
@@ -190,6 +197,18 @@ def _has_shared_type_decorator(node: ast.ClassDef) -> bool:
 def _collect_method(method: ast.FunctionDef) -> MethodInfo:
     info = MethodInfo(node=method, name=method.name)
     for dec in method.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        bare = (
+            target.id
+            if isinstance(target, ast.Name)
+            else target.attr
+            if isinstance(target, ast.Attribute)
+            else None
+        )
+        if bare == COMMUTATIVE_DECORATOR and not isinstance(dec, ast.Call):
+            info.commutative = True
+            info.commutative_node = dec
+            continue
         found = _decorator_call(dec)
         if found is None:
             continue

@@ -1,0 +1,146 @@
+"""The machine-readable effects manifest.
+
+One JSON document per analyzed module set, listing — for every shared
+class — each framed operation's declared frame, inferred read/write
+footprint (attribute -> access kinds), certified algebra, commutative
+marker, and the pairwise op x op interference matrix.  This is the
+artifact a commutativity-aware synchronizer consumes: ``disjoint`` and
+``commutes`` pairs are exactly the operations it may commit without
+the paper's global round order.
+
+The manifest is a *deterministic pure function of the source text*:
+built only from the AST, serialized with sorted keys, and
+schema-versioned so CI can diff it against a committed baseline and
+fail on undeclared drift (the same posture as the glint finding
+baseline and the perf gates).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.context import ProjectContext, build_context
+from repro.analysis.effects import Footprint, effect_engine
+from repro.analysis.loader import SourceModule
+
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def _operation_entry(
+    frame: tuple[str, ...], fp: Footprint, commutative: bool
+) -> dict:
+    return {
+        "declared_frame": sorted(frame),
+        "reads": sorted(fp.reads),
+        "stray_reads": sorted(fp.stray_reads),
+        "writes": {attr: sorted(kinds) for attr, kinds in sorted(fp.writes.items())},
+        "algebra": {attr: fp.algebra[attr] for attr in sorted(fp.algebra)},
+        "commutative": commutative,
+        "complete": fp.complete,
+        "opaque": fp.opaque,
+    }
+
+
+def build_manifest(modules: list[SourceModule]) -> dict:
+    """The manifest document for one loaded module set."""
+    context = build_context(modules)
+    return manifest_from_context(context)
+
+
+def manifest_from_context(context: ProjectContext) -> dict:
+    engine = effect_engine(context)
+    classes: dict[str, dict] = {}
+    for name in sorted(context.shared_classes):
+        info = context.shared_classes[name]
+        footprints = engine.operation_footprints(info)
+        operations = {
+            op: _operation_entry(
+                info.methods[op].modifies or (),
+                fp,
+                info.methods[op].commutative,
+            )
+            for op, fp in footprints.items()
+        }
+        classes[name] = {
+            "module": info.module.display_path,
+            "operations": operations,
+            "interference": engine.interference_matrix(footprints),
+        }
+    return {"schema": MANIFEST_SCHEMA_VERSION, "classes": classes}
+
+
+# ---------------------------------------------------------------------------
+# codec
+
+
+def manifest_to_json(manifest: dict) -> str:
+    return json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+
+
+def manifest_from_json(text: str) -> dict:
+    document = json.loads(text)
+    if not isinstance(document, dict) or "schema" not in document:
+        raise ValueError("not an effects manifest: missing schema field")
+    if document["schema"] != MANIFEST_SCHEMA_VERSION:
+        raise ValueError(
+            f"effects manifest schema {document['schema']!r} is not "
+            f"the supported version {MANIFEST_SCHEMA_VERSION}"
+        )
+    return document
+
+
+def write_manifest(manifest: dict, path: str | Path) -> None:
+    Path(path).write_text(manifest_to_json(manifest), encoding="utf-8")
+
+
+def load_manifest(path: str | Path) -> dict:
+    return manifest_from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def interference_of(manifest: dict, cls: str, op_a: str, op_b: str) -> str | None:
+    """Symmetric matrix lookup (``a|b`` and ``b|a`` are the same key)."""
+    matrix = manifest.get("classes", {}).get(cls, {}).get("interference", {})
+    a, b = sorted((op_a, op_b))
+    return matrix.get(f"{a}|{b}")
+
+
+# ---------------------------------------------------------------------------
+# drift
+
+
+def diff_manifests(committed: dict, current: dict) -> list[str]:
+    """Human-readable drift lines, empty when the manifests agree."""
+    lines: list[str] = []
+    old_classes = committed.get("classes", {})
+    new_classes = current.get("classes", {})
+    for name in sorted(set(old_classes) | set(new_classes)):
+        if name not in new_classes:
+            lines.append(f"class {name}: removed")
+            continue
+        if name not in old_classes:
+            lines.append(f"class {name}: added")
+            continue
+        old, new = old_classes[name], new_classes[name]
+        old_ops, new_ops = old.get("operations", {}), new.get("operations", {})
+        for op in sorted(set(old_ops) | set(new_ops)):
+            if op not in new_ops:
+                lines.append(f"{name}.{op}: operation removed")
+            elif op not in old_ops:
+                lines.append(f"{name}.{op}: operation added")
+            elif old_ops[op] != new_ops[op]:
+                changed = sorted(
+                    field
+                    for field in set(old_ops[op]) | set(new_ops[op])
+                    if old_ops[op].get(field) != new_ops[op].get(field)
+                )
+                lines.append(f"{name}.{op}: changed {', '.join(changed)}")
+        if old.get("interference") != new.get("interference"):
+            old_m, new_m = old.get("interference", {}), new.get("interference", {})
+            pairs = sorted(
+                pair
+                for pair in set(old_m) | set(new_m)
+                if old_m.get(pair) != new_m.get(pair)
+            )
+            lines.append(f"class {name}: interference changed for {', '.join(pairs)}")
+    return lines

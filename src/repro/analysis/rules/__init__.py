@@ -11,6 +11,9 @@ from repro.analysis.rules import (  # noqa: E402,F401
     gl003_completion,
     gl004_specs,
     gl005_seeds,
+    gl006_frames,
+    gl007_commutativity,
+    gl008_specreads,
 )
 
 __all__ = ["ALL_RULES", "Rule", "rule_by_id", "rules_for"]

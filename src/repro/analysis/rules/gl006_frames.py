@@ -1,0 +1,117 @@
+"""GL006 — declared ``@modifies`` frames must equal inferred footprints.
+
+GL002 checks the frame against *direct, syntactic* mutations inside
+the operation body.  GL006 closes the two gaps that remain once the
+effect engine can see the whole class:
+
+* **under-declared** — the operation's inferred write footprint
+  (including writes routed through ``self._helper(...)`` calls and
+  helper-parameter aliases) touches an attribute the frame omits.  At
+  runtime the refresh pipeline only re-snapshots ``mark_dirty``'d
+  fields, so an under-declared write survives in the guess state and
+  silently diverges from the committed rebuild.
+* **over-declared** — the frame names an attribute the operation never
+  writes on any path.  That is not a correctness bug, but every listed
+  field joins the delta-refresh candidate set: over-declaring inflates
+  the per-commit snapshot/restore work the PR 4 refresh optimization
+  exists to avoid, and it poisons the interference matrix with
+  phantom conflicts.
+
+Methods whose footprint inference is incomplete (calls the engine
+cannot resolve) are skipped entirely, and the over-declared arm is
+additionally suppressed for *opaque* footprints (a mutation through an
+unresolvable local may be a hidden write): this rule never accuses on
+a guess.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import (
+    LIFECYCLE_METHODS,
+    MethodInfo,
+    ProjectContext,
+)
+from repro.analysis.effects import effect_engine
+from repro.analysis.loader import SourceModule
+from repro.analysis.report import Finding
+from repro.analysis.rules.base import Rule, register
+
+
+def modifies_decorator(method: MethodInfo) -> ast.expr | None:
+    """The ``@modifies(...)`` decorator node of a framed method."""
+    for dec in method.node.decorator_list:
+        if isinstance(dec, ast.Call):
+            func = dec.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name == "modifies":
+                return dec
+    return None
+
+
+@register
+class FrameFootprintRule(Rule):
+    id = "GL006"
+    title = "@modifies frame disagrees with the inferred write footprint"
+    rationale = (
+        "under-declared writes dodge mark_dirty and diverge the guess "
+        "state; over-declared frames inflate delta-refresh candidate "
+        "sets and fake interference"
+    )
+
+    def check(
+        self, module: SourceModule, context: ProjectContext
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        engine = effect_engine(context)
+        for info in context.shared_classes.values():
+            if info.module is not module:
+                continue
+            for name, method in sorted(info.methods.items()):
+                if method.modifies is None or name in LIFECYCLE_METHODS:
+                    continue
+                footprint = engine.footprint(info.name, name)
+                if not footprint.complete:
+                    continue
+                frame = set(method.modifies)
+                symbol = f"{info.name}.{name}"
+                for attr in sorted(set(footprint.writes) - frame):
+                    kinds = ", ".join(sorted(footprint.writes[attr]))
+                    findings.append(
+                        self.finding(
+                            module,
+                            footprint.anchors[attr],
+                            symbol,
+                            f"under-declared frame: inferred write to "
+                            f"{attr!r} ({kinds}) is missing from "
+                            f"@modifies({', '.join(map(repr, sorted(frame)))}) "
+                            f"— this write dodges mark_dirty",
+                        )
+                    )
+                if not footprint.trusted:
+                    # Opaque mutations may hide writes: the inferred
+                    # footprint is no upper bound, so "never written"
+                    # cannot be concluded.
+                    continue
+                anchor = modifies_decorator(method) or method.node
+                for attr in sorted(frame - set(footprint.writes)):
+                    if attr not in info.init_attrs:
+                        continue  # unknown field: GL004's finding, not ours
+                    findings.append(
+                        self.finding(
+                            module,
+                            anchor,
+                            symbol,
+                            f"over-declared frame: {attr!r} is never "
+                            f"written on any path of {name} — it only "
+                            f"inflates the delta-refresh candidate set",
+                        )
+                    )
+        return findings

@@ -1,0 +1,126 @@
+"""GL008 — spec predicates must not read state outside the frame.
+
+An operation executes up to three times (guess-apply at issue,
+committed-apply at its round, refresh re-execution), and its
+``requires``/``ensures`` predicates are evaluated around *each* run.
+Between those runs, other machines' operations commit.  State inside
+the op's own ``@modifies`` frame is what the op coordinates on — the
+conflict machinery and the frame check watch it.  State *outside* the
+frame is a hidden read dependency: a predicate that consults it can
+pass at issue time and fail at commit time (or the reverse) purely
+because an unrelated commit landed in between, turning the op's
+outcome into a race the static frame never admitted to.
+
+This rule resolves each framed operation's ``requires``/``ensures``
+predicate (lambda or module-level ``def``, the GL004 convention) and
+flags every read of ``self.<attr>`` — or, for ``ensures``, of
+``old["<attr>"]`` / ``old.get("<attr>")`` — where ``<attr>`` is a
+known attribute of the class that the frame does not declare.
+Frameless methods are skipped (no frame, no mismatch to certify), as
+are reads of names that are not attributes of the class (GL004's
+territory).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ProjectContext, SpecBinding
+from repro.analysis.loader import SourceModule
+from repro.analysis.report import Finding
+from repro.analysis.rules.base import Rule, register
+from repro.analysis.rules.gl004_specs import _predicate_signature
+
+
+def _spec_reads(
+    node: ast.Lambda | ast.FunctionDef, params: list[str], kind: str
+) -> set[str]:
+    """Attribute names a predicate body reads off self / old."""
+    self_name = params[1] if kind == "ensures" else params[0] if params else None
+    old_name = params[0] if kind == "ensures" else None
+    body: ast.AST = node.body if isinstance(node, ast.Lambda) else node
+    reads: set[str] = set()
+    for sub in ast.walk(body):
+        if (
+            isinstance(sub, ast.Attribute)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == self_name
+            and isinstance(sub.ctx, ast.Load)
+        ):
+            reads.add(sub.attr)
+        elif (
+            old_name is not None
+            and isinstance(sub, ast.Subscript)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == old_name
+            and isinstance(sub.slice, ast.Constant)
+            and isinstance(sub.slice.value, str)
+        ):
+            reads.add(sub.slice.value)
+        elif (
+            old_name is not None
+            and isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "get"
+            and isinstance(sub.func.value, ast.Name)
+            and sub.func.value.id == old_name
+            and sub.args
+            and isinstance(sub.args[0], ast.Constant)
+            and isinstance(sub.args[0].value, str)
+        ):
+            reads.add(sub.args[0].value)
+    return reads
+
+
+@register
+class SpecReadRule(Rule):
+    id = "GL008"
+    title = "requires/ensures predicate reads state outside the @modifies frame"
+    rationale = (
+        "ops run up to three times with foreign commits in between; a "
+        "spec reading unframed state can flip verdicts mid-pipeline"
+    )
+
+    def check(
+        self, module: SourceModule, context: ProjectContext
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for info in context.shared_classes.values():
+            if info.module is not module:
+                continue
+            for spec in info.specs:
+                if spec.kind not in ("requires", "ensures"):
+                    continue
+                finding = self._check_spec(module, info, spec)
+                findings.extend(finding)
+        return findings
+
+    def _check_spec(self, module, info, spec: SpecBinding) -> list[Finding]:
+        method_name = spec.owner.rsplit(".", 1)[-1]
+        method = info.methods.get(method_name)
+        if method is None or method.modifies is None:
+            return []  # frameless: nothing declared to mismatch
+        resolved = _predicate_signature(spec.predicate, module)
+        if resolved is None:
+            return []
+        node, params, _defaults = resolved
+        frame = set(method.modifies)
+        reads = _spec_reads(node, params, spec.kind)
+        out: list[Finding] = []
+        for attr in sorted(reads):
+            if attr in frame or attr not in info.init_attrs:
+                continue
+            out.append(
+                self.finding(
+                    module,
+                    spec.predicate,
+                    spec.owner,
+                    f"{spec.kind} predicate reads {attr!r}, which is "
+                    f"outside the @modifies frame "
+                    f"({', '.join(map(repr, sorted(frame)))}) — a foreign "
+                    f"commit between executions can flip this predicate "
+                    f"mid-pipeline",
+                    extra_pragma_lines=(spec.lineno,),
+                )
+            )
+        return out

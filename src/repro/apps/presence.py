@@ -15,6 +15,11 @@ operations live side by side:
   the user is already present, so two machines racing the same user's
   check-in produce a clean guess-vs-commit conflict instead of a
   duplicate entry.
+* **sightings** — an append-only tag census mutated by ``tally``, the
+  in-tree ``@commutative`` exemplar: its only write is a certified
+  counter increment on an attribute no other operation touches, so
+  GL007 certifies the marker and the simfuzz commute probe re-executes
+  adjacent committed pairs in both orders.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ from __future__ import annotations
 from repro.core.guesstimate import Guesstimate, IssueTicket
 from repro.core.serialization import shared_type
 from repro.core.shared_object import GSharedObject
-from repro.spec import ensures, invariant, modifies
+from repro.spec import commutative, ensures, invariant, modifies
 
 
 @invariant(
@@ -39,6 +44,13 @@ from repro.spec import ensures, invariant, modifies
     ),
     "the roster maps user names to arrival sequence numbers",
 )
+@invariant(
+    lambda self: all(
+        isinstance(tag, str) and isinstance(count, int) and count >= 0
+        for tag, count in self.sightings.items()
+    ),
+    "every sighting tally is a non-negative int",
+)
 @shared_type
 class PresenceCounters(GSharedObject):
     """Shared state: named tallies plus a who-is-here roster."""
@@ -47,11 +59,13 @@ class PresenceCounters(GSharedObject):
         self.counters: dict[str, int] = {}
         self.present: dict[str, int] = {}  # user -> arrival sequence
         self.arrivals: int = 0
+        self.sightings: dict[str, int] = {}  # tag -> times tallied
 
     def copy_from(self, src: "PresenceCounters") -> None:
         self.counters = dict(src.counters)
         self.present = dict(src.present)
         self.arrivals = src.arrivals
+        self.sightings = dict(src.sightings)
 
     # -- counter operations ----------------------------------------------------
 
@@ -91,6 +105,30 @@ class PresenceCounters(GSharedObject):
             return False
         self.counters[src] -= amount
         self.counters[dst] = self.counters.get(dst, 0) + amount
+        return True
+
+    # -- sightings (the certified-commutative operation) -----------------------
+
+    @commutative
+    @ensures(
+        lambda old, self, result, tag: (not result)
+        or self.sightings[tag] == old["sightings"].get(tag, 0) + 1,
+        "on success the tag's tally grew by exactly one",
+    )
+    @modifies("sightings")
+    def tally(self, tag: str) -> bool:
+        """Count one sighting of ``tag``.
+
+        Deliberately shaped so GL007 can certify the @commutative
+        marker: the single write is a counter increment whose amount
+        never reads state, the guard reads only the argument, and no
+        other operation of the class touches ``sightings`` — so a
+        commutativity-aware synchronizer could commit concurrent
+        tallies in any order.
+        """
+        if not isinstance(tag, str) or not tag:
+            return False
+        self.sightings[tag] = self.sightings.get(tag, 0) + 1
         return True
 
     # -- presence operations ---------------------------------------------------
@@ -152,6 +190,11 @@ class PresenceClient:
         return self.api.invoke(
             self.hub, "transfer", src, dst, amount,
             completion=self._count_conflict,
+        )
+
+    def tally(self, tag: str) -> IssueTicket:
+        return self.api.invoke(
+            self.hub, "tally", tag, completion=self._count_conflict
         )
 
     def check_in(self) -> IssueTicket:

@@ -21,6 +21,14 @@ Two families:
   Agreement holds perfectly — only the workload-zoo convergence probes
   (independent oracle, conservation laws) can see them, which is
   exactly what their planted-mutation tests demonstrate.
+* **effect mutations** (``footprint``, ``commute``) plant the two
+  hazards the glint effect engine reasons about: a write outside the
+  inferred footprint of an operation (invisible to contracts,
+  invariants and conservation laws alike — only
+  :func:`repro.simtest.probes.footprint_probe` sees it) and an
+  order-dependent ``@commutative`` operation (every replica still
+  agrees, only :func:`repro.simtest.probes.commute_probe`'s
+  both-orders re-execution sees it).
 
 Each registry entry is ``(holder, attribute, factory)``: ``factory``
 receives the pristine attribute and returns the mutant bound in its
@@ -130,6 +138,54 @@ def _atomic_partial(pristine):
     return mutant
 
 
+def _footprint(pristine):
+    """Successful check-outs also bump ``arrivals`` — off-frame.
+
+    ``arrivals`` is outside ``check_out``'s declared *and* inferred
+    ``@modifies`` frame, so the runtime would never ``mark_dirty`` it
+    on a delta refresh.  The poke happens *after* the wrapped pristine
+    call returns, so the in-wrap frame/ensures checks are already
+    done; every replica agrees, no invariant mentions ``arrivals``,
+    and the conservation law ignores it.  Only the static/dynamic
+    footprint comparison (:func:`repro.simtest.probes.footprint_probe`)
+    can see the stray write.
+    """
+
+    def mutant(self, user):
+        ok = pristine(self, user)
+        if ok:
+            self.arrivals += 1
+        return ok
+
+    return mutant
+
+
+def _commute(pristine):
+    """``tally`` keeps an order-sensitive digest — no longer commutes.
+
+    The digest folds each tag into ``sightings["#order"]`` with a
+    non-commutative polynomial step, so two tallies of *different*
+    tags produce different digests depending on commit order — yet
+    every replica applies the same order and still agrees, the
+    invariant (non-negative ints) holds, and the per-tag ensures
+    clause is untouched.  The mutant keeps the runtime
+    ``@commutative`` marker (a real bug of this shape would too: the
+    marker is the stale *claim*), so only
+    :func:`repro.simtest.probes.commute_probe`'s both-orders
+    re-execution exposes it.
+    """
+
+    def mutant(self, tag):
+        ok = pristine(self, tag)
+        if ok:
+            acc = self.sightings.get("#order", 0)
+            self.sightings["#order"] = (acc * 31 + sum(tag.encode())) % 1000003
+        return ok
+
+    mutant.__g_commutative__ = True
+    return mutant
+
+
 #: name -> (holder, attribute, mutant factory)
 MUTATIONS = {
     "commit_order": (sync_mod, "consolidated_order", _commit_order),
@@ -137,6 +193,8 @@ MUTATIONS = {
     "list_drift": (SharedDoc, "insert_at", _list_drift),
     "counter_leak": (PresenceCounters, "transfer", _counter_leak),
     "atomic_partial": (AtomicOp, "execute", _atomic_partial),
+    "footprint": (PresenceCounters, "check_out", _footprint),
+    "commute": (PresenceCounters, "tally", _commute),
 }
 
 

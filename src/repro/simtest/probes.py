@@ -36,6 +36,18 @@ workload's conflict structure but safe to run in any scenario:
   money-conservation law ``sum(balances) == minted`` and item
   uniqueness — the laws a partially-applied Atomic breaks first.
 
+Two *effect* probes close the loop with glint's static effect engine
+(:mod:`repro.analysis.effects`), replaying the committed stream on
+fresh local replicas:
+
+* :func:`footprint_probe` — every committed primitive op's *observed*
+  dirty attribute set must be a subset of its statically inferred
+  write footprint (a write outside the footprint is exactly the kind
+  that dodges ``mark_dirty`` and GL006).
+* :func:`commute_probe` — adjacent committed pairs of runtime
+  ``@commutative`` operations on the same object are re-executed in
+  both orders; final public state and both results must agree.
+
 Each probe returns a list of human-readable violation strings (empty =
 all invariants hold), so the runner can aggregate across probes without
 aborting mid-scenario.
@@ -373,7 +385,7 @@ def _net_bumps(op: SharedOp, uid: str, result: bool) -> tuple[int, bool]:
             return 0, False
         if op.method_name == "bump":
             return (op.args[1] if result else 0), False
-        if op.method_name in ("transfer", "check_in", "check_out"):
+        if op.method_name in ("transfer", "check_in", "check_out", "tally"):
             return 0, False
         return 0, True
     if isinstance(op, AtomicOp):
@@ -465,4 +477,227 @@ def atomic_probe(system: "DistributedSystem") -> list[str]:
                         f"atomic all-or-nothing broken on {node.machine_id} "
                         f"({store_name}): {uid} has duplicated items"
                     )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# effect probes: runtime twins of the glint effect engine
+
+
+_APP_EFFECTS: dict[str, dict[str, set[str] | None]] | None = None
+
+
+def _static_app_effects() -> dict[str, dict[str, set[str] | None]]:
+    """Class name -> method -> statically inferred write-attribute set.
+
+    Built lazily (glint never runs during normal simulation) from the
+    same interprocedural effect engine GL006 uses, over every shared
+    class in :mod:`repro.apps`.  ``None`` marks a footprint the engine
+    could not fully infer; the probes taint such objects rather than
+    accuse on a guess.
+    """
+    global _APP_EFFECTS
+    if _APP_EFFECTS is None:
+        from pathlib import Path
+
+        import repro.apps as apps_package
+        from repro.analysis.context import LIFECYCLE_METHODS, build_context
+        from repro.analysis.effects import effect_engine
+        from repro.analysis.loader import load_paths
+
+        modules = load_paths([Path(apps_package.__file__).parent])
+        context = build_context(modules)
+        engine = effect_engine(context)
+        table: dict[str, dict[str, set[str] | None]] = {}
+        for class_name, info in context.shared_classes.items():
+            methods: dict[str, set[str] | None] = {}
+            for method_name in info.methods:
+                if method_name in LIFECYCLE_METHODS:
+                    continue
+                footprint = engine.footprint(class_name, method_name)
+                methods[method_name] = (
+                    set(footprint.writes) if footprint.trusted else None
+                )
+            table[class_name] = methods
+        _APP_EFFECTS = table
+    return _APP_EFFECTS
+
+
+_MISSING = object()
+
+
+def _public_state(obj: object) -> dict[str, object]:
+    """Deep copy of the instance fields the contract layer considers state."""
+    import copy
+
+    return {
+        key: copy.deepcopy(value)
+        for key, value in obj.__dict__.items()
+        if not key.startswith("_g_")
+    }
+
+
+def _fresh_replicas(node: "GuesstimateNode"):
+    """Drive a committed-stream replay on fresh local replicas.
+
+    Yields ``(index, entry, op, obj)`` for every replayable committed
+    :class:`PrimitiveOp`; creation, composed ops, unknown classes and
+    tainting are handled here so both effect probes share one walk.
+    The caller executes the op itself (so it can snapshot around it)
+    and reports taint back via the returned ``taint`` callable.
+    """
+    table = _static_app_effects()
+    replicas: dict[str, object] = {}
+    tainted: set[str] = set()
+    for index, entry in enumerate(node.model.completed):
+        op = entry.op
+        if isinstance(op, CreateObjectOp):
+            if (
+                entry.result
+                and op.init_state is None
+                and op.cls.__name__ in table
+            ):
+                replicas[op.object_id] = op.cls()
+            else:
+                tainted.add(op.object_id)
+            continue
+        if isinstance(op, PrimitiveOp):
+            obj = replicas.get(op.object_id)
+            if obj is None or op.object_id in tainted:
+                continue
+            yield index, entry, op, obj, tainted
+        else:
+            tainted |= op.object_ids() & set(replicas)
+
+
+def footprint_probe(system: "DistributedSystem") -> list[str]:
+    """Observed dirty-sets stay inside statically inferred footprints.
+
+    On every active full-history node, replay the committed stream on
+    fresh replicas (contract checking off — the live run already paid
+    for it) and diff public state around each primitive op.  Any
+    attribute that changed but is missing from the engine's inferred
+    write footprint is a violation: such a write dodges ``mark_dirty``
+    on the real runtime and GL006 in the linter, so the probe is the
+    dynamic witness for both.  Objects touched by composed ops,
+    unknown methods, or incompletely inferred footprints are tainted
+    rather than guessed at.
+    """
+    from repro.spec.contracts import set_checking
+
+    table = _static_app_effects()
+    violations = []
+    for node in system.nodes.values():
+        if node.state != "active" or node.completed_offset != 0:
+            continue
+        snapshots: dict[str, dict[str, object]] = {}
+        previous = set_checking(False)
+        try:
+            for index, entry, op, obj, tainted in _fresh_replicas(node):
+                inferred = table[type(obj).__name__].get(op.method_name, None)
+                if inferred is None:
+                    tainted.add(op.object_id)
+                    continue
+                if op.object_id not in snapshots:
+                    snapshots[op.object_id] = _public_state(obj)
+                before = snapshots[op.object_id]
+                try:
+                    getattr(obj, op.method_name)(*op.args)
+                except Exception:
+                    tainted.add(op.object_id)
+                    continue
+                after = _public_state(obj)
+                changed = sorted(
+                    key
+                    for key in set(before) | set(after)
+                    if before.get(key, _MISSING) != after.get(key, _MISSING)
+                )
+                stray = [key for key in changed if key not in inferred]
+                if stray:
+                    violations.append(
+                        f"footprint violation on {node.machine_id} at global "
+                        f"position {index}: {op.describe()} wrote "
+                        f"{stray!r} outside its inferred footprint "
+                        f"{sorted(inferred)!r}"
+                    )
+                    tainted.add(op.object_id)
+                snapshots[op.object_id] = after
+        finally:
+            set_checking(previous)
+    return violations
+
+
+def _reexecute(cls, pre_state, first, second):
+    """Run ``first`` then ``second`` on a fresh replica seeded with
+    ``pre_state``; returns ``(results, final public state)`` or ``None``
+    if either op raised (taint, not a verdict)."""
+    import copy
+
+    obj = cls()
+    obj.__dict__.update(copy.deepcopy(pre_state))
+    results = []
+    for op in (first, second):
+        try:
+            results.append(getattr(obj, op.method_name)(*op.args))
+        except Exception:
+            return None
+    return results, _public_state(obj)
+
+
+def commute_probe(system: "DistributedSystem") -> list[str]:
+    """Committed adjacent ``@commutative`` pairs commute in fact.
+
+    Walk each full-history committed stream; whenever two consecutive
+    primitive ops on the same object both carry the runtime
+    ``@commutative`` marker, re-execute the pair in both orders from
+    the state that preceded the first op.  A certified-commutative
+    pair must produce identical final public state *and* identical
+    per-op results either way — the exact property a
+    commutativity-aware synchronizer would rely on to skip
+    re-execution after a reordered commit.
+    """
+    from repro.spec.contracts import is_commutative, set_checking
+
+    violations = []
+    for node in system.nodes.values():
+        if node.state != "active" or node.completed_offset != 0:
+            continue
+        # object uid -> (previous commutative op, state before it)
+        pending: dict[str, tuple[PrimitiveOp, dict[str, object]]] = {}
+        previous = set_checking(False)
+        try:
+            for index, entry, op, obj, tainted in _fresh_replicas(node):
+                marked = is_commutative(type(obj), op.method_name)
+                pre_state = _public_state(obj) if marked else None
+                pair = pending.pop(op.object_id, None)
+                if pair is not None and marked:
+                    prior_op, prior_pre = pair
+                    forward = _reexecute(type(obj), prior_pre, prior_op, op)
+                    reverse = _reexecute(type(obj), prior_pre, op, prior_op)
+                    if forward is None or reverse is None:
+                        tainted.add(op.object_id)
+                        continue
+                    (res_ab, state_ab), (res_ba, state_ba) = forward, reverse
+                    if state_ab != state_ba or [res_ab[0], res_ab[1]] != [
+                        res_ba[1],
+                        res_ba[0],
+                    ]:
+                        violations.append(
+                            f"commutativity violation on {node.machine_id} at "
+                            f"global position {index}: {prior_op.describe()} "
+                            f"and {op.describe()} are both marked "
+                            "@commutative but do not commute "
+                            f"(state {state_ab!r} vs {state_ba!r})"
+                        )
+                        tainted.add(op.object_id)
+                        continue
+                try:
+                    getattr(obj, op.method_name)(*op.args)
+                except Exception:
+                    tainted.add(op.object_id)
+                    continue
+                if marked:
+                    pending[op.object_id] = (op, pre_state)
+        finally:
+            set_checking(previous)
     return violations

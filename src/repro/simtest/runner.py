@@ -33,7 +33,9 @@ from repro.simtest.mutations import apply_mutation
 from repro.simtest.probes import (
     atomic_probe,
     checkpoint_probe,
+    commute_probe,
     counter_conservation_probe,
+    footprint_probe,
     guess_divergence_probe,
     list_oracle_probe,
     quiescence_probe,
@@ -56,9 +58,24 @@ CONVERGENCE_PROBES = (
 )
 
 
+#: Static/dynamic effect-agreement probes.  They replay whole committed
+#: streams, so they run once, at final quiescence only.
+EFFECT_PROBES = (
+    footprint_probe,
+    commute_probe,
+)
+
+
 def _convergence_violations(system: DistributedSystem) -> list[str]:
     violations: list[str] = []
     for probe in CONVERGENCE_PROBES:
+        violations.extend(probe(system))
+    return violations
+
+
+def _effect_violations(system: DistributedSystem) -> list[str]:
+    violations: list[str] = []
+    for probe in EFFECT_PROBES:
         violations.extend(probe(system))
     return violations
 
@@ -189,6 +206,7 @@ def _execute(system: DistributedSystem, spec: ScenarioSpec, result: RunResult) -
         + storage_probe(system)
         + checkpoint_probe(system)
         + _convergence_violations(system)
+        + _effect_violations(system)
     )
     result.violations.extend(f"t={now:.2f} {violation}" for violation in deep)
 

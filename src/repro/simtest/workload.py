@@ -304,12 +304,14 @@ class CounterWorkload(_SessionWorkload):
         self.pots = [f"pot-{index}" for index in range(max(2, self.spec.n_grids))]
         for pot in self.pots:
             creator.invoke(hub, "bump", pot, 40)
+        self.tags = [f"tag-{index}" for index in range(4)]
         self._present: dict[str, bool] = {}
 
     def _thunks(self, machine_id: str) -> list[tuple[float, callable]]:
         return [
             (4.0, lambda: self._bump(machine_id)),
             (3.0, lambda: self._transfer(machine_id)),
+            (3.0, lambda: self._tally(machine_id)),
             (2.0, lambda: self._toggle_presence(machine_id)),
         ]
 
@@ -322,6 +324,12 @@ class CounterWorkload(_SessionWorkload):
         src, dst = self.rng.sample(self.pots, 2)
         amount = self.rng.randint(1, 6)
         self._invoke(machine_id, self.hub_id, "transfer", src, dst, amount)
+
+    def _tally(self, machine_id: str) -> None:
+        # The certified-@commutative op: adjacent committed pairs feed
+        # the commute probe's both-orders re-execution.
+        tag = self.rng.choice(self.tags)
+        self._invoke(machine_id, self.hub_id, "tally", tag)
 
     def _toggle_presence(self, machine_id: str) -> None:
         # λ-state toggle on the *issue attempt*: mismatches with the

@@ -25,9 +25,11 @@ This package reproduces that workflow without Spec#:
 """
 
 from repro.spec.contracts import (
+    commutative,
     contract_assertions,
     ensures,
     invariant,
+    is_commutative,
     modifies,
     requires,
     set_checking,
@@ -53,10 +55,12 @@ __all__ = [
     "booleans",
     "check_conformance",
     "choices",
+    "commutative",
     "contract_assertions",
     "ensures",
     "integers",
     "invariant",
+    "is_commutative",
     "modifies",
     "product",
     "requires",

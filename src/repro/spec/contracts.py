@@ -160,6 +160,29 @@ def modifies(*fields: str):
     return decorate
 
 
+#: attribute carrying the @commutative marker on a (wrapped) method
+COMMUTATIVE_ATTR = "__g_commutative__"
+
+
+def commutative(fn: Callable) -> Callable:
+    """Mark an operation as commuting with every op of its class.
+
+    A bare marker, no runtime semantics of its own: glint's GL007
+    certifies it against the inferred interference matrix, the effects
+    manifest publishes it, and the simfuzz commute probe re-executes
+    adjacent committed pairs of marked ops in both orders.  Apply it
+    *outermost* (above ``@requires``/``@ensures``/``@modifies``) so the
+    marker lands on the wrapped function the class actually holds.
+    """
+    setattr(fn, COMMUTATIVE_ATTR, True)
+    return fn
+
+
+def is_commutative(cls: type, method_name: str) -> bool:
+    """Does ``cls.method_name`` carry the @commutative marker?"""
+    return bool(getattr(getattr(cls, method_name, None), COMMUTATIVE_ATTR, False))
+
+
 def invariant(predicate: Callable, description: str = "object invariant"):
     """Class decorator declaring an object invariant ``predicate(self)``.
 

@@ -1,0 +1,53 @@
+"""GL006 true positives: frames that disagree with inferred footprints."""
+
+from repro.core.shared_object import GSharedObject
+from repro.spec import modifies
+
+
+class Ledger(GSharedObject):
+    def __init__(self):
+        self.entries = {}
+        self.audit_log = 0
+        self.touched = []
+
+    def copy_from(self, src):
+        self.entries = dict(src.entries)
+        self.audit_log = src.audit_log
+        self.touched = list(src.touched)
+
+    # Direct write outside the frame.
+    @modifies("entries")
+    def post(self, key, amount):
+        self.entries[key] = amount
+        self.audit_log = self.audit_log + 1  # expect: GL006
+        return True
+
+    def _audit(self):
+        self.audit_log += 1
+
+    # The off-frame write hides inside a helper: only the
+    # interprocedural fold sees it, anchored at the call site.
+    @modifies("entries")
+    def adjust(self, key, amount):
+        self.entries[key] = amount
+        self._audit()  # expect: GL006
+        return True
+
+    def _push(self, bucket, key):
+        bucket.append(key)
+
+    # The helper mutates its *parameter*; the argument aliases
+    # self.touched, so the append is charged to the caller's state.
+    @modifies("entries")
+    def track(self, key):
+        self.entries[key] = 0
+        self._push(self.touched, key)  # expect: GL006
+        return True
+
+    # The frame promises a write to audit_log that no path performs.
+    @modifies("entries", "audit_log")  # expect: GL006
+    def clear_entry(self, key):
+        if key in self.entries:
+            del self.entries[key]
+            return True
+        return False

@@ -1,0 +1,80 @@
+"""GL006 false-positive shapes: frames that genuinely match footprints."""
+
+from repro.core.shared_object import GSharedObject
+from repro.spec import modifies
+
+
+class Planner(GSharedObject):
+    def __init__(self):
+        self.events = {}
+        self.waitlist = {}
+
+    def copy_from(self, src):
+        self.events = {key: dict(value) for key, value in src.events.items()}
+        self.waitlist = {key: list(value) for key, value in src.waitlist.items()}
+
+    def _admit(self, event, user):
+        # Mutates its parameter — charged to whatever the caller passed.
+        event["attendees"] = event.get("attendees", 0) + 1
+        event["last"] = user
+
+    # The helper's parameter aliases self.events[eid]: the write lands
+    # inside the declared frame, so nothing is under-declared.
+    @modifies("events")
+    def join(self, eid, user):
+        if eid not in self.events:
+            return False
+        self._admit(self.events[eid], user)
+        return True
+
+    # A local that *shadows* the attribute name is not the attribute.
+    @modifies("events")
+    def reset_event(self, eid):
+        waitlist = {}
+        waitlist[eid] = []
+        self.events[eid] = {"attendees": 0}
+        return True
+
+    # Passthrough container mutation stays inside the frame.
+    @modifies("waitlist")
+    def enqueue(self, eid, user):
+        self.waitlist.setdefault(eid, []).append(user)
+        return True
+
+    def _render(self, eid):
+        out = []
+        out.append(eid)
+        out.extend(sorted(self.events))
+        return out
+
+    # The helper only mutates a fresh local — no state write to charge.
+    @modifies("events")
+    def retitle(self, eid, title):
+        if eid not in self.events:
+            return False
+        self.events[eid]["title"] = "/".join(self._render(eid)) + title
+        return True
+
+    def _log_wait(self, bucket, eid, user):
+        bucket.setdefault(eid, []).append(user)
+
+    # waitlist is written *only* through a helper (via the aliased
+    # parameter): the interprocedural fold must stop the over-declared
+    # arm from flagging it.
+    @modifies("events", "waitlist")
+    def join_or_wait(self, eid, user):
+        if eid in self.events:
+            self.events[eid]["attendees"] = self.events[eid].get("attendees", 0) + 1
+            return True
+        self._log_wait(self.waitlist, eid, user)
+        return True
+
+    # Comprehension-derived aliases still write the attribute: the
+    # frame declares it, so the rule must both see the write (no
+    # over-declaration) and charge it correctly (no under-declaration).
+    @modifies("events")
+    def tag_all(self, tag):
+        rows = [(eid, event) for eid, event in sorted(self.events.items())]
+        for _eid, event in rows:
+            event["tag"] = tag
+        return True

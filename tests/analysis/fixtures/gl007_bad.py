@@ -1,0 +1,55 @@
+"""GL007 true positives: @commutative markers the engine cannot certify."""
+
+from repro.core.shared_object import GSharedObject
+from repro.spec import commutative, modifies
+
+
+class MarkedBoard(GSharedObject):
+    def __init__(self):
+        self.scores = {}
+        self.counts = {}
+        self.history = []
+        self.notes = {}
+
+    def copy_from(self, src):
+        self.scores = dict(src.scores)
+        self.counts = dict(src.counts)
+        self.history = list(src.history)
+        self.notes = dict(src.notes)
+
+    # Counter-inc on its own, but the class also rebinds 'scores':
+    # the pair (add_point, reset_scores) interferes.
+    @commutative  # expect: GL007
+    @modifies("scores")
+    def add_point(self, player):
+        self.scores[player] = self.scores.get(player, 0) + 1
+        return True
+
+    @modifies("scores")
+    def reset_scores(self):
+        self.scores = {}
+        return True
+
+    # The read-through-local bump shape: the stray read of 'counts'
+    # defeats the counter-inc algebra, so the op interferes with
+    # itself (two clients bumping concurrently race on the read).
+    @commutative  # expect: GL007
+    @modifies("counts")
+    def bump(self, key, amount):
+        value = self.counts.get(key, 0)
+        value = value + amount
+        self.counts[key] = value
+        return True
+
+    # Appends never commute: list order is observable committed state.
+    @commutative  # expect: GL007
+    @modifies("history")
+    def log(self, entry):
+        self.history.append(entry)
+        return True
+
+    # No frame at all: there is no footprint to certify against.
+    @commutative  # expect: GL007
+    def annotate(self, key, text):
+        self.notes[key] = text
+        return True

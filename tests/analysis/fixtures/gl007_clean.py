@@ -1,0 +1,58 @@
+"""GL007 false-positive shapes: markers the engine must certify.
+
+Every marked operation here is disjoint from — or algebraically
+commutes with — every operation of its class, itself included.
+Unmarked operations may interfere with each other freely; GL007 only
+certifies markers.
+"""
+
+from repro.core.shared_object import GSharedObject
+from repro.spec import commutative, modifies
+
+
+class Telemetry(GSharedObject):
+    def __init__(self):
+        self.sightings = {}
+        self.flags = {}
+        self.seen = set()
+        self.journal = {}
+
+    def copy_from(self, src):
+        self.sightings = dict(src.sightings)
+        self.flags = dict(src.flags)
+        self.seen = set(src.seen)
+        self.journal = dict(src.journal)
+
+    # counter-inc: the canonical certified shape (no stray read — the
+    # get() feeds the write of the same key directly).
+    @commutative
+    @modifies("sightings")
+    def tally(self, tag):
+        self.sightings[tag] = self.sightings.get(tag, 0) + 1
+        return True
+
+    # put-const: both orders leave the key at the same constant.
+    @commutative
+    @modifies("flags")
+    def flag(self, key):
+        self.flags[key] = True
+        return True
+
+    # set-add: membership is order-insensitive.
+    @commutative
+    @modifies("seen")
+    def sight(self, tag):
+        self.seen.add(tag)
+        return True
+
+    # These two interfere (rebind vs keyed write on 'journal') but
+    # neither is marked, so GL007 has nothing to certify.
+    @modifies("journal")
+    def record(self, key, value):
+        self.journal[key] = value
+        return True
+
+    @modifies("journal")
+    def purge(self):
+        self.journal = {}
+        return True

@@ -1,0 +1,33 @@
+"""GL008 true positives: spec predicates reading outside the frame."""
+
+from repro.core.shared_object import GSharedObject
+from repro.spec import ensures, modifies, requires
+
+
+class Vault(GSharedObject):
+    def __init__(self):
+        self.entries = {}
+        self.limit = 8
+
+    def copy_from(self, src):
+        self.entries = dict(src.entries)
+        self.limit = src.limit
+
+    # The guard reads 'limit', which the frame does not cover: the
+    # refresh pipeline only re-snapshots framed fields, so the
+    # predicate can observe a stale 'limit' during re-execution.
+    @requires(lambda self, key: self.limit > 0, "vault must be open")  # expect: GL008
+    @modifies("entries")
+    def deposit(self, key):
+        self.entries[key] = True
+        return True
+
+    # Reads 'limit' through both routes (old-state and post-state):
+    # still ONE finding — per out-of-frame attribute, not per read.
+    @ensures(lambda old, self, result, key: (not result) or old["limit"] == self.limit, "limit untouched")  # expect: GL008
+    @modifies("entries")
+    def withdraw(self, key):
+        if key in self.entries:
+            del self.entries[key]
+            return True
+        return False

@@ -1,0 +1,57 @@
+"""GL008 false-positive shapes: specs that stay inside the frame."""
+
+from repro.core.shared_object import GSharedObject
+from repro.spec import ensures, modifies, requires
+
+
+def _entry_absent(self, key):
+    # Module-level predicate reading only the framed attribute.
+    return key not in self.entries
+
+
+class Registry(GSharedObject):
+    def __init__(self):
+        self.entries = {}
+        self.revision = 0
+
+    def copy_from(self, src):
+        self.entries = dict(src.entries)
+        self.revision = src.revision
+
+    # Argument-only guard: no state reads at all.
+    @requires(lambda self, key: isinstance(key, str), "key must be a string")
+    @modifies("entries", "revision")
+    def register(self, key):
+        self.entries[key] = self.revision
+        self.revision += 1
+        return True
+
+    # Reads framed attrs via self, old[...] and old.get(...): all in
+    # @modifies, so nothing is out of frame.
+    @requires(lambda self, key: key in self.entries, "must exist")
+    @ensures(
+        lambda old, self, result, key: (not result)
+        or len(self.entries) == len(old["entries"]) - 1
+        and self.revision == old.get("revision", 0) + 1,
+        "removal bumps the revision",
+    )
+    @modifies("entries", "revision")
+    def deregister(self, key):
+        if key not in self.entries:
+            return False
+        del self.entries[key]
+        self.revision += 1
+        return True
+
+    # A named module-level predicate resolves the same way.
+    @requires(_entry_absent, "must be new")
+    @modifies("entries", "revision")
+    def reserve(self, key):
+        self.entries[key] = self.revision
+        self.revision += 1
+        return True
+
+    # Frameless methods are outside GL008's scope entirely.
+    @requires(lambda self, key: isinstance(key, str), "key must be a string")
+    def peek(self, key):
+        return self.entries.get(key)

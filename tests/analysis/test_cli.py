@@ -1,6 +1,8 @@
 """glint CLI: exit codes, formats, baseline workflow, lint passthrough."""
 
 import json
+import shutil
+import subprocess
 from pathlib import Path
 
 from repro.analysis.cli import (
@@ -88,6 +90,140 @@ class TestBaselineWorkflow:
         baseline.write_text("{nope")
         assert glint_main([CLEAN, "--baseline", str(baseline)]) == EXIT_USAGE
         assert "corrupt baseline" in capsys.readouterr().err
+
+
+class TestChangedMode:
+    @staticmethod
+    def _git(cwd, *args):
+        subprocess.run(
+            [
+                "git",
+                "-c", "user.email=test@example.invalid",
+                "-c", "user.name=test",
+                *args,
+            ],
+            cwd=cwd,
+            check=True,
+            capture_output=True,
+        )
+
+    def _seeded_repo(self, tmp_path):
+        """A repo where steady.py is committed-and-untouched (bad code
+        that --changed must NOT lint), touched.py is modified to be
+        bad, and fresh.py is untracked bad code."""
+        bad = Path(BAD).read_text()
+        clean = Path(CLEAN).read_text()
+        self._git(tmp_path, "init", "-q")
+        (tmp_path / "steady.py").write_text(bad)
+        (tmp_path / "touched.py").write_text(clean)
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+        (tmp_path / "touched.py").write_text(bad)
+        (tmp_path / "fresh.py").write_text(bad)
+        return tmp_path
+
+    def test_lints_only_modified_and_untracked(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        repo = self._seeded_repo(tmp_path)
+        monkeypatch.chdir(repo)
+        assert (
+            glint_main(["--changed", "--rules", "GL005", "--format", "json"])
+            == EXIT_FINDINGS
+        )
+        payload = json.loads(capsys.readouterr().out)
+        files = {finding["path"] for finding in payload["findings"]}
+        assert files == {"touched.py", "fresh.py"}
+        assert payload["files_analyzed"] == 2
+
+    def test_path_arguments_restrict_the_changed_set(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        repo = self._seeded_repo(tmp_path)
+        monkeypatch.chdir(repo)
+        assert (
+            glint_main(
+                ["fresh.py", "--changed", "--rules", "GL005", "--format", "json"]
+            )
+            == EXIT_FINDINGS
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert {f["path"] for f in payload["findings"]} == {"fresh.py"}
+
+    def test_clean_when_nothing_changed(self, tmp_path, monkeypatch, capsys):
+        bad = Path(BAD).read_text()
+        self._git(tmp_path, "init", "-q")
+        (tmp_path / "steady.py").write_text(bad)
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+        monkeypatch.chdir(tmp_path)
+        assert glint_main(["--changed"]) == EXIT_CLEAN
+        assert "no python files changed" in capsys.readouterr().out
+
+    def test_outside_a_repo_is_usage_error(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert glint_main(["--changed"]) == EXIT_USAGE
+        assert "git checkout" in capsys.readouterr().err
+
+    def test_path_eaten_as_ref_gets_a_helpful_error(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # `glint --changed src/` parses src/ as the REF; the error must
+        # point at the fix, not dump git's stderr.
+        repo = self._seeded_repo(tmp_path)
+        monkeypatch.chdir(repo)
+        assert glint_main(["--changed", "fresh.py"]) == EXIT_USAGE
+        err = capsys.readouterr().err
+        assert "not a git revision" in err
+        assert "paths go before the flag" in err
+
+
+class TestManifestMode:
+    SOURCE = FIXTURES / "gl007_clean.py"
+
+    def test_write_then_check_round_trips(self, tmp_path, capsys):
+        manifest = tmp_path / "effects.json"
+        src = str(self.SOURCE)
+        assert glint_main([src, "--write-manifest", str(manifest)]) == EXIT_CLEAN
+        assert "wrote effects manifest" in capsys.readouterr().out
+        assert glint_main([src, "--check-manifest", str(manifest)]) == EXIT_CLEAN
+        assert "matches" in capsys.readouterr().out
+
+    def test_drift_fails_the_check(self, tmp_path, capsys):
+        source = tmp_path / "drifting.py"
+        shutil.copyfile(self.SOURCE, source)
+        manifest = tmp_path / "effects.json"
+        assert (
+            glint_main([str(source), "--write-manifest", str(manifest)])
+            == EXIT_CLEAN
+        )
+        capsys.readouterr()
+        with source.open("a") as handle:
+            handle.write(
+                "\n"
+                "    @modifies(\"journal\")\n"
+                "    def wipe(self, key):\n"
+                "        self.journal.pop(key, None)\n"
+                "        return True\n"
+            )
+        assert (
+            glint_main([str(source), "--check-manifest", str(manifest)])
+            == EXIT_FINDINGS
+        )
+        out = capsys.readouterr().out
+        assert "drift" in out
+        assert "wipe: operation added" in out
+
+    def test_corrupt_manifest_is_usage_error(self, tmp_path, capsys):
+        manifest = tmp_path / "effects.json"
+        manifest.write_text('{"schema": 999, "classes": {}}')
+        assert (
+            glint_main([str(self.SOURCE), "--check-manifest", str(manifest)])
+            == EXIT_USAGE
+        )
+        assert "schema" in capsys.readouterr().err
 
 
 class TestLintPassthrough:

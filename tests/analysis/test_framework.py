@@ -25,7 +25,7 @@ class TestLoader:
         modules = load_paths([FIXTURES, FIXTURES / "gl001_bad.py"])
         names = [m.path.name for m in modules]
         assert "gl001_bad.py" in names
-        assert len(names) == len(set(names)) == 11
+        assert len(names) == len(set(names)) == 17
 
     def test_display_paths_anchor_to_root(self):
         module = load_paths([FIXTURES / "gl001_bad.py"], root=FIXTURES)[0]
@@ -43,9 +43,10 @@ class TestLoader:
 
 
 class TestRegistry:
-    def test_five_rules_registered_in_order(self):
+    def test_rules_registered_in_order(self):
         assert [rule.id for rule in ALL_RULES] == [
-            "GL001", "GL002", "GL003", "GL004", "GL005",
+            "GL001", "GL002", "GL003", "GL004",
+            "GL005", "GL006", "GL007", "GL008",
         ]
         assert all(rule.title and rule.rationale for rule in ALL_RULES)
 

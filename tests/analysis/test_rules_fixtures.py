@@ -15,7 +15,9 @@ import pytest
 from repro.analysis import analyze_paths
 
 FIXTURES = Path(__file__).parent / "fixtures"
-RULE_IDS = ["GL001", "GL002", "GL003", "GL004", "GL005"]
+RULE_IDS = [
+    "GL001", "GL002", "GL003", "GL004", "GL005", "GL006", "GL007", "GL008",
+]
 
 _EXPECT = re.compile(r"#\s*expect:\s*(?P<rules>[A-Z0-9 ]+)")
 

@@ -1,0 +1,92 @@
+"""Effect probes: static inference checked against real executions.
+
+The footprint probe replays each node's committed stream and asserts
+every op's observed dirty-set stays inside its statically inferred
+write footprint; the commute probe re-executes adjacent committed
+``@commutative`` pairs in both orders and compares states and results.
+Both get the standard two layers of evidence: silent on healthy runs,
+and demonstrably firing on their planted mutation.
+"""
+
+from repro.apps.presence import PresenceCounters
+from repro.simtest.mutations import apply_mutation
+from repro.simtest.probes import commute_probe, footprint_probe
+from repro.simtest.runner import run_scenario
+from repro.simtest.scenario import generate_scenario
+from tests.helpers import quick_system
+
+
+def _presence_system(ops=()):
+    system = quick_system(2)
+    hub = system.apis()[0].create_instance(PresenceCounters)
+    system.run_until_quiesced()
+    uid = hub.unique_id
+    for index, (method, *args) in enumerate(ops):
+        system.apis()[index % 2].invoke(uid, method, *args)
+    system.run_until_quiesced()
+    return system, uid
+
+
+HEALTHY_OPS = (
+    ("check_in", "ann"),
+    ("check_in", "bob"),
+    ("tally", "lobby"),
+    ("tally", "lobby"),
+    ("tally", "desk"),
+    ("bump", "pot", 3),
+    ("check_out", "ann"),
+)
+
+
+class TestFootprintProbe:
+    def test_silent_on_healthy_history(self):
+        system, _uid = _presence_system(HEALTHY_OPS)
+        assert footprint_probe(system) == []
+
+    def test_fires_on_out_of_footprint_write(self):
+        # The footprint mutation makes check_out also poke 'arrivals'
+        # — a write its inferred footprint does not license.
+        with apply_mutation("footprint"):
+            system, _uid = _presence_system(HEALTHY_OPS)
+            violations = footprint_probe(system)
+        assert violations
+        assert all("footprint violation" in v for v in violations)
+        assert any("arrivals" in v for v in violations)
+
+
+class TestCommuteProbe:
+    def test_silent_on_healthy_history(self):
+        system, _uid = _presence_system(HEALTHY_OPS)
+        assert commute_probe(system) == []
+
+    def test_fires_on_order_sensitive_marked_op(self):
+        # The commute mutation keeps tally's @commutative marker but
+        # folds each tag into an order-sensitive digest.
+        with apply_mutation("commute"):
+            system, _uid = _presence_system(HEALTHY_OPS)
+            violations = commute_probe(system)
+        assert violations
+        assert all("commutativity violation" in v for v in violations)
+
+
+class TestPlantedEffectMutations:
+    """Full pipeline: the fuzz runner's effect probes report the
+    planted effect mutations on the counters workload."""
+
+    def _catch(self, mutation, workload, needle, max_seeds=5):
+        for seed in range(max_seeds):
+            spec = generate_scenario(seed, workload=workload)
+            result = run_scenario(spec, record_trace=False, mutation=mutation)
+            if result.violations:
+                assert any(needle in v for v in result.violations), (
+                    mutation,
+                    result.violations[:5],
+                )
+                return seed
+        raise AssertionError(f"{mutation} not caught in {max_seeds} seeds")
+
+    def test_footprint_mutation_caught(self):
+        self._catch("footprint", "counters", "footprint violation")
+
+    def test_commute_mutation_caught(self):
+        self._catch("commute", "counters", "commutativity violation")
